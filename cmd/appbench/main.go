@@ -1,0 +1,42 @@
+// Command appbench regenerates the paper's application evaluation: the
+// Table 6 application characteristics and the E9 execution-time comparison
+// of the invalidation frameworks on Barnes-Hut, LU and APSP.
+//
+// Usage:
+//
+//	appbench            # characteristics + framework comparison
+//	appbench -table6    # characteristics only
+//	appbench -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("appbench: ")
+	var (
+		table6Only = flag.Bool("table6", false, "only print application characteristics")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Fprint(os.Stdout, t.CSV())
+		} else {
+			fmt.Fprintln(os.Stdout, t.String())
+		}
+	}
+	emit(experiments.Table6())
+	if !*table6Only {
+		emit(experiments.FigApplications())
+	}
+}

@@ -1,0 +1,84 @@
+// Command invalsweep regenerates the paper's synthetic-workload figures:
+// the sharer-count sweeps (latency / occupancy / traffic), the mesh-size
+// sweep, the i-ack buffer sensitivity study, the hot-spot burst experiment
+// and the placement and consumption-channel ablations.
+//
+// Usage:
+//
+//	invalsweep -experiment latency -k 16 -trials 10
+//	invalsweep -experiment all -csv
+//
+// Experiments: latency, occupancy, traffic, meshsize, buffers, hotspot,
+// placement, cons, table4, table5, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("invalsweep: ")
+	var (
+		exp    = flag.String("experiment", "all", "which experiment to run")
+		k      = flag.Int("k", 16, "mesh dimension for the sweeps")
+		d      = flag.Int("d", 16, "sharers for fixed-d experiments")
+		trials = flag.Int("trials", 10, "trials per configuration")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	runners := map[string]func() *report.Table{
+		"latency":     func() *report.Table { return experiments.FigLatencyVsSharers(*k, *trials) },
+		"occupancy":   func() *report.Table { return experiments.FigOccupancyVsSharers(*k, *trials) },
+		"traffic":     func() *report.Table { return experiments.FigTrafficVsSharers(*k, *trials) },
+		"meshsize":    func() *report.Table { return experiments.FigLatencyVsMeshSize(*d, *trials) },
+		"buffers":     func() *report.Table { return experiments.FigIAckBuffers(*k, *d, 4) },
+		"hotspot":     func() *report.Table { return experiments.FigHotSpot(*k, *d) },
+		"placement":   func() *report.Table { return experiments.AblationPlacement(*k, *d, *trials) },
+		"cons":        func() *report.Table { return experiments.AblationConsumptionChannels(*k, *d, 4) },
+		"table4":      experiments.Table4,
+		"table5":      experiments.Table5,
+		"vcs":         func() *report.Table { return experiments.FigVirtualChannels(*k, *d, 8) },
+		"limdir":      func() *report.Table { return experiments.FigLimitedDirectory(8) },
+		"consistency": experiments.FigConsistency,
+		"forwarding":  experiments.FigDataForwarding,
+		"invalsize":   experiments.FigInvalSizeDistribution,
+		"update":      experiments.FigWriteUpdate,
+		"load":        func() *report.Table { return experiments.FigOfferedLoad(*k) },
+		"tree":        func() *report.Table { return experiments.FigSoftwareTree(*k, *trials) },
+		"torus":       func() *report.Table { return experiments.FigTorus(*k, *trials) },
+		"barrier":     experiments.FigWormBarrier,
+		"sharing":     experiments.FigSharingDependence,
+		"congestion":  func() *report.Table { return experiments.FigCongestion(*k, *d, 8) },
+		"threehop":    experiments.FigThreeHop,
+	}
+	order := []string{"table4", "table5", "latency", "occupancy", "traffic",
+		"meshsize", "buffers", "hotspot", "placement", "cons", "vcs", "limdir",
+		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop"}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Fprint(os.Stdout, t.CSV())
+		} else {
+			fmt.Fprintln(os.Stdout, t.String())
+		}
+	}
+	if *exp == "all" {
+		for _, name := range order {
+			emit(runners[name]())
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q (want one of %v or all)", *exp, order)
+	}
+	emit(run())
+}

@@ -1,0 +1,153 @@
+// Command wormviz renders the multidestination worms a grouping scheme
+// builds for a sharer pattern, as ASCII maps of the mesh — the fastest way
+// to see what each scheme actually sends.
+//
+// Usage:
+//
+//	wormviz -k 8 -scheme MI-MA-tm -d 6 -seed 3
+//	wormviz -k 8 -scheme MI-MA-ec -torus -d 6
+//	wormviz -k 16 -scheme MI-MA-pa -pattern diagonal -d 7
+//
+// Legend: H home, S sharer off this worm's path, * sharer on the path,
+// + pass-through node, . other node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wormviz: ")
+	var (
+		k       = flag.Int("k", 8, "mesh dimension (k x k)")
+		torus   = flag.Bool("torus", false, "wraparound links (k-ary 2-cube)")
+		scheme  = flag.String("scheme", "MI-MA-ec", "grouping scheme")
+		d       = flag.Int("d", 6, "number of sharers")
+		seed    = flag.Uint64("seed", 1, "placement seed")
+		pattern = flag.String("pattern", "random", "placement: random|diagonal|column")
+		homeX   = flag.Int("hx", -1, "home x (default center)")
+		homeY   = flag.Int("hy", -1, "home y (default center)")
+	)
+	flag.Parse()
+
+	s, err := grouping.Parse(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mesh *topology.Mesh
+	if *torus {
+		mesh = topology.NewTorus(*k, *k)
+	} else {
+		mesh = topology.NewSquareMesh(*k)
+	}
+	hx, hy := *homeX, *homeY
+	if hx < 0 {
+		hx = *k / 2
+	}
+	if hy < 0 {
+		hy = *k / 2
+	}
+	home := mesh.ID(topology.Coord{X: hx, Y: hy})
+	sharers := place(mesh, home, *d, *pattern, *seed)
+
+	groups := grouping.Groups(s, mesh, home, sharers)
+	fmt.Printf("%s on a %dx%d %s: %d sharers -> %d worm(s)\n\n",
+		s, *k, *k, meshKind(*torus), len(sharers), len(groups))
+	for gi, g := range groups {
+		conf := "conformed to " + g.Base.String()
+		if !g.Conformed {
+			conf = "path-based (not BRCP-conformed)"
+		}
+		fmt.Printf("worm %d: %d member(s), %d hops, %s\n",
+			gi+1, len(g.Members), len(g.Path)-1, conf)
+		fmt.Print(draw(mesh, home, sharers, g.Path))
+		fmt.Println()
+	}
+}
+
+func meshKind(torus bool) string {
+	if torus {
+		return "torus"
+	}
+	return "mesh"
+}
+
+// place generates the sharer set.
+func place(mesh *topology.Mesh, home topology.NodeID, d int, pattern string, seed uint64) []topology.NodeID {
+	rng := sim.NewRNG(seed)
+	hc := mesh.Coord(home)
+	var out []topology.NodeID
+	switch pattern {
+	case "random":
+		seen := map[topology.NodeID]bool{home: true}
+		for len(out) < d {
+			n := topology.NodeID(rng.Intn(mesh.Nodes()))
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	case "diagonal":
+		for i := 1; len(out) < d; i++ {
+			x, y := hc.X+i, hc.Y+i
+			if x >= mesh.Width() || y >= mesh.Height() {
+				log.Fatalf("diagonal runs off the mesh at d=%d", len(out))
+			}
+			out = append(out, mesh.ID(topology.Coord{X: x, Y: y}))
+		}
+	case "column":
+		col := (hc.X + 2) % mesh.Width()
+		for y := 0; y < mesh.Height() && len(out) < d; y++ {
+			n := mesh.ID(topology.Coord{X: col, Y: y})
+			if n != home {
+				out = append(out, n)
+			}
+		}
+	default:
+		log.Fatalf("unknown pattern %q", pattern)
+	}
+	return out
+}
+
+// draw renders the mesh with a worm path overlaid.
+func draw(m *topology.Mesh, home topology.NodeID, sharers []topology.NodeID, path []topology.NodeID) string {
+	onPath := map[topology.NodeID]bool{}
+	for _, n := range path {
+		onPath[n] = true
+	}
+	isSharer := map[topology.NodeID]bool{}
+	for _, n := range sharers {
+		isSharer[n] = true
+	}
+	var b strings.Builder
+	for y := m.Height() - 1; y >= 0; y-- {
+		for x := 0; x < m.Width(); x++ {
+			n := m.ID(topology.Coord{X: x, Y: y})
+			var ch byte
+			switch {
+			case n == home:
+				ch = 'H'
+			case isSharer[n] && onPath[n]:
+				ch = '*'
+			case isSharer[n]:
+				ch = 'S'
+			case onPath[n]:
+				ch = '+'
+			default:
+				ch = '.'
+			}
+			b.WriteByte(ch)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

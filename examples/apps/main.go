@@ -1,0 +1,38 @@
+// apps runs a scaled-down APSP (Floyd-Warshall) application under the
+// UI-UA baseline and the MI-MA multidestination framework and compares
+// execution time, invalidation behavior and home traffic — the
+// application-level payoff of multidestination invalidation worms.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/coherence"
+	"repro/internal/grouping"
+	"repro/internal/report"
+)
+
+func main() {
+	w := apps.APSP(apps.APSPConfig{Vertices: 32, Procs: 16})
+	st := w.Stats()
+	fmt.Printf("%s: %d shared reads, %d shared writes, %d processors\n\n",
+		w.Name, st.Reads, st.Writes, len(w.Programs))
+
+	t := report.NewTable("APSP (32 vertices, 16 processors, 4x4 mesh)",
+		"scheme", "exec cycles", "speedup vs UI-UA", "inval txns", "avg sharers")
+	var base float64
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIUAEC, grouping.MIMAEC, grouping.MIMATM} {
+		m := coherence.NewMachine(coherence.DefaultParams(4, s))
+		res := apps.Run(m, w)
+		if base == 0 {
+			base = float64(res.Time)
+		}
+		t.Row(s.String(), uint64(res.Time), report.Float3(base/float64(res.Time)),
+			res.Invals, res.AvgSharers)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nEvery processor reads the pivot row each step, so the owner's next write")
+	fmt.Println("invalidates copies at nearly all 16 processors — the broadcast-sharing")
+	fmt.Println("pattern where multidestination invalidation worms pay off most.")
+}

@@ -1,0 +1,80 @@
+// barrier demonstrates the multidestination worm barrier of the companion
+// paper [37] — the synchronization primitive this paper's i-ack buffer and
+// gather-worm machinery generalizes. It times barrier episodes against a
+// shared-memory sense-reversing barrier as the machine grows, then shows
+// the end-to-end effect on the APSP application.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	t := report.NewTable("Barrier episode latency (cycles)",
+		"machine", "shared-memory barrier", "worm barrier", "speedup")
+	for _, k := range []int{4, 8, 16} {
+		sm := smBarrierEpisode(k)
+		worm := wormBarrierEpisode(k)
+		t.Row(fmt.Sprintf("%dx%d (%d nodes)", k, k, k*k), sm, worm,
+			report.Float3(sm/worm))
+	}
+	fmt.Print(t.String())
+
+	fmt.Println()
+	smW := apps.APSP(apps.APSPConfig{})
+	wbW := apps.APSP(apps.APSPConfig{HWBarriers: true})
+	wbW.WormBarriers = true
+	pSM := core.DefaultParams(4, core.MIMAEC)
+	resSM := apps.Run(core.NewMachine(pSM), smW)
+	pWB := core.DefaultParams(4, core.MIMAEC)
+	pWB.Net.VCTDeferred = true
+	resWB := apps.Run(core.NewMachine(pWB), wbW)
+	fmt.Printf("APSP (64 vertices, 16 processors): %d cycles with shared-memory\n", resSM.Time)
+	fmt.Printf("barriers, %d with worm barriers — a %.2fx end-to-end speedup from\n",
+		resWB.Time, float64(resSM.Time)/float64(resWB.Time))
+	fmt.Println("the synchronization substrate alone.")
+	fmt.Println()
+	fmt.Println("The worm barrier reports arrivals through the i-ack buffers (row gather")
+	fmt.Println("worms, then a column gather), and its release worms double as the next")
+	fmt.Println("episode's reservation sweep. Episode cost is O(k) hops; the shared-")
+	fmt.Println("memory barrier serializes O(N) coherence transactions at one home.")
+}
+
+// smBarrierEpisode times one sense-reversing shared-memory barrier episode.
+func smBarrierEpisode(k int) float64 {
+	m := core.NewMachine(core.DefaultParams(k, core.MIMAEC))
+	start := m.Engine.Now()
+	for n := 0; n < m.Mesh.Nodes(); n++ {
+		core.Read(m, core.NodeID(n), 5000)
+		core.Write(m, core.NodeID(n), 5000)
+	}
+	core.Write(m, 0, 5001)
+	for n := 0; n < m.Mesh.Nodes(); n++ {
+		core.Read(m, core.NodeID(n), 5001)
+	}
+	return float64(m.Engine.Now() - start)
+}
+
+// wormBarrierEpisode times a steady-state worm barrier episode.
+func wormBarrierEpisode(k int) float64 {
+	p := core.DefaultParams(k, core.MIMAEC)
+	p.Net.VCTDeferred = true
+	m := coherence.NewMachine(p)
+	for ep := 0; ep < 2; ep++ {
+		left := m.Mesh.Nodes()
+		for n := 0; n < m.Mesh.Nodes(); n++ {
+			n := n
+			m.BarrierArrive(core.NodeID(n), func() { left-- })
+		}
+		m.Engine.Run()
+		if left != 0 {
+			panic("barrier incomplete")
+		}
+	}
+	return m.Metrics.BarrierLatency.Max()
+}

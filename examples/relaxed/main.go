@@ -1,0 +1,83 @@
+// relaxed demonstrates the protocol extensions working together: release
+// consistency (writes buffered, invalidations overlapped, fences at
+// release points) and producer-initiated data forwarding, on a small
+// producer-consumer kernel, under the unicast baseline and the
+// multidestination MI-MA framework.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/coherence"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/report"
+)
+
+// pingPong builds a producer-consumer trace: each round the producer
+// rewrites a set of blocks and every consumer re-reads them, with
+// shared-memory barriers between phases.
+func pingPong(procs, blocks, rounds int) apps.Workload {
+	progs := make([]apps.Program, procs)
+	counter := directory.BlockID(blocks)
+	flag := counter + 1
+	barrier := func() {
+		for p := range progs {
+			progs[p] = append(progs[p],
+				apps.Op{Kind: apps.OpRead, Block: counter},
+				apps.Op{Kind: apps.OpWrite, Block: counter},
+				apps.Op{Kind: apps.OpBarrier})
+		}
+		progs[0] = append(progs[0], apps.Op{Kind: apps.OpWrite, Block: flag})
+		for p := range progs {
+			progs[p] = append(progs[p], apps.Op{Kind: apps.OpRead, Block: flag})
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		for b := 0; b < blocks; b++ {
+			progs[0] = append(progs[0], apps.Op{Kind: apps.OpWrite, Block: directory.BlockID(b)})
+		}
+		barrier()
+		for p := 1; p < procs; p++ {
+			for b := 0; b < blocks; b++ {
+				progs[p] = append(progs[p], apps.Op{Kind: apps.OpRead, Block: directory.BlockID(b)})
+			}
+		}
+		barrier()
+	}
+	return apps.Workload{Name: "ping-pong", Programs: progs,
+		SharedBlocks: blocks + 2, BarrierCost: 50}
+}
+
+func main() {
+	w := pingPong(16, 8, 6)
+	t := report.NewTable("Producer-consumer kernel, 16 processors, 4x4 mesh",
+		"consistency", "forwarding", "scheme", "exec cycles", "read misses", "speedup")
+	var base float64
+	for _, cons := range []coherence.Consistency{coherence.SequentialConsistency, coherence.ReleaseConsistency} {
+		for _, fwd := range []bool{false, true} {
+			for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+				p := coherence.DefaultParams(4, s)
+				p.Consistency = cons
+				p.DataForwarding = fwd
+				m := coherence.NewMachine(p)
+				res := apps.Run(m, w)
+				if base == 0 {
+					base = float64(res.Time)
+				}
+				t.Row(cons.String(), fmt.Sprintf("%v", fwd), s.String(),
+					uint64(res.Time), res.ReadMisses,
+					report.Float3(base/float64(res.Time)))
+			}
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nRelease consistency hides write latency behind computation. Data")
+	fmt.Println("forwarding cuts the consumers' re-read misses by a third here, but its")
+	fmt.Println("pushed copies must be re-invalidated every round, so it costs more time")
+	fmt.Println("than it saves on this write-heavy kernel — and multidestination worms")
+	fmt.Println("(MI-MA) visibly shrink that penalty by making both the invalidations")
+	fmt.Println("and the forwarded pushes cheap. Prediction accuracy decides forwarding;")
+	fmt.Println("grouping decides how much a wrong prediction costs.")
+}

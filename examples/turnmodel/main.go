@@ -1,0 +1,72 @@
+// turnmodel visualizes the BRCP grouping schemes: for one sharer pattern it
+// prints the worm paths chosen under e-cube column grouping versus
+// west-first snake grouping, drawing each worm's route over the mesh.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+func main() {
+	m := topology.NewSquareMesh(8)
+	home := m.ID(topology.Coord{X: 1, Y: 4})
+	sharerCoords := []topology.Coord{
+		{X: 3, Y: 1}, {X: 3, Y: 6}, {X: 5, Y: 2}, {X: 5, Y: 5}, {X: 6, Y: 7}, {X: 4, Y: 4},
+	}
+	var sharers []topology.NodeID
+	for _, c := range sharerCoords {
+		sharers = append(sharers, m.ID(c))
+	}
+
+	for _, s := range []grouping.Scheme{grouping.MIMAEC, grouping.MIMATM} {
+		groups := grouping.Groups(s, m, home, sharers)
+		fmt.Printf("=== %s (%s base routing): %d worm(s)\n\n", s, s.Base(), len(groups))
+		for gi, g := range groups {
+			fmt.Printf("worm %d: %d members, %d hops\n", gi+1, len(g.Members), len(g.Path)-1)
+			fmt.Print(draw(m, home, sharers, g.Path))
+			fmt.Println()
+		}
+	}
+	fmt.Println("Legend: H home, S sharer (on worm path: *), . other node, + path hop.")
+	fmt.Println("The west-first snake covers every eastern sharer with a single worm by")
+	fmt.Println("sweeping columns boustrophedon-style — turns e-cube forbids.")
+}
+
+// draw renders the mesh with the worm path overlaid.
+func draw(m *topology.Mesh, home topology.NodeID, sharers []topology.NodeID, path []topology.NodeID) string {
+	onPath := map[topology.NodeID]bool{}
+	for _, n := range path {
+		onPath[n] = true
+	}
+	isSharer := map[topology.NodeID]bool{}
+	for _, n := range sharers {
+		isSharer[n] = true
+	}
+	var b strings.Builder
+	for y := m.Height() - 1; y >= 0; y-- {
+		for x := 0; x < m.Width(); x++ {
+			n := m.ID(topology.Coord{X: x, Y: y})
+			var ch byte
+			switch {
+			case n == home:
+				ch = 'H'
+			case isSharer[n] && onPath[n]:
+				ch = '*'
+			case isSharer[n]:
+				ch = 'S'
+			case onPath[n]:
+				ch = '+'
+			default:
+				ch = '.'
+			}
+			b.WriteByte(ch)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

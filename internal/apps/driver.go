@@ -1,0 +1,239 @@
+// Package apps reproduces the paper's application evaluation (its Table 6
+// workloads): Barnes-Hut from SPLASH-2 (128 bodies, 4 time steps), blocked
+// LU decomposition from SPLASH-2 (128x128 matrix, 8x8 blocks) and All Pairs
+// Shortest Path (Floyd-Warshall).
+//
+// The original SPLASH-2 C programs are re-implemented in Go as
+// execution-driven-lite generators: the actual algorithm runs (real
+// quadtree, real elimination order, real relaxations) and emits each
+// processor's shared-memory reference stream, which the driver replays
+// through the cycle-level DSM machine with barrier synchronization. The
+// coherence-relevant structure — which processors share which blocks, and
+// the invalidation patterns writes produce — is determined by the
+// algorithms and is preserved exactly; see DESIGN.md section 6.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/directory"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// OpKind is the kind of one trace operation.
+type OpKind int
+
+const (
+	// OpRead is a shared read of Block.
+	OpRead OpKind = iota
+	// OpWrite is a shared write of Block.
+	OpWrite
+	// OpCompute spends Cycles of local computation.
+	OpCompute
+	// OpBarrier waits until every processor reaches its barrier.
+	OpBarrier
+)
+
+// Op is one step of a processor's program.
+type Op struct {
+	Kind   OpKind
+	Block  directory.BlockID
+	Cycles sim.Time
+}
+
+// Program is one processor's sequence of operations.
+type Program []Op
+
+// Workload is a complete multi-processor application trace.
+type Workload struct {
+	// Name identifies the application.
+	Name string
+	// Programs holds one program per processor; processor i runs on node i.
+	Programs []Program
+	// SharedBlocks is the number of distinct shared blocks touched.
+	SharedBlocks int
+	// BarrierCost is the modelled cost of one barrier episode, charged to
+	// each participant at release (an idealized hardware barrier).
+	BarrierCost sim.Time
+	// WormBarriers implements OpBarrier with the machine's multidestination
+	// worm barrier [37] instead of the idealized one. Requires the
+	// workload to occupy every mesh node. Combine with the generators'
+	// HWBarriers option (so the trace contains no shared-memory barrier
+	// references) to compare synchronization implementations.
+	WormBarriers bool
+}
+
+// Stats summarizes a workload's reference mix.
+type Stats struct {
+	Reads, Writes, Computes, Barriers uint64
+}
+
+// Stats returns the workload's static operation counts.
+func (w Workload) Stats() Stats {
+	var s Stats
+	for _, prog := range w.Programs {
+		for _, op := range prog {
+			switch op.Kind {
+			case OpRead:
+				s.Reads++
+			case OpWrite:
+				s.Writes++
+			case OpCompute:
+				s.Computes++
+			case OpBarrier:
+				s.Barriers++
+			}
+		}
+	}
+	return s
+}
+
+// RunResult reports one application execution on the machine.
+type RunResult struct {
+	// Time is the parallel execution time in cycles.
+	Time sim.Time
+	// Invals is the number of multi-party invalidation transactions.
+	Invals int
+	// AvgSharers is the mean sharer count over those transactions.
+	AvgSharers float64
+	// MaxSharers is the largest single invalidation.
+	MaxSharers int
+	// ReadMisses / WriteMisses are machine-wide miss counts.
+	ReadMisses, WriteMisses int
+}
+
+// Run replays the workload on the machine and returns measurements. The
+// machine must be freshly constructed with at least len(Programs) nodes.
+func Run(m *coherence.Machine, w Workload) RunResult {
+	if len(w.Programs) > m.Mesh.Nodes() {
+		panic(fmt.Sprintf("apps: %d programs exceed %d nodes", len(w.Programs), m.Mesh.Nodes()))
+	}
+	if w.WormBarriers && len(w.Programs) != m.Mesh.Nodes() {
+		panic("apps: worm barriers require one program per mesh node")
+	}
+	invalsBefore := len(m.Metrics.Invals)
+	readMissBefore := m.Metrics.ReadMiss.N()
+	writeMissBefore := m.Metrics.WriteMiss.N()
+	start := m.Engine.Now()
+
+	bar := &barrier{engine: m.Engine, parties: len(w.Programs), cost: w.BarrierCost}
+	rc := m.Params.Consistency == coherence.ReleaseConsistency
+	remaining := len(w.Programs)
+	var exec func(n topology.NodeID, prog Program, idx int)
+	exec = func(n topology.NodeID, prog Program, idx int) {
+		if idx == len(prog) {
+			if rc {
+				// Outstanding writes must still retire before the program
+				// counts as finished.
+				m.Fence(n, func() { remaining-- })
+				return
+			}
+			remaining--
+			return
+		}
+		next := func() { exec(n, prog, idx+1) }
+		op := prog[idx]
+		switch op.Kind {
+		case OpRead:
+			m.Read(n, op.Block, next)
+		case OpWrite:
+			if rc {
+				m.WriteAsync(n, op.Block, next)
+			} else {
+				m.Write(n, op.Block, next)
+			}
+		case OpCompute:
+			m.Engine.After(op.Cycles, next)
+		case OpBarrier:
+			arrive := bar.arrive
+			if w.WormBarriers {
+				arrive = func(resume func()) { m.BarrierArrive(n, resume) }
+			}
+			if rc {
+				// A barrier is a release point: drain the write buffer
+				// before arriving.
+				m.Fence(n, func() { arrive(next) })
+			} else {
+				arrive(next)
+			}
+		default:
+			panic("apps: unknown op kind")
+		}
+	}
+	for i, prog := range w.Programs {
+		i, prog := i, prog
+		m.Engine.At(m.Engine.Now(), func() { exec(topology.NodeID(i), prog, 0) })
+	}
+	m.Engine.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("apps: %d processors never finished (deadlock? outstanding=%d, at barrier=%d)",
+			remaining, m.Net.Outstanding(), bar.waitingCount()))
+	}
+
+	res := RunResult{
+		Time:        m.Engine.Now() - start,
+		ReadMisses:  m.Metrics.ReadMiss.N() - readMissBefore,
+		WriteMisses: m.Metrics.WriteMiss.N() - writeMissBefore,
+	}
+	var sum int
+	for _, rec := range m.Metrics.Invals[invalsBefore:] {
+		res.Invals++
+		sum += rec.Sharers
+		if rec.Sharers > res.MaxSharers {
+			res.MaxSharers = rec.Sharers
+		}
+	}
+	if res.Invals > 0 {
+		res.AvgSharers = float64(sum) / float64(res.Invals)
+	}
+	return res
+}
+
+// appendSMBarrier emits one sense-reversing shared-memory barrier episode
+// into every program: each processor increments the barrier counter
+// (read + write of the counter block) and then reads the release flag,
+// which processor 0 rewrites after the rendezvous. The flag write
+// invalidates every processor still holding the previous episode's flag
+// value — the d ~ P-1 broadcast invalidation that makes synchronization a
+// major coherence overhead on 1990s DSMs and a primary beneficiary of
+// multidestination invalidation worms. The OpBarrier provides the actual
+// rendezvous semantics for the trace replay.
+func appendSMBarrier(progs []Program, counter, flag directory.BlockID) {
+	for p := range progs {
+		progs[p] = append(progs[p],
+			Op{Kind: OpRead, Block: counter},
+			Op{Kind: OpWrite, Block: counter},
+			Op{Kind: OpBarrier})
+	}
+	progs[0] = append(progs[0], Op{Kind: OpWrite, Block: flag})
+	for p := range progs {
+		progs[p] = append(progs[p], Op{Kind: OpRead, Block: flag})
+	}
+}
+
+// barrier is an idealized hardware barrier: the last arrival releases all
+// waiters after cost cycles.
+type barrier struct {
+	engine  *sim.Engine
+	parties int
+	cost    sim.Time
+	waiting []func()
+}
+
+func (b *barrier) arrive(resume func()) {
+	b.waiting = append(b.waiting, resume)
+	if len(b.waiting) < b.parties {
+		return
+	}
+	waiters := b.waiting
+	b.waiting = nil
+	b.engine.After(b.cost, func() {
+		for _, w := range waiters {
+			w()
+		}
+	})
+}
+
+func (b *barrier) waitingCount() int { return len(b.waiting) }

@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"repro/internal/directory"
+	"repro/internal/sim"
+)
+
+// JacobiConfig configures the 2-D Jacobi stencil workload (extension): an
+// Ocean-style iterative grid solver with a block decomposition, whose
+// sharing is strictly nearest-neighbor — each processor reads only the
+// boundary rows/columns of its four neighbors. It is the natural negative
+// control for multidestination invalidation: invalidation sizes are 1-2
+// sharers, so grouped worms have almost nothing to group.
+type JacobiConfig struct {
+	// N is the grid dimension (default 64).
+	N int
+	// Procs is the processor count, arranged as a sqrt(P) x sqrt(P) grid
+	// of subdomains (default 16; must be a perfect square).
+	Procs int
+	// Iterations is the number of sweeps (default 8).
+	Iterations int
+	// LinesPerEdge is how many coherence blocks one subdomain boundary
+	// edge occupies (default 2).
+	LinesPerEdge int
+	// SweepCost is the compute time per interior sweep (default 4 cycles
+	// per grid point owned).
+	SweepCost sim.Time
+	// HWBarriers replaces the default shared-memory sense-reversing
+	// barriers with idealized hardware barriers (ablation).
+	HWBarriers bool
+}
+
+func (c *JacobiConfig) defaults() {
+	if c.N == 0 {
+		c.N = 64
+	}
+	if c.Procs == 0 {
+		c.Procs = 16
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 8
+	}
+	if c.LinesPerEdge == 0 {
+		c.LinesPerEdge = 2
+	}
+	if c.SweepCost == 0 {
+		c.SweepCost = 4
+	}
+}
+
+// Jacobi generates the stencil workload. Each processor owns a square
+// subdomain; per iteration it reads its four neighbors' facing boundary
+// edges, computes its sweep, and rewrites its own four boundary edges
+// (invalidating the one or two neighbors caching each edge).
+func Jacobi(cfg JacobiConfig) Workload {
+	cfg.defaults()
+	side := 1
+	for side*side < cfg.Procs {
+		side++
+	}
+	if side*side != cfg.Procs {
+		panic("apps: Jacobi needs a perfect-square processor count")
+	}
+	pointsPer := (cfg.N / side) * (cfg.N / side)
+
+	// Block layout: each processor owns 4 edges (N, S, E, W), each
+	// LinesPerEdge coherence blocks.
+	edgeBlock := func(p, edge, line int) directory.BlockID {
+		return directory.BlockID((p*4+edge)*cfg.LinesPerEdge + line)
+	}
+	const (
+		edgeN = 0
+		edgeS = 1
+		edgeE = 2
+		edgeW = 3
+	)
+	procAt := func(px, py int) int { return py*side + px }
+
+	progs := make([]Program, cfg.Procs)
+	push := func(p int, op Op) { progs[p] = append(progs[p], op) }
+	barCounter := directory.BlockID(cfg.Procs * 4 * cfg.LinesPerEdge)
+	barFlag := barCounter + 1
+	barrierAll := func() {
+		if cfg.HWBarriers {
+			for p := range progs {
+				push(p, Op{Kind: OpBarrier})
+			}
+			return
+		}
+		appendSMBarrier(progs, barCounter, barFlag)
+	}
+
+	readEdge := func(p, owner, edge int) {
+		for l := 0; l < cfg.LinesPerEdge; l++ {
+			push(p, Op{Kind: OpRead, Block: edgeBlock(owner, edge, l)})
+		}
+	}
+	writeEdge := func(p, edge int) {
+		for l := 0; l < cfg.LinesPerEdge; l++ {
+			push(p, Op{Kind: OpWrite, Block: edgeBlock(p, edge, l)})
+		}
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		barrierAll()
+		// Read phase: each processor reads the facing edges of its four
+		// neighbors (grid boundary subdomains have fewer).
+		for py := 0; py < side; py++ {
+			for px := 0; px < side; px++ {
+				p := procAt(px, py)
+				if py+1 < side {
+					readEdge(p, procAt(px, py+1), edgeS)
+				}
+				if py > 0 {
+					readEdge(p, procAt(px, py-1), edgeN)
+				}
+				if px+1 < side {
+					readEdge(p, procAt(px+1, py), edgeW)
+				}
+				if px > 0 {
+					readEdge(p, procAt(px-1, py), edgeE)
+				}
+				push(p, Op{Kind: OpCompute, Cycles: sim.Time(pointsPer) * cfg.SweepCost})
+			}
+		}
+		barrierAll()
+		// Write phase: each processor rewrites its own boundary edges.
+		for p := 0; p < cfg.Procs; p++ {
+			for edge := 0; edge < 4; edge++ {
+				writeEdge(p, edge)
+			}
+		}
+	}
+	barrierAll()
+	return Workload{
+		Name:         "Jacobi",
+		Programs:     progs,
+		SharedBlocks: cfg.Procs*4*cfg.LinesPerEdge + 2,
+		BarrierCost:  50,
+	}
+}

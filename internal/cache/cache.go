@@ -1,0 +1,163 @@
+// Package cache models each DSM node's coherent cache at the granularity
+// the coherence protocol needs: per-block line states (invalid / shared /
+// modified) with an optional capacity bound and LRU replacement. Timing
+// (hit, miss, invalidate latencies) lives in the protocol configuration;
+// this package tracks state and replacement only.
+package cache
+
+import (
+	"repro/internal/directory"
+)
+
+// LineState is the local state of a cached block.
+type LineState int
+
+const (
+	// Invalid: not present.
+	Invalid LineState = iota
+	// SharedLine: present read-only.
+	SharedLine
+	// ModifiedLine: present with exclusive write permission (dirty).
+	ModifiedLine
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case SharedLine:
+		return "shared"
+	case ModifiedLine:
+		return "modified"
+	}
+	return "linestate(?)"
+}
+
+type line struct {
+	state LineState
+	// lru is a monotonically increasing touch stamp.
+	lru uint64
+}
+
+// Stats tallies cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Invalidates uint64
+	Evictions   uint64
+}
+
+// Cache is one node's cache. Capacity is in lines; zero means unbounded
+// (the paper-style "no conflict misses" configuration).
+type Cache struct {
+	capacity int
+	lines    map[directory.BlockID]*line
+	clock    uint64
+	stats    Stats
+}
+
+// New returns a cache holding up to capacity lines (0 = unbounded).
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &Cache{capacity: capacity, lines: make(map[directory.BlockID]*line)}
+}
+
+// State returns the current state of block.
+func (c *Cache) State(b directory.BlockID) LineState {
+	if l, ok := c.lines[b]; ok {
+		return l.state
+	}
+	return Invalid
+}
+
+// Lookup records an access for purposes of hit/miss accounting and LRU,
+// and reports whether the access hits: reads hit in SharedLine or
+// ModifiedLine; writes hit only in ModifiedLine.
+func (c *Cache) Lookup(b directory.BlockID, write bool) bool {
+	c.clock++
+	l, ok := c.lines[b]
+	if ok && l.state != Invalid {
+		l.lru = c.clock
+		if !write || l.state == ModifiedLine {
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Fill installs block in the given state after a miss completes. It returns
+// the block evicted to make room, if any (victim selection is LRU among
+// valid lines; ModifiedLine victims are reported so the protocol can write
+// them back).
+func (c *Cache) Fill(b directory.BlockID, s LineState) (victim directory.BlockID, victimState LineState, evicted bool) {
+	if s == Invalid {
+		panic("cache: Fill with Invalid state")
+	}
+	c.clock++
+	if l, ok := c.lines[b]; ok {
+		l.state = s
+		l.lru = c.clock
+		return 0, Invalid, false
+	}
+	if c.capacity > 0 && c.validCount() >= c.capacity {
+		victim, victimState = c.evictLRU()
+		evicted = true
+		c.stats.Evictions++
+	}
+	c.lines[b] = &line{state: s, lru: c.clock}
+	return victim, victimState, evicted
+}
+
+// Invalidate drops block from the cache (invalidation request from home).
+// It returns the state the line was in so the protocol can detect races
+// (invalidating an Invalid line is allowed and returns Invalid).
+func (c *Cache) Invalidate(b directory.BlockID) LineState {
+	l, ok := c.lines[b]
+	if !ok || l.state == Invalid {
+		return Invalid
+	}
+	prev := l.state
+	delete(c.lines, b)
+	c.stats.Invalidates++
+	return prev
+}
+
+// Downgrade moves a ModifiedLine block to SharedLine (remote read of a
+// dirty block). Downgrading a non-modified line is a protocol bug.
+func (c *Cache) Downgrade(b directory.BlockID) {
+	l, ok := c.lines[b]
+	if !ok || l.state != ModifiedLine {
+		panic("cache: Downgrade of non-modified line")
+	}
+	l.state = SharedLine
+}
+
+// Stats returns a copy of the event tallies.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ValidLines returns the number of valid lines currently held.
+func (c *Cache) ValidLines() int { return c.validCount() }
+
+func (c *Cache) validCount() int { return len(c.lines) }
+
+func (c *Cache) evictLRU() (directory.BlockID, LineState) {
+	var victim directory.BlockID
+	var vs LineState
+	first := true
+	var oldest uint64
+	for b, l := range c.lines {
+		if first || l.lru < oldest || (l.lru == oldest && b < victim) {
+			victim, vs, oldest = b, l.state, l.lru
+			first = false
+		}
+	}
+	if first {
+		panic("cache: evictLRU on empty cache")
+	}
+	delete(c.lines, victim)
+	return victim, vs
+}

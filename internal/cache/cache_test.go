@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/directory"
+)
+
+func TestLookupMissOnEmpty(t *testing.T) {
+	c := New(0)
+	if c.Lookup(1, false) {
+		t.Fatal("read hit on empty cache")
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestFillThenReadHit(t *testing.T) {
+	c := New(0)
+	c.Fill(1, SharedLine)
+	if !c.Lookup(1, false) {
+		t.Fatal("read miss after Fill shared")
+	}
+	if c.State(1) != SharedLine {
+		t.Fatalf("State = %v, want shared", c.State(1))
+	}
+}
+
+func TestWriteMissesOnSharedLine(t *testing.T) {
+	c := New(0)
+	c.Fill(1, SharedLine)
+	if c.Lookup(1, true) {
+		t.Fatal("write hit on shared line (needs upgrade)")
+	}
+	c.Fill(1, ModifiedLine)
+	if !c.Lookup(1, true) {
+		t.Fatal("write miss on modified line")
+	}
+}
+
+func TestInvalidateDropsLine(t *testing.T) {
+	c := New(0)
+	c.Fill(7, SharedLine)
+	if prev := c.Invalidate(7); prev != SharedLine {
+		t.Fatalf("Invalidate returned %v, want shared", prev)
+	}
+	if c.State(7) != Invalid {
+		t.Fatal("line still valid after Invalidate")
+	}
+	if prev := c.Invalidate(7); prev != Invalid {
+		t.Fatalf("second Invalidate returned %v, want invalid", prev)
+	}
+	if c.Stats().Invalidates != 1 {
+		t.Fatalf("Invalidates = %d, want 1 (invalid drops don't count)", c.Stats().Invalidates)
+	}
+}
+
+func TestDowngradeModified(t *testing.T) {
+	c := New(0)
+	c.Fill(3, ModifiedLine)
+	c.Downgrade(3)
+	if c.State(3) != SharedLine {
+		t.Fatalf("State = %v after Downgrade, want shared", c.State(3))
+	}
+}
+
+func TestDowngradeNonModifiedPanics(t *testing.T) {
+	c := New(0)
+	c.Fill(3, SharedLine)
+	defer func() {
+		if recover() == nil {
+			t.Error("Downgrade of shared line did not panic")
+		}
+	}()
+	c.Downgrade(3)
+}
+
+func TestFillInvalidPanics(t *testing.T) {
+	c := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Fill(Invalid) did not panic")
+		}
+	}()
+	c.Fill(1, Invalid)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Fill(1, SharedLine)
+	c.Fill(2, SharedLine)
+	c.Lookup(1, false) // touch 1 so 2 is LRU
+	victim, vs, evicted := c.Fill(3, SharedLine)
+	if !evicted || victim != 2 || vs != SharedLine {
+		t.Fatalf("evicted %v (%v, %v), want block 2 shared", victim, vs, evicted)
+	}
+	if c.State(1) != SharedLine || c.State(3) != SharedLine || c.State(2) != Invalid {
+		t.Fatal("post-eviction states wrong")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestEvictionReportsModifiedVictim(t *testing.T) {
+	c := New(1)
+	c.Fill(1, ModifiedLine)
+	victim, vs, evicted := c.Fill(2, SharedLine)
+	if !evicted || victim != 1 || vs != ModifiedLine {
+		t.Fatalf("evicted %v (%v, %v), want modified block 1", victim, vs, evicted)
+	}
+}
+
+func TestFillExistingDoesNotEvict(t *testing.T) {
+	c := New(1)
+	c.Fill(1, SharedLine)
+	_, _, evicted := c.Fill(1, ModifiedLine)
+	if evicted {
+		t.Fatal("upgrading resident line evicted something")
+	}
+	if c.State(1) != ModifiedLine {
+		t.Fatal("Fill did not upgrade state")
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New(0)
+	for b := directory.BlockID(0); b < 10000; b++ {
+		if _, _, evicted := c.Fill(b, SharedLine); evicted {
+			t.Fatal("unbounded cache evicted")
+		}
+	}
+	if c.ValidLines() != 10000 {
+		t.Fatalf("ValidLines = %d, want 10000", c.ValidLines())
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestCapacityInvariantProperty(t *testing.T) {
+	// Property: a capacity-k cache never holds more than k valid lines, for
+	// any access pattern.
+	prop := func(blocks []uint8, cap8 uint8) bool {
+		capacity := int(cap8%8) + 1
+		c := New(capacity)
+		for _, b := range blocks {
+			bid := directory.BlockID(b % 32)
+			if !c.Lookup(bid, false) {
+				c.Fill(bid, SharedLine)
+			}
+			if c.ValidLines() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitMissAccountingProperty(t *testing.T) {
+	// Property: hits + misses equals lookups.
+	prop := func(blocks []uint8, writes []bool) bool {
+		c := New(0)
+		lookups := 0
+		for i, b := range blocks {
+			w := i < len(writes) && writes[i]
+			if !c.Lookup(directory.BlockID(b), w) {
+				if w {
+					c.Fill(directory.BlockID(b), ModifiedLine)
+				} else {
+					c.Fill(directory.BlockID(b), SharedLine)
+				}
+			}
+			lookups++
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == uint64(lookups)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineStateStrings(t *testing.T) {
+	if Invalid.String() != "invalid" || SharedLine.String() != "shared" || ModifiedLine.String() != "modified" {
+		t.Error("line state names wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestChaosScheduleSoak perturbs the simulator's same-cycle event ordering
+// with seeded random tie-breaking and re-runs the randomized soak: the
+// protocol's correctness (completion + global invariants) must not depend
+// on the engine's default FIFO tie order. This is the schedule-exploration
+// testing the formal-verification literature the paper cites [42] argues
+// for, in randomized form.
+func TestChaosScheduleSoak(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAECRC, grouping.MIMATM, grouping.UMC} {
+		for chaosSeed := uint64(1); chaosSeed <= 6; chaosSeed++ {
+			s, chaosSeed := s, chaosSeed
+			t.Run(fmt.Sprintf("%v/seed%d", s, chaosSeed), func(t *testing.T) {
+				p := DefaultParams(4, s)
+				p.CacheLines = 6
+				m := NewMachine(p)
+				m.Engine.Chaos(chaosSeed)
+				rng := sim.NewRNG(chaosSeed * 101)
+				for step := 0; step < 100; step++ {
+					n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+					b := directory.BlockID(rng.Intn(8))
+					doOp(t, m, rng.Intn(3) == 0, n, b)
+					if err := m.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosConcurrentWriters perturbs tie order under genuinely concurrent
+// transactions (the racier regime).
+func TestChaosConcurrentWriters(t *testing.T) {
+	for chaosSeed := uint64(1); chaosSeed <= 8; chaosSeed++ {
+		p := DefaultParams(8, grouping.MIMAEC)
+		p.Net.VCTDeferred = true
+		m := NewMachine(p)
+		m.Engine.Chaos(chaosSeed)
+		const b = 17
+		for _, c := range []topology.Coord{{X: 1, Y: 5}, {X: 6, Y: 6}, {X: 4, Y: 0}, {X: 2, Y: 3}} {
+			doOp(t, m, false, m.Mesh.ID(c), b)
+		}
+		writers := []topology.NodeID{nodeAt(m, 7, 7), nodeAt(m, 0, 0), nodeAt(m, 7, 0)}
+		done := 0
+		for _, w := range writers {
+			m.Write(w, b, func() { done++ })
+		}
+		m.Engine.Run()
+		if done != len(writers) {
+			t.Fatalf("seed %d: %d/%d writes completed\n%s",
+				chaosSeed, done, len(writers), m.Net.Diagnose())
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", chaosSeed, err)
+		}
+		if e := m.DirEntry(b); e.State != directory.Exclusive {
+			t.Fatalf("seed %d: final state %v", chaosSeed, e.State)
+		}
+	}
+}
+
+// TestChaosWormBarrier perturbs tie order under pipelined barrier episodes
+// mixed with coherence traffic.
+func TestChaosWormBarrier(t *testing.T) {
+	for chaosSeed := uint64(1); chaosSeed <= 5; chaosSeed++ {
+		p := DefaultParams(4, grouping.MIMAEC)
+		p.Net.VCTDeferred = true
+		m := NewMachine(p)
+		m.Engine.Chaos(chaosSeed)
+		rng := sim.NewRNG(chaosSeed)
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 10; i++ {
+				n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+				doOp(t, m, rng.Intn(3) == 0, n, directory.BlockID(rng.Intn(5)))
+			}
+			left := m.Mesh.Nodes()
+			for n := 0; n < m.Mesh.Nodes(); n++ {
+				n := n
+				m.BarrierArrive(topology.NodeID(n), func() { left-- })
+			}
+			m.Engine.Run()
+			if left != 0 {
+				t.Fatalf("seed %d round %d: barrier stuck\n%s", chaosSeed, round, m.Net.Diagnose())
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+func newCoarseM(t *testing.T, k, pointers, region int, s grouping.Scheme) *Machine {
+	t.Helper()
+	p := DefaultParams(k, s)
+	p.DirPointers = pointers
+	p.DirCoarseRegion = region
+	return NewMachine(p)
+}
+
+func TestCoarseModeEngagesOnOverflow(t *testing.T) {
+	m := newCoarseM(t, 8, 2, 8, grouping.UIUA) // regions = rows
+	const b = 100
+	// Three sharers in two rows trip the 2-pointer limit.
+	readers := []topology.Coord{{X: 1, Y: 1}, {X: 5, Y: 1}, {X: 3, Y: 6}}
+	for _, c := range readers {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+	}
+	e := m.DirEntry(b)
+	if !e.CoarseMode || e.Overflow {
+		t.Fatalf("coarse=%v overflow=%v, want coarse fallback", e.CoarseMode, e.Overflow)
+	}
+	if e.Coarse.Count() != 2 {
+		t.Fatalf("marked regions = %d, want 2 (rows 1 and 6)", e.Coarse.Count())
+	}
+	if e.Sharers.Count() != 0 {
+		t.Fatal("exact bits must be folded away in coarse mode")
+	}
+}
+
+func TestCoarseInvalidationTargetsRegionsOnly(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMATM} {
+		m := newCoarseM(t, 8, 2, 8, s)
+		const b = 100
+		readers := []topology.Coord{{X: 1, Y: 1}, {X: 5, Y: 1}, {X: 3, Y: 6}}
+		for _, c := range readers {
+			doOp(t, m, false, m.Mesh.ID(c), b)
+		}
+		writer := nodeAt(m, 0, 3)
+		doOp(t, m, true, writer, b)
+		rec := m.Metrics.Invals[len(m.Metrics.Invals)-1]
+		// Two 8-node rows, none containing home (row of node 36 = y 4),
+		// writer (y 3) outside both: 16 targets.
+		if rec.Sharers != 16 {
+			t.Fatalf("%v: coarse targets = %d, want 16 (2 rows)", s, rec.Sharers)
+		}
+		for _, c := range readers {
+			if m.Cache(m.Mesh.ID(c)).State(b) != cache.Invalid {
+				t.Fatalf("%v: reader %v survived coarse invalidation", s, c)
+			}
+		}
+		e := m.DirEntry(b)
+		if e.State != directory.Exclusive || e.CoarseMode {
+			t.Fatalf("%v: post-txn state %v coarse=%v", s, e.State, e.CoarseMode)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestCoarseBeatsBroadcast(t *testing.T) {
+	// Same sharer pattern: coarse vector (rows) must cost less than full
+	// broadcast in home messages and latency.
+	run := func(region int) (float64, int) {
+		m := newCoarseM(t, 8, 2, region, grouping.MIMAEC)
+		const b = 100
+		for _, c := range []topology.Coord{{X: 1, Y: 1}, {X: 5, Y: 1}, {X: 3, Y: 6}} {
+			doOp(t, m, false, m.Mesh.ID(c), b)
+		}
+		doOp(t, m, true, nodeAt(m, 0, 3), b)
+		rec := m.Metrics.Invals[len(m.Metrics.Invals)-1]
+		return float64(rec.Latency()), rec.HomeMsgs
+	}
+	cvLat, cvMsgs := run(8) // Dir_2-CV with row regions
+	bLat, bMsgs := run(0)   // Dir_2-B broadcast
+	if cvLat >= bLat {
+		t.Fatalf("coarse latency %v not below broadcast %v", cvLat, bLat)
+	}
+	if cvMsgs >= bMsgs {
+		t.Fatalf("coarse home msgs %d not below broadcast %d", cvMsgs, bMsgs)
+	}
+}
+
+func TestCoarseSoakWithInvariants(t *testing.T) {
+	p := DefaultParams(4, grouping.MIMAECRC)
+	p.DirPointers = 2
+	p.DirCoarseRegion = 4
+	m := NewMachine(p)
+	rng := newRNG()
+	for step := 0; step < 120; step++ {
+		n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+		b := blockID(rng.Intn(6))
+		doOp(t, m, rng.Intn(3) == 0, n, b)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func newFwdM(t *testing.T, k int, s grouping.Scheme) *Machine {
+	t.Helper()
+	p := DefaultParams(k, s)
+	p.DataForwarding = true
+	return NewMachine(p)
+}
+
+// produceConsume runs the canonical forwarding scenario: consumers read,
+// the producer writes (invalidating them), one consumer reads again.
+func produceConsume(t *testing.T, m *Machine) (consumers []topology.NodeID, producer topology.NodeID) {
+	t.Helper()
+	const b = 17
+	for _, c := range []topology.Coord{{X: 3, Y: 1}, {X: 3, Y: 6}, {X: 6, Y: 2}, {X: 0, Y: 4}} {
+		n := m.Mesh.ID(c)
+		consumers = append(consumers, n)
+		doOp(t, m, false, n, b)
+	}
+	producer = nodeAt(m, 7, 7)
+	doOp(t, m, true, producer, b)
+	// First re-reader triggers the fetch; the home forwards to the rest.
+	doOp(t, m, false, consumers[0], b)
+	return consumers, producer
+}
+
+func TestForwardingInstallsCopiesAtPreviousSharers(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMATM} {
+		m := newFwdM(t, 8, s)
+		consumers, producer := produceConsume(t, m)
+		const b = 17
+		for _, c := range consumers {
+			if m.Cache(c).State(b) != cache.SharedLine {
+				t.Fatalf("%v: consumer %d lacks a forwarded copy", s, c)
+			}
+		}
+		if m.Cache(producer).State(b) != cache.SharedLine {
+			t.Fatalf("%v: producer not downgraded", s)
+		}
+		if m.Metrics.Forwards != 3 {
+			t.Fatalf("%v: forwards = %d, want 3", s, m.Metrics.Forwards)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestForwardingEliminatesReReadMisses(t *testing.T) {
+	run := func(forwarding bool) int {
+		p := DefaultParams(8, grouping.MIMAEC)
+		p.DataForwarding = forwarding
+		m := NewMachine(p)
+		consumers, _ := produceConsume(t, m)
+		missBefore := m.Metrics.ReadMiss.N()
+		for _, c := range consumers[1:] {
+			doOp(t, m, false, c, 17)
+		}
+		return m.Metrics.ReadMiss.N() - missBefore
+	}
+	withoutFwd := run(false)
+	withFwd := run(true)
+	if withFwd != 0 {
+		t.Fatalf("re-reads missed %d times despite forwarding", withFwd)
+	}
+	if withoutFwd != 3 {
+		t.Fatalf("baseline re-read misses = %d, want 3", withoutFwd)
+	}
+}
+
+func TestForwardingOffByDefault(t *testing.T) {
+	m := newM(t, 8, grouping.MIMAEC)
+	produceConsume(t, m)
+	if m.Metrics.Forwards != 0 {
+		t.Fatal("forwarding ran while disabled")
+	}
+}
+
+func TestForwardingSerializesWithNextWrite(t *testing.T) {
+	// A write issued while the forward episode is in flight must wait for
+	// the forwarding acks and then invalidate the forwarded copies.
+	m := newFwdM(t, 8, grouping.MIMAEC)
+	consumers, _ := produceConsume(t, m)
+	const b = 17
+	writer := nodeAt(m, 1, 7)
+	doOp(t, m, true, writer, b)
+	for _, c := range consumers {
+		if m.Cache(c).State(b) != cache.Invalid {
+			t.Fatalf("consumer %d kept a copy across the second write", c)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardingSoakWithInvariants(t *testing.T) {
+	p := DefaultParams(4, grouping.MIMATM)
+	p.DataForwarding = true
+	p.CacheLines = 6
+	m := NewMachine(p)
+	rng := newRNG()
+	for step := 0; step < 150; step++ {
+		n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+		b := blockID(rng.Intn(10))
+		if rng.Intn(3) == 0 {
+			doOp(t, m, true, n, b)
+		} else {
+			doOp(t, m, false, n, b)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func newRNG() *sim.RNG { return sim.NewRNG(5) }
+
+func blockID(v int) directory.BlockID { return directory.BlockID(v) }

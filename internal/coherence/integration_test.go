@@ -1,0 +1,107 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestConfigMatrixSoak drives random traffic through a matrix of protocol
+// option combinations — scheme x consistency x topology x directory x
+// forwarding x reply-forwarding x VCT — checking the global coherence
+// invariants at every quiescent point. This is the integration net that
+// catches cross-feature interactions no focused test covers.
+func TestConfigMatrixSoak(t *testing.T) {
+	type cfg struct {
+		name string
+		tune func(*Params)
+	}
+	schemes := []grouping.Scheme{grouping.UIUA, grouping.MIMAECRC, grouping.MIMAPA, grouping.MIMATM, grouping.ADAPT, grouping.UMC}
+	variants := []cfg{
+		{"baseline", func(p *Params) {}},
+		{"rc", func(p *Params) { p.Consistency = ReleaseConsistency }},
+		{"torus", func(p *Params) { p.Torus = true }},
+		{"fwd+3hop", func(p *Params) { p.DataForwarding = true; p.ReplyForwarding = true }},
+		{"limdir-cv", func(p *Params) { p.DirPointers = 2; p.DirCoarseRegion = 4 }},
+		{"vct+2vc+evict", func(p *Params) {
+			p.Net.VCTDeferred = true
+			p.Net.VirtualChannels = 2
+			p.CacheLines = 5
+		}},
+		{"update", func(p *Params) { p.Protocol = WriteUpdate }},
+	}
+	for _, s := range schemes {
+		for _, v := range variants {
+			s, v := s, v
+			t.Run(fmt.Sprintf("%v/%s", s, v.name), func(t *testing.T) {
+				p := DefaultParams(4, s)
+				v.tune(&p)
+				m := NewMachine(p)
+				rng := sim.NewRNG(uint64(31 + int(s)))
+				rc := p.Consistency == ReleaseConsistency
+				for step := 0; step < 80; step++ {
+					n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+					b := directory.BlockID(rng.Intn(8))
+					write := rng.Intn(3) == 0
+					done := false
+					switch {
+					case write && rc:
+						m.WriteAsync(n, b, func() { done = true })
+						m.Engine.Run()
+						m.Fence(n, func() {})
+						m.Engine.Run()
+					case write:
+						m.Write(n, b, func() { done = true })
+						m.Engine.Run()
+					default:
+						m.Read(n, b, func() { done = true })
+						m.Engine.Run()
+					}
+					if !done {
+						t.Fatalf("step %d: op incomplete (outstanding=%d)\n%s",
+							step, m.Net.Outstanding(), m.Net.Diagnose())
+					}
+					if err := m.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConfigMatrixWithWormBarriers interleaves random coherence traffic
+// with worm barrier episodes under VCT (the required combination).
+func TestConfigMatrixWithWormBarriers(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+		p := DefaultParams(4, s)
+		p.Net.VCTDeferred = true
+		m := NewMachine(p)
+		rng := sim.NewRNG(17)
+		for round := 0; round < 6; round++ {
+			// A burst of random ops...
+			for i := 0; i < 20; i++ {
+				n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+				b := directory.BlockID(rng.Intn(6))
+				doOp(t, m, rng.Intn(3) == 0, n, b)
+			}
+			// ...then a full worm barrier episode.
+			left := m.Mesh.Nodes()
+			for n := 0; n < m.Mesh.Nodes(); n++ {
+				n := n
+				m.BarrierArrive(topology.NodeID(n), func() { left-- })
+			}
+			m.Engine.Run()
+			if left != 0 {
+				t.Fatalf("%v round %d: barrier incomplete\n%s", s, round, m.Net.Diagnose())
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("%v round %d: %v", s, round, err)
+			}
+		}
+	}
+}

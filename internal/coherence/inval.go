@@ -1,0 +1,218 @@
+package coherence
+
+import (
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// simTime converts the raw tick stored in pendingOp back to sim.Time.
+func simTime(v uint64) sim.Time { return sim.Time(v) }
+
+// homeOp is the home-side context of an in-flight dirty-block fetch.
+type homeOp struct {
+	requester topology.NodeID
+	write     bool
+	owner     topology.NodeID
+	// forwarded marks a 3-hop dirty read: the owner replies directly to
+	// the requester, so the home sends no readReply.
+	forwarded bool
+}
+
+// homeOpSlot stores at most one homeOp per block (the per-block queue
+// guarantees exclusivity).
+type homeOpSlot struct{ op *homeOp }
+
+func (s *homeOpSlot) set(op *homeOp) {
+	if s.op != nil {
+		panic("coherence: overlapping home transactions on one block")
+	}
+	s.op = op
+}
+
+func (s *homeOpSlot) take() *homeOp {
+	if s.op == nil {
+		panic("coherence: no home transaction in flight")
+	}
+	op := s.op
+	s.op = nil
+	return op
+}
+
+func (m *Machine) homeOps(b directory.BlockID) *homeOpSlot {
+	if m.homeOpTable == nil {
+		m.homeOpTable = make(map[directory.BlockID]*homeOpSlot)
+	}
+	s := m.homeOpTable[b]
+	if s == nil {
+		s = &homeOpSlot{}
+		m.homeOpTable[b] = s
+	}
+	return s
+}
+
+// invalTxn is one invalidation transaction: the home invalidates every
+// sharer of a block and collects their acknowledgments before granting
+// exclusive access to the requester.
+type invalTxn struct {
+	id        uint64
+	block     directory.BlockID
+	home      topology.NodeID
+	requester topology.NodeID
+	groups    []grouping.Group
+	// pendingAcks counts outstanding acknowledgments: one per sharer under
+	// unicast-ack frameworks, one per group under MI-MA, plus one for the
+	// home's own locally-invalidated copy if it had one.
+	pendingAcks int
+	sharers     int
+	broadcast   bool
+	// update marks a write-update distribution: sharers refresh their
+	// copies instead of dropping them.
+	update   bool
+	start    sim.Time
+	homeMsgs int
+	onDone   func()
+}
+
+// startInval begins the invalidation transaction for block b at home. The
+// directory entry must be in Shared state; onDone runs (on the home's
+// server context) once every acknowledgment has arrived. If the requester
+// is the only sharer no transaction is needed and onDone runs immediately.
+func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directory.BlockID,
+	requester topology.NodeID, onDone func()) {
+	var remote []topology.NodeID
+	homeCopy := false
+	switch {
+	case e.Overflow:
+		// Limited-pointer overflow: the entry no longer identifies the
+		// sharers, so the invalidation is broadcast to every node [29].
+		for n := topology.NodeID(0); int(n) < m.Mesh.Nodes(); n++ {
+			switch n {
+			case requester:
+			case home:
+				homeCopy = true
+			default:
+				remote = append(remote, n)
+			}
+		}
+	case e.CoarseMode:
+		// Coarse-vector fallback: target every node of every marked
+		// region — a superset of the true sharers, a subset of broadcast.
+		for n := topology.NodeID(0); int(n) < m.Mesh.Nodes(); n++ {
+			if !e.Coarse.Has(m.region(n)) {
+				continue
+			}
+			switch n {
+			case requester:
+			case home:
+				homeCopy = true
+			default:
+				remote = append(remote, n)
+			}
+		}
+	default:
+		for _, s := range e.Sharers.Nodes() {
+			switch s {
+			case requester:
+				// The upgrading writer keeps its copy until the grant.
+			case home:
+				homeCopy = true
+			default:
+				remote = append(remote, s)
+			}
+		}
+	}
+	if len(remote) == 0 && !homeCopy {
+		onDone()
+		return
+	}
+	e.State = directory.Waiting
+	txn := &invalTxn{
+		id:        m.newTxnID(),
+		block:     b,
+		home:      home,
+		requester: requester,
+		sharers:   len(remote),
+		broadcast: e.Overflow || e.CoarseMode,
+		update:    m.Params.Protocol == WriteUpdate,
+		start:     m.Engine.Now(),
+		onDone:    onDone,
+	}
+	if len(remote) > 0 && m.Params.Scheme != grouping.UMC {
+		txn.groups = grouping.Groups(m.Params.Scheme, m.Mesh, home, remote)
+	}
+	m.trace(home, "txn.start", b, "txn %d: %d sharers, %d groups (update=%v broadcast=%v)",
+		txn.id, txn.sharers, len(txn.groups), txn.update, txn.broadcast)
+	if m.Params.Protocol == WriteInvalidate {
+		m.recordForwardList(b, remote)
+	}
+	var treeParticipants []topology.NodeID
+	switch {
+	case m.Params.Scheme == grouping.UMC && len(remote) > 0:
+		treeParticipants = append([]topology.NodeID{home}, remote...)
+		kids := treeChildren(0, len(remote))
+		txn.pendingAcks = len(kids)
+		txn.homeMsgs = 2 * len(kids)
+	case m.Params.Scheme.GatherAck():
+		txn.pendingAcks = len(txn.groups)
+		txn.homeMsgs = len(txn.groups) + txn.pendingAcks
+	default:
+		txn.pendingAcks = len(remote)
+		txn.homeMsgs = len(txn.groups) + txn.pendingAcks
+	}
+	if homeCopy {
+		txn.pendingAcks++
+		m.server(home).do(m.Params.CacheInvalidate, func() {
+			if !txn.update {
+				m.caches[home].Invalidate(b)
+			}
+			txn.ackArrived(m)
+		})
+	}
+	if treeParticipants != nil {
+		m.startTreeInval(txn, treeParticipants)
+		return
+	}
+	for gi := range txn.groups {
+		gi := gi
+		m.server(home).do(m.Params.SendOccupancy, func() {
+			if m.Params.Scheme == grouping.UIUA {
+				m.sendUnicastInval(txn, gi, txn.groups[gi].Members[0])
+				return
+			}
+			m.sendGroup(txn, gi)
+		})
+	}
+}
+
+// sendUnicastInval emits a UI-UA style single-destination invalidation.
+func (m *Machine) sendUnicastInval(txn *invalTxn, gi int, dst topology.NodeID) {
+	m.send(inval, txn.home, dst, &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi})
+}
+
+// ackArrived consumes one acknowledgment; the last one completes the
+// transaction, records its metrics and hands control back to the caller's
+// onDone (which grants the write and releases the block).
+func (t *invalTxn) ackArrived(m *Machine) {
+	if t.pendingAcks <= 0 {
+		panic("coherence: surplus invalidation ack")
+	}
+	t.pendingAcks--
+	if t.pendingAcks > 0 {
+		return
+	}
+	m.trace(t.home, "txn.done", t.block, "txn %d: latency %d cycles", t.id, m.Engine.Now()-t.start)
+	m.Metrics.Invals = append(m.Metrics.Invals, metrics.InvalRecord{
+		Txn:       t.id,
+		Home:      t.home,
+		Sharers:   t.sharers,
+		Groups:    len(t.groups),
+		Broadcast: t.broadcast,
+		Start:     t.start,
+		End:       m.Engine.Now(),
+		HomeMsgs:  t.homeMsgs,
+	})
+	t.onDone()
+}

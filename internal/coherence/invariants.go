@@ -1,0 +1,98 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/topology"
+)
+
+// CheckInvariants validates the machine's global coherence invariants. It
+// must be called at quiescence (no in-flight traffic); transient states
+// are legal while transactions run. It returns the first violation found,
+// or nil.
+//
+// The invariants are the standard single-writer / multiple-reader
+// conditions of a full-map invalidate protocol:
+//
+//  1. An Exclusive directory entry's owner holds the line Modified, and no
+//     other node holds it in any valid state.
+//  2. A Shared entry has no Modified copies anywhere, and (for full-map
+//     directories) every valid cached copy is recorded in the presence
+//     bits. Presence bits may over-approximate (silent Shared evictions
+//     leave stale bits), never under-approximate.
+//  3. An Uncached entry has no valid copies anywhere.
+//  4. An overflowed limited-directory entry must actually be beyond its
+//     pointer budget's tracking ability only in Shared state.
+//  5. No entry is left in the transient Waiting state.
+func (m *Machine) CheckInvariants() error {
+	if !m.Quiesced() {
+		return fmt.Errorf("coherence: CheckInvariants requires quiescence (%d worms in flight)",
+			m.Net.Outstanding())
+	}
+	for home := 0; home < m.Mesh.Nodes(); home++ {
+		var err error
+		m.dirs[home].ForEach(func(b directory.BlockID, e *directory.Entry) {
+			if err != nil {
+				return
+			}
+			err = m.checkEntry(topology.NodeID(home), b, e)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) checkEntry(home topology.NodeID, b directory.BlockID, e *directory.Entry) error {
+	switch e.State {
+	case directory.Waiting:
+		return fmt.Errorf("block %d at home %d stuck in waiting state", b, home)
+	case directory.Exclusive:
+		for n := 0; n < m.Mesh.Nodes(); n++ {
+			st := m.caches[n].State(b)
+			if topology.NodeID(n) == e.Owner {
+				// The owner may have silently... no: dirty lines write back
+				// explicitly, so the owner must hold the line unless a
+				// writeback is in flight — excluded by quiescence... except
+				// the writeback message retires the entry to Uncached, so
+				// here the line must be present.
+				if st != cache.ModifiedLine {
+					return fmt.Errorf("block %d exclusive at %d but owner state is %v", b, e.Owner, st)
+				}
+				continue
+			}
+			if st != cache.Invalid {
+				return fmt.Errorf("block %d exclusive at %d but node %d holds %v", b, e.Owner, n, st)
+			}
+		}
+	case directory.Shared:
+		for n := 0; n < m.Mesh.Nodes(); n++ {
+			st := m.caches[n].State(b)
+			if st == cache.ModifiedLine {
+				return fmt.Errorf("block %d shared but node %d holds it modified", b, n)
+			}
+			if st != cache.SharedLine || e.Overflow {
+				continue
+			}
+			if e.CoarseMode {
+				if !e.Coarse.Has(m.region(topology.NodeID(n))) {
+					return fmt.Errorf("block %d cached shared at %d but its region is unmarked", b, n)
+				}
+				continue
+			}
+			if !e.Sharers.Has(topology.NodeID(n)) {
+				return fmt.Errorf("block %d cached shared at %d but absent from presence bits", b, n)
+			}
+		}
+	case directory.Uncached:
+		for n := 0; n < m.Mesh.Nodes(); n++ {
+			if st := m.caches[n].State(b); st != cache.Invalid {
+				return fmt.Errorf("block %d uncached but node %d holds %v", b, n, st)
+			}
+		}
+	}
+	return nil
+}

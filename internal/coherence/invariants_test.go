@@ -1,0 +1,103 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestInvariantsHoldAfterSimpleFlows(t *testing.T) {
+	m := newM(t, 8, grouping.MIMAEC)
+	const b = 17
+	for _, c := range []topology.Coord{{X: 3, Y: 1}, {X: 3, Y: 6}, {X: 6, Y: 2}} {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after read: %v", err)
+		}
+	}
+	doOp(t, m, true, nodeAt(m, 2, 2), b)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after write: %v", err)
+	}
+	doOp(t, m, false, nodeAt(m, 7, 7), b)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after dirty read: %v", err)
+	}
+}
+
+func TestInvariantsDetectViolations(t *testing.T) {
+	m := newM(t, 4, grouping.UIUA)
+	doOp(t, m, true, nodeAt(m, 2, 2), 7)
+	// Corrupt: second node fabricates a shared copy of an exclusive block.
+	m.caches[nodeAt(m, 0, 0)].Fill(7, cache.SharedLine)
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("fabricated copy not detected")
+	}
+}
+
+func TestInvariantsDetectWaiting(t *testing.T) {
+	m := newM(t, 4, grouping.UIUA)
+	doOp(t, m, false, nodeAt(m, 1, 1), 3)
+	m.DirEntry(3).State = directory.Waiting
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("stuck waiting state not detected")
+	}
+}
+
+func TestInvariantsRequireQuiescence(t *testing.T) {
+	m := newM(t, 4, grouping.UIUA)
+	m.Read(nodeAt(m, 1, 1), 3, func() {})
+	m.Engine.RunUntil(m.Engine.Now() + 20) // request in flight
+	if m.Quiesced() {
+		t.Skip("request completed too fast to observe in-flight state")
+	}
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("CheckInvariants accepted a non-quiesced machine")
+	}
+	m.Engine.Run()
+}
+
+// TestRandomizedSoakWithInvariants drives random reads and writes through
+// every scheme and consistency model and validates the global coherence
+// invariants at each quiescent point — the system-level property test.
+func TestRandomizedSoakWithInvariants(t *testing.T) {
+	for _, s := range grouping.AllSchemes {
+		for _, cons := range []Consistency{SequentialConsistency, ReleaseConsistency} {
+			rng := sim.NewRNG(uint64(77 + int(s)))
+			p := DefaultParams(4, s)
+			p.Consistency = cons
+			p.CacheLines = 8 // force evictions and writebacks too
+			m := NewMachine(p)
+			const blocks = 12
+			for step := 0; step < 120; step++ {
+				n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+				b := directory.BlockID(rng.Intn(blocks))
+				write := rng.Intn(3) == 0
+				done := false
+				switch {
+				case write && cons == ReleaseConsistency:
+					m.WriteAsync(n, b, func() { done = true })
+					m.Engine.Run()
+					m.Fence(n, func() {})
+					m.Engine.Run()
+				case write:
+					m.Write(n, b, func() { done = true })
+					m.Engine.Run()
+				default:
+					m.Read(n, b, func() { done = true })
+					m.Engine.Run()
+				}
+				if !done {
+					t.Fatalf("%v/%v step %d: op incomplete", s, cons, step)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("%v/%v step %d: %v", s, cons, step, err)
+				}
+			}
+		}
+	}
+}

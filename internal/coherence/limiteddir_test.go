@@ -1,0 +1,104 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+func newLimitedM(t *testing.T, k, pointers int, s grouping.Scheme) *Machine {
+	t.Helper()
+	p := DefaultParams(k, s)
+	p.DirPointers = pointers
+	return NewMachine(p)
+}
+
+func TestLimitedDirOverflowSets(t *testing.T) {
+	m := newLimitedM(t, 4, 2, grouping.UIUA)
+	const b = 5
+	readers := []topology.Coord{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	for i, c := range readers {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+		e := m.DirEntry(b)
+		if want := i+1 > 2; e.Overflow != want {
+			t.Fatalf("after %d readers Overflow = %v, want %v", i+1, e.Overflow, want)
+		}
+	}
+}
+
+func TestLimitedDirBroadcastInvalidation(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMATM} {
+		m := newLimitedM(t, 4, 2, s)
+		const b = 5
+		for _, c := range []topology.Coord{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}} {
+			doOp(t, m, false, m.Mesh.ID(c), b)
+		}
+		writer := nodeAt(m, 0, 3)
+		doOp(t, m, true, writer, b)
+		if len(m.Metrics.Invals) != 1 {
+			t.Fatalf("%v: invals = %d", s, len(m.Metrics.Invals))
+		}
+		rec := m.Metrics.Invals[0]
+		if !rec.Broadcast {
+			t.Fatalf("%v: overflowed write not recorded as broadcast", s)
+		}
+		// Broadcast targets every node except writer and home (home's own
+		// copy, had it one, is local).
+		if want := m.Mesh.Nodes() - 2; rec.Sharers != want {
+			t.Fatalf("%v: broadcast sharers = %d, want %d", s, rec.Sharers, want)
+		}
+		// All stale copies gone, entry back to exclusive, overflow cleared.
+		for _, c := range []topology.Coord{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}} {
+			if m.Cache(m.Mesh.ID(c)).State(b) != cache.Invalid {
+				t.Fatalf("%v: reader still caches block after broadcast", s)
+			}
+		}
+		e := m.DirEntry(b)
+		if e.State != directory.Exclusive || e.Overflow {
+			t.Fatalf("%v: post-broadcast entry %v overflow=%v", s, e.State, e.Overflow)
+		}
+		if !m.Quiesced() {
+			t.Fatalf("%v: traffic outstanding", s)
+		}
+	}
+}
+
+func TestLimitedDirNoOverflowBelowLimit(t *testing.T) {
+	m := newLimitedM(t, 4, 4, grouping.UIUA)
+	const b = 5 // homed at node 5 = (1,1); keep readers off the home
+	for _, c := range []topology.Coord{{X: 3, Y: 1}, {X: 2, Y: 2}} {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+	}
+	doOp(t, m, true, nodeAt(m, 0, 3), b)
+	rec := m.Metrics.Invals[0]
+	if rec.Broadcast || rec.Sharers != 2 {
+		t.Fatalf("under-limit write ran broadcast: %+v", rec)
+	}
+}
+
+func TestLimitedDirMultidestBeatsUnicastOnBroadcast(t *testing.T) {
+	// The [29] motivation: with pointer overflow the invalidation hits all
+	// 63 remote nodes, where multidestination worms crush unicast on home
+	// messages and latency.
+	run := func(s grouping.Scheme) (lat float64, msgs int) {
+		m := newLimitedM(t, 8, 2, s)
+		const b = 5
+		for _, c := range []topology.Coord{{X: 1, Y: 1}, {X: 4, Y: 2}, {X: 6, Y: 6}} {
+			doOp(t, m, false, m.Mesh.ID(c), b)
+		}
+		doOp(t, m, true, nodeAt(m, 0, 3), b)
+		rec := m.Metrics.Invals[0]
+		return float64(rec.Latency()), rec.HomeMsgs
+	}
+	uiLat, uiMsgs := run(grouping.UIUA)
+	mmLat, mmMsgs := run(grouping.MIMATM)
+	if mmLat >= uiLat {
+		t.Fatalf("broadcast MI-MA-tm latency %v not below UI-UA %v", mmLat, uiLat)
+	}
+	if mmMsgs*4 >= uiMsgs {
+		t.Fatalf("broadcast MI-MA-tm home msgs %d not far below UI-UA %d", mmMsgs, uiMsgs)
+	}
+}

@@ -1,0 +1,330 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Machine is a k x k wormhole-routed DSM: one processor + cache + directory
+// slice + router per node, glued by the coherence protocol.
+type Machine struct {
+	Engine  *sim.Engine
+	Mesh    *topology.Mesh
+	Net     *network.Network
+	Params  Params
+	Metrics *metrics.Collector
+
+	caches  []*cache.Cache
+	dirs    []*directory.Directory
+	servers []*server
+	homes   *directory.HomeMap
+
+	// pending tracks in-flight home-side transactions per block.
+	pending map[directory.BlockID]*blockQueue
+	// opsTable holds each processor's outstanding operations by block.
+	opsTable []map[directory.BlockID]*pendingOp
+	// writeBufs tracks buffered writes per node (release consistency).
+	writeBufs []*writeBuffer
+	// homeOpTable holds the home-side context of dirty-block fetches.
+	homeOpTable map[directory.BlockID]*homeOpSlot
+	// fwdLists holds each block's data-forwarding candidates (the victims
+	// of its last invalidation transaction).
+	fwdLists map[directory.BlockID][]topology.NodeID
+	// tracer, when set, receives protocol TraceEvents.
+	tracer func(TraceEvent)
+	// treeTable holds per-transaction unicast-tree contexts (UMC).
+	treeTable map[uint64]map[int]*treeCtx
+	// wormBar holds the worm-barrier state (lazily created).
+	wormBar *wormBarrier
+
+	nextTxn uint64
+}
+
+// blockQueue serializes home-side transactions on one block: while a
+// transaction is in flight (directory state Waiting) later requests queue
+// here, preserving arrival order.
+type blockQueue struct {
+	busy  bool
+	queue sim.FIFO[func()]
+}
+
+// server models a node's protocol controller occupancy: tasks run FIFO,
+// one at a time, each for a fixed cost. It is the source of the home
+// hot-spot effect under UI-UA.
+type server struct {
+	engine    *sim.Engine
+	busyUntil sim.Time
+	busyTotal *sim.Time
+}
+
+// do schedules fn to run after the server has finished earlier work plus
+// cost cycles of its own, and accounts the cost as occupancy.
+func (s *server) do(cost sim.Time, fn func()) {
+	start := s.engine.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + cost
+	*s.busyTotal += cost
+	s.engine.At(s.busyUntil, fn)
+}
+
+// NewMachine builds a machine from params. The caller drives it through
+// Read/Write and the Engine.
+func NewMachine(p Params) *Machine {
+	var mesh *topology.Mesh
+	switch {
+	case p.Torus && p.MeshWidth > 0 && p.MeshHeight > 0:
+		mesh = topology.NewTorus(p.MeshWidth, p.MeshHeight)
+	case p.Torus && p.MeshSize > 0:
+		mesh = topology.NewTorus(p.MeshSize, p.MeshSize)
+	case p.MeshWidth > 0 && p.MeshHeight > 0:
+		mesh = topology.NewMesh(p.MeshWidth, p.MeshHeight)
+	case p.MeshSize > 0:
+		mesh = topology.NewSquareMesh(p.MeshSize)
+	default:
+		panic("coherence: MeshSize (or MeshWidth x MeshHeight) must be positive")
+	}
+	engine := sim.NewEngine()
+	m := &Machine{
+		Engine:  engine,
+		Mesh:    mesh,
+		Params:  p,
+		Metrics: metrics.NewCollector(mesh.Nodes()),
+		homes:   directory.NewHomeMap(mesh.Nodes()),
+		pending: make(map[directory.BlockID]*blockQueue),
+	}
+	m.Net = network.New(engine, mesh, p.Net)
+	m.Net.OnDeliver = m.deliver
+	for i := 0; i < mesh.Nodes(); i++ {
+		m.caches = append(m.caches, cache.New(p.CacheLines))
+		m.dirs = append(m.dirs, directory.New(mesh.Nodes()))
+		m.servers = append(m.servers, &server{
+			engine:    engine,
+			busyTotal: &m.Metrics.Occupancy[i],
+		})
+	}
+	return m
+}
+
+// Home returns the home node of a block.
+func (m *Machine) Home(b directory.BlockID) topology.NodeID { return m.homes.Home(b) }
+
+// Cache returns node n's cache (for inspection in tests and tools).
+func (m *Machine) Cache(n topology.NodeID) *cache.Cache { return m.caches[n] }
+
+// DirEntry returns the directory entry for b at its home.
+func (m *Machine) DirEntry(b directory.BlockID) *directory.Entry {
+	return m.dirs[m.Home(b)].Lookup(b)
+}
+
+func (m *Machine) server(n topology.NodeID) *server { return m.servers[n] }
+
+// send builds and injects a unicast protocol message. The caller must
+// already have paid SendOccupancy on the sender's server.
+func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
+	m.Metrics.MsgsSent[src]++
+	m.trace(src, "msg.send", payload.block, "%v -> node %d", t, dst)
+	var path []topology.NodeID
+	base := m.Params.Scheme.Base()
+	vn := vnFor(t)
+	if vn == network.Reply {
+		// The reply network routes with the reverse base routing: the path
+		// from src to dst is the reverse of a base path from dst to src.
+		fwd := base.UnicastPath(m.Mesh, dst, src)
+		path = make([]topology.NodeID, len(fwd))
+		for i, nd := range fwd {
+			path[len(fwd)-1-i] = nd
+		}
+	} else {
+		path = base.UnicastPath(m.Mesh, src, dst)
+	}
+	dests := make([]bool, len(path))
+	dests[len(path)-1] = true
+	w := &network.Worm{
+		Kind:         network.Unicast,
+		VN:           vn,
+		Path:         path,
+		Dest:         dests,
+		HeaderFlits:  m.Params.Net.HeaderFlits(1),
+		PayloadFlits: m.payloadFlits(t),
+		Tag:          payload,
+	}
+	if payload.txn != nil {
+		w.TxnID = payload.txn.id
+	}
+	m.Net.Inject(w)
+}
+
+// sendGroup injects a multidestination invalidation worm (multicast or
+// i-reserve, per the scheme) for one group of a transaction.
+func (m *Machine) sendGroup(txn *invalTxn, gi int) {
+	m.Metrics.MsgsSent[txn.home]++
+	g := txn.groups[gi]
+	m.trace(txn.home, "msg.send", txn.block, "inval worm txn %d group %d -> %d members", txn.id, gi, len(g.Members))
+	kind := network.Multicast
+	if m.Params.Scheme.GatherAck() {
+		kind = network.Reserve
+	}
+	payload := m.Params.controlFlits()
+	if txn.update {
+		payload = m.Params.dataFlits()
+	}
+	w := &network.Worm{
+		Kind:         kind,
+		VN:           network.Request,
+		Path:         g.Path,
+		Dest:         destFlags(g.Path, g.Members),
+		HeaderFlits:  m.Params.Net.HeaderFlits(len(g.Members)),
+		PayloadFlits: payload,
+		TxnID:        txn.id,
+		Tag:          &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi},
+	}
+	m.Net.Inject(w)
+}
+
+// sendGather injects the i-gather worm for group gi, launched by the
+// group's last member back to the home node.
+func (m *Machine) sendGather(txn *invalTxn, gi int) {
+	g := txn.groups[gi]
+	m.Metrics.MsgsSent[g.Last()]++
+	m.trace(g.Last(), "msg.send", txn.block, "gather worm txn %d group %d -> home %d", txn.id, gi, txn.home)
+	path := g.ReversePath()
+	// Pick-up points: every member except the launcher, plus the home as
+	// final destination.
+	pick := make(map[topology.NodeID]bool, len(g.Members))
+	for _, mem := range g.Members[:len(g.Members)-1] {
+		pick[mem] = true
+	}
+	dests := make([]bool, len(path))
+	for i, nd := range path {
+		if i > 0 && pick[nd] {
+			dests[i] = true
+			delete(pick, nd)
+		}
+	}
+	dests[len(path)-1] = true
+	w := &network.Worm{
+		Kind:         network.Gather,
+		VN:           network.Reply,
+		Path:         path,
+		Dest:         dests,
+		HeaderFlits:  m.Params.Net.HeaderFlits(len(g.Members)),
+		PayloadFlits: m.Params.controlFlits(),
+		TxnID:        txn.id,
+		Tag:          &msg{typ: gatherAck, block: txn.block, from: g.Last(), txn: txn, groupIdx: gi},
+	}
+	m.Net.Inject(w)
+}
+
+// destFlags marks each member's occurrence on the path in visit order (the
+// path may pass through a later member's node before its turn; matching
+// sequentially keeps the flags aligned with the worm's header stripping).
+func destFlags(path []topology.NodeID, members []topology.NodeID) []bool {
+	dests := make([]bool, len(path))
+	mi := 0
+	for i, nd := range path {
+		if i > 0 && mi < len(members) && nd == members[mi] {
+			dests[i] = true
+			mi++
+		}
+	}
+	if mi != len(members) {
+		panic("coherence: group path does not visit every member in order")
+	}
+	if !dests[len(path)-1] {
+		panic("coherence: group path does not end at a member")
+	}
+	return dests
+}
+
+// payloadFlits returns the payload size of a message type. Under the
+// write-update protocol a writeReq carries the written data, and the
+// update worms (typ inval with an update transaction) carry it onward.
+func (m *Machine) payloadFlits(t msgType) int {
+	if t.carriesData() {
+		return m.Params.dataFlits()
+	}
+	if t == writeReq && m.Params.Protocol == WriteUpdate {
+		return m.Params.dataFlits()
+	}
+	return m.Params.controlFlits()
+}
+
+// vnFor maps message types onto the two virtual networks. Requests flow on
+// the request network; everything sent in response to a request flows on
+// the reply network, the standard arrangement that breaks request-reply
+// protocol deadlock.
+func vnFor(t msgType) network.VN {
+	switch t {
+	case readReq, writeReq, inval, fetchReq, fetchInval:
+		return network.Request
+	case invalAck, gatherAck, fetchReply, readReply, writeReply, writeback, fwdAck:
+		return network.Reply
+	case fwdData:
+		return network.Request
+	}
+	panic(fmt.Sprintf("coherence: no VN for %v", t))
+}
+
+// queueFor returns (creating if needed) the per-block home transaction
+// queue.
+func (m *Machine) queueFor(b directory.BlockID) *blockQueue {
+	q := m.pending[b]
+	if q == nil {
+		q = &blockQueue{}
+		m.pending[b] = q
+	}
+	return q
+}
+
+// runOrQueue runs fn now if the block has no home transaction in flight,
+// otherwise queues it.
+func (m *Machine) runOrQueue(b directory.BlockID, fn func()) {
+	q := m.queueFor(b)
+	if q.busy {
+		q.queue.Push(fn)
+		return
+	}
+	q.busy = true
+	fn()
+}
+
+// releaseBlock completes the in-flight transaction on b and starts the next
+// queued one, if any.
+func (m *Machine) releaseBlock(b directory.BlockID) {
+	q := m.queueFor(b)
+	if !q.busy {
+		panic("coherence: releaseBlock on idle block")
+	}
+	if q.queue.Empty() {
+		q.busy = false
+		return
+	}
+	next := q.queue.Pop()
+	// Hand over directly: the block stays busy.
+	next()
+}
+
+// newTxnID returns a fresh transaction id (never zero so it is always a
+// valid i-ack buffer key).
+func (m *Machine) newTxnID() uint64 {
+	m.nextTxn++
+	return m.nextTxn
+}
+
+// Quiesced reports whether the machine has no in-flight network traffic.
+func (m *Machine) Quiesced() bool { return m.Net.Outstanding() == 0 }
+
+// Busy occupies node n's protocol controller for d cycles starting now,
+// modelling processor activity that delays protocol message service (cache
+// invalidations included). Protocol work already queued runs first.
+func (m *Machine) Busy(n topology.NodeID, d sim.Time) {
+	m.server(n).do(d, func() {})
+}

@@ -1,0 +1,90 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/directory"
+	"repro/internal/topology"
+)
+
+// msgType enumerates the protocol messages.
+type msgType int
+
+const (
+	// Processor-to-home requests.
+	readReq  msgType = iota
+	writeReq         // read-exclusive or upgrade
+
+	// Home-to-sharer invalidation traffic.
+	inval // unicast, multicast or i-reserve payload
+
+	// Sharer-to-home acknowledgments.
+	invalAck  // unicast ack
+	gatherAck // i-gather worm (one per group)
+
+	// Dirty-block handling.
+	fetchReq   // home -> owner: send block back, downgrade to shared
+	fetchInval // home -> owner: send block back, invalidate
+	fetchReply // owner -> home: the block data
+
+	// Home-to-requester replies.
+	readReply  // data, shared
+	writeReply // data (or grant), exclusive
+
+	// Replacement.
+	writeback // dirty eviction: data to home
+
+	// Data forwarding (extension, [21]).
+	fwdData // home -> previous sharers: pushed copy of the block
+	fwdAck  // last group member -> home: forwarding episode complete
+
+	// Worm barrier synchronization (extension, [37]).
+	barrier
+)
+
+var msgNames = [...]string{
+	"readReq", "writeReq", "inval", "invalAck", "gatherAck",
+	"fetchReq", "fetchInval", "fetchReply", "readReply", "writeReply",
+	"writeback", "fwdData", "fwdAck", "barrier",
+}
+
+func (t msgType) String() string {
+	if int(t) < len(msgNames) {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("msg(%d)", int(t))
+}
+
+// carriesData reports whether the message carries a memory block.
+func (t msgType) carriesData() bool {
+	switch t {
+	case fetchReply, readReply, writeReply, writeback, fwdData:
+		return true
+	}
+	return false
+}
+
+// msg is the protocol payload attached to a worm (Worm.Tag).
+type msg struct {
+	typ   msgType
+	block directory.BlockID
+	// from is the node the message semantically originates at (the
+	// requester for requests, the sharer for acks).
+	from topology.NodeID
+	// txn links invalidation traffic to its transaction.
+	txn *invalTxn
+	// groupIdx identifies which of the transaction's groups this inval or
+	// gather worm implements.
+	groupIdx int
+	// fwd links forwarding traffic to its episode.
+	fwd *fwdState
+	// tree carries the unicast-tree multicast context (UMC comparator).
+	tree *treeCtx
+	// bar carries the worm-barrier payload.
+	bar *barMsg
+	// hasCopy marks a writeReq from a requester that still holds a Shared
+	// copy (an upgrade): the grant needs no data. Presence bits alone
+	// cannot tell (silent evictions and declined forwards leave stale
+	// bits), so the requester states it explicitly.
+	hasCopy bool
+}

@@ -1,0 +1,160 @@
+// Package coherence implements the DSM node architecture of the paper: a
+// directory controller (DC), cache controller (CC) and outgoing message
+// controller (OC) per node over the wormhole network, running a
+// fully-mapped write-invalidate directory protocol under sequential
+// consistency, with the invalidation transaction implemented by any of the
+// six grouping schemes (UI-UA baseline, multidestination MI-UA and MI-MA
+// variants, and the BR broadcast comparator).
+package coherence
+
+import (
+	"repro/internal/grouping"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Consistency selects the memory consistency model.
+type Consistency int
+
+const (
+	// SequentialConsistency blocks the processor on every miss; a write
+	// completes only after all invalidation acknowledgments arrive [13].
+	SequentialConsistency Consistency = iota
+	// ReleaseConsistency lets the processor continue past writes (store
+	// buffering); invalidations overlap computation and are only awaited
+	// at release points (Machine.Fence / barriers) [1].
+	ReleaseConsistency
+)
+
+func (c Consistency) String() string {
+	if c == ReleaseConsistency {
+		return "RC"
+	}
+	return "SC"
+}
+
+// Protocol selects the write policy of the directory protocol.
+type Protocol int
+
+const (
+	// WriteInvalidate is the paper's protocol: a write invalidates every
+	// sharer and takes exclusive ownership.
+	WriteInvalidate Protocol = iota
+	// WriteUpdate propagates every write to all sharers instead of
+	// invalidating them (extension): no exclusive state exists, every
+	// write is a full distribution transaction, and the update worms reuse
+	// the invalidation grouping machinery (multicast or i-reserve/i-gather
+	// per scheme) with data payloads.
+	WriteUpdate
+)
+
+func (p Protocol) String() string {
+	if p == WriteUpdate {
+		return "update"
+	}
+	return "invalidate"
+}
+
+// Params configures a Machine. All times are 5 ns base cycles; the
+// defaults follow the paper's technology point (100 MHz processors,
+// 200 Mbyte/s links, 20 ns routers, 120 ns DRAM).
+type Params struct {
+	// MeshSize is the k of the k x k mesh.
+	MeshSize int
+	// MeshWidth and MeshHeight, when both nonzero, select a rectangular
+	// W x H mesh instead of MeshSize x MeshSize.
+	MeshWidth, MeshHeight int
+	// Torus adds wraparound links in both dimensions (k-ary 2-cube, the
+	// companion BRCP papers' topology [37, 38]); column worms then cover
+	// whole rings. The real hardware needs extra virtual channels for
+	// ring deadlock freedom (datelines); the simulator notes but does not
+	// model that requirement.
+	Torus bool
+	// Scheme selects the invalidation framework and grouping.
+	Scheme grouping.Scheme
+	// Consistency selects the memory model (default sequential).
+	Consistency Consistency
+	// Protocol selects write-invalidate (default, the paper's protocol) or
+	// write-update.
+	Protocol Protocol
+	// Net carries the network timing/resource configuration.
+	Net network.Config
+
+	// CacheAccess is the cache lookup time (2 cycles = one 100 MHz clock).
+	CacheAccess sim.Time
+	// CacheInvalidate is the time to invalidate a line on request.
+	CacheInvalidate sim.Time
+	// DirLookup is a directory lookup or update at the home.
+	DirLookup sim.Time
+	// MemAccess is a DRAM block read or write (24 cycles = 120 ns).
+	MemAccess sim.Time
+	// SendOccupancy / RecvOccupancy are the controller busy times to emit
+	// or accept one protocol message; home-node occupancy is proportional
+	// to the number of messages it sends and receives [18].
+	SendOccupancy sim.Time
+	RecvOccupancy sim.Time
+
+	// BlockBytes is the cache block size; FlitBytes the flit width;
+	// ControlBytes the payload of a data-less protocol message.
+	BlockBytes   int
+	FlitBytes    int
+	ControlBytes int
+	// CacheLines bounds each node's cache (0 = unbounded).
+	CacheLines int
+	// DirPointers bounds the sharers a directory entry tracks
+	// individually (a Dir_i-B limited directory [16]); 0 means fully
+	// mapped. On pointer overflow the entry degrades to broadcast:
+	// invalidations go to every node [29].
+	DirPointers int
+	// DirCoarseRegion, when nonzero together with DirPointers, switches
+	// the overflow fallback from broadcast (Dir_i-B) to a coarse vector
+	// (Dir_i-CV): past the pointer limit the entry tracks regions of this
+	// many consecutive node IDs; invalidations target the marked regions
+	// only. With row-major node numbering a region of MeshWidth nodes is
+	// one mesh row.
+	DirCoarseRegion int
+	// TreeForwardOverhead is the extra software cost a UMC (unicast-tree
+	// multicast) participant pays per re-sent message (invalidation
+	// forwarding and ack combining): unlike the home's hardware directory
+	// controller, tree forwarding runs in the node's processor/message
+	// layer. Default 200 cycles = 1 us, an aggressive active-message-style
+	// handler for 1996 systems (measured software sends of the era ran
+	// 5-50 us).
+	TreeForwardOverhead sim.Time
+	// ReplyForwarding makes dirty reads 3-hop (DASH-style): the owner
+	// sends the data directly to the requester and a sharing writeback to
+	// the home, instead of routing the data through the home (4-hop).
+	ReplyForwarding bool
+	// DataForwarding enables producer-initiated block forwarding [21]:
+	// after an invalidated block is fetched back, the home pushes fresh
+	// copies to the previous sharers with grouped multicast data worms.
+	DataForwarding bool
+}
+
+// DefaultParams returns the paper's system parameters on a k x k mesh.
+func DefaultParams(k int, scheme grouping.Scheme) Params {
+	return Params{
+		MeshSize:            k,
+		Scheme:              scheme,
+		Net:                 network.DefaultConfig(),
+		CacheAccess:         2,
+		CacheInvalidate:     4,
+		DirLookup:           6,
+		MemAccess:           24,
+		SendOccupancy:       8,
+		RecvOccupancy:       8,
+		TreeForwardOverhead: 200,
+		BlockBytes:          32,
+		FlitBytes:           2,
+		ControlBytes:        8,
+		CacheLines:          0,
+	}
+}
+
+// controlFlits returns the payload flit count of a data-less message.
+func (p Params) controlFlits() int { return (p.ControlBytes + p.FlitBytes - 1) / p.FlitBytes }
+
+// dataFlits returns the payload flit count of a block-carrying message.
+func (p Params) dataFlits() int {
+	return (p.ControlBytes + p.BlockBytes + p.FlitBytes - 1) / p.FlitBytes
+}

@@ -1,0 +1,74 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+// Performance benchmarks of the simulator itself (per-operation wall time
+// and allocations), as opposed to the experiment benches at the repository
+// root which regenerate the paper's tables.
+
+func BenchmarkSimReadMiss(b *testing.B) {
+	m := NewMachine(DefaultParams(8, grouping.UIUA))
+	reader := m.Mesh.ID(topology.Coord{X: 1, Y: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		m.Read(reader, blockID(i+10), func() { done = true })
+		m.Engine.Run()
+		if !done {
+			b.Fatal("read incomplete")
+		}
+	}
+}
+
+func BenchmarkSimInvalidationUIUA(b *testing.B) {
+	benchInval(b, grouping.UIUA)
+}
+
+func BenchmarkSimInvalidationMIMAEC(b *testing.B) {
+	benchInval(b, grouping.MIMAEC)
+}
+
+func BenchmarkSimInvalidationMIMATM(b *testing.B) {
+	benchInval(b, grouping.MIMATM)
+}
+
+// benchInval measures the wall cost of simulating one 8-sharer
+// invalidation transaction end to end.
+func benchInval(b *testing.B, s grouping.Scheme) {
+	b.Helper()
+	m := NewMachine(DefaultParams(16, s))
+	sharers := []topology.Coord{
+		{X: 3, Y: 1}, {X: 3, Y: 9}, {X: 7, Y: 4}, {X: 12, Y: 2},
+		{X: 5, Y: 14}, {X: 9, Y: 8}, {X: 14, Y: 11}, {X: 1, Y: 6},
+	}
+	writer := m.Mesh.ID(topology.Coord{X: 15, Y: 15})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blockID(1000 + i*m.Mesh.Nodes())
+		for _, c := range sharers {
+			done := false
+			m.Read(m.Mesh.ID(c), blk, func() { done = true })
+			m.Engine.Run()
+			if !done {
+				b.Fatal("setup read incomplete")
+			}
+		}
+		done := false
+		m.Write(writer, blk, func() { done = true })
+		m.Engine.Run()
+		if !done {
+			b.Fatal("write incomplete")
+		}
+	}
+	b.StopTimer()
+	if len(m.Metrics.Invals) != b.N {
+		b.Fatalf("transactions = %d, want %d", len(m.Metrics.Invals), b.N)
+	}
+}

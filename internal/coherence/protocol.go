@@ -1,0 +1,565 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// pendingOp tracks one processor's outstanding memory operation. Under
+// sequential consistency each processor blocks on its miss, so there is at
+// most one per node.
+type pendingOp struct {
+	block directory.BlockID
+	write bool
+	issue uint64 // sim.Time, kept raw to avoid import loop in tests
+	done  func()
+	// afterFill holds protocol work that raced ahead of the reply (e.g. a
+	// fetchInval overtaking the writeReply on the other virtual network)
+	// and must wait until the fill lands — the "window of vulnerability"
+	// closing of [23].
+	afterFill []func()
+}
+
+// ops returns node n's table of outstanding operations keyed by block.
+// Under sequential consistency it holds at most one entry; under release
+// consistency one read plus any number of buffered writes (each to a
+// distinct block).
+func (m *Machine) ops(n topology.NodeID) map[directory.BlockID]*pendingOp {
+	if m.opsTable == nil {
+		m.opsTable = make([]map[directory.BlockID]*pendingOp, m.Mesh.Nodes())
+	}
+	if m.opsTable[n] == nil {
+		m.opsTable[n] = make(map[directory.BlockID]*pendingOp)
+	}
+	return m.opsTable[n]
+}
+
+// op returns node n's outstanding operation on block b, or nil.
+func (m *Machine) op(n topology.NodeID, b directory.BlockID) *pendingOp {
+	return m.ops(n)[b]
+}
+
+func (m *Machine) addOp(n topology.NodeID, op *pendingOp) {
+	tab := m.ops(n)
+	if tab[op.block] != nil {
+		panic(fmt.Sprintf("coherence: node %d issued a second operation on block %d", n, op.block))
+	}
+	if m.Params.Consistency == SequentialConsistency && len(tab) != 0 {
+		panic(fmt.Sprintf("coherence: node %d issued a second outstanding operation under SC", n))
+	}
+	tab[op.block] = op
+}
+
+func (m *Machine) removeOp(n topology.NodeID, b directory.BlockID) {
+	delete(m.ops(n), b)
+}
+
+// Read performs a shared-memory read by node n of block b, invoking done
+// when the value is usable. Reads hit in Shared or Modified lines; under
+// release consistency a read of a block with a buffered write outstanding
+// by the same node is forwarded from the store buffer.
+func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
+	issue := m.Engine.Now()
+	m.trace(n, "op.issue", b, "read")
+	m.server(n).do(m.Params.CacheAccess, func() {
+		if m.caches[n].Lookup(b, false) {
+			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
+			done()
+			return
+		}
+		if op := m.op(n, b); op != nil && op.write {
+			// Store-buffer forwarding: our own pending write holds the
+			// value.
+			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
+			done()
+			return
+		}
+		m.addOp(n, &pendingOp{block: b, write: false, issue: uint64(issue), done: done})
+		m.server(n).do(m.Params.SendOccupancy, func() {
+			m.send(readReq, n, m.Home(b), &msg{typ: readReq, block: b, from: n})
+		})
+	})
+}
+
+// Write performs a shared-memory write by node n to block b, invoking done
+// when exclusive ownership is granted (sequential consistency: the write
+// completes only after every sharer has acknowledged invalidation).
+func (m *Machine) Write(n topology.NodeID, b directory.BlockID, done func()) {
+	issue := m.Engine.Now()
+	m.trace(n, "op.issue", b, "write")
+	m.server(n).do(m.Params.CacheAccess, func() {
+		if m.caches[n].Lookup(b, true) {
+			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
+			done()
+			return
+		}
+		hasCopy := m.caches[n].State(b) == cache.SharedLine
+		m.addOp(n, &pendingOp{block: b, write: true, issue: uint64(issue), done: done})
+		m.server(n).do(m.Params.SendOccupancy, func() {
+			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy})
+		})
+	})
+}
+
+// WriteAsync performs a release-consistency write: issued fires as soon as
+// the write is buffered (the processor continues), while the ownership
+// acquisition and invalidation transaction proceed in the background. Use
+// Fence to await completion of all of a node's buffered writes. The
+// machine must be configured with ReleaseConsistency.
+func (m *Machine) WriteAsync(n topology.NodeID, b directory.BlockID, issued func()) {
+	if m.Params.Consistency != ReleaseConsistency {
+		panic("coherence: WriteAsync requires ReleaseConsistency")
+	}
+	issue := m.Engine.Now()
+	// The write enters the store buffer at issue time, so a Fence posted in
+	// the same cycle already covers it.
+	m.pendingWrites(n).count++
+	m.server(n).do(m.Params.CacheAccess, func() {
+		if m.caches[n].Lookup(b, true) {
+			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
+			m.retireBufferedWrite(n)
+			issued()
+			return
+		}
+		if op := m.op(n, b); op != nil && op.write {
+			// Write coalesces into the already-buffered write to the block.
+			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
+			m.retireBufferedWrite(n)
+			issued()
+			return
+		}
+		hasCopy := m.caches[n].State(b) == cache.SharedLine
+		m.addOp(n, &pendingOp{block: b, write: true, issue: uint64(issue), done: func() {
+			m.retireBufferedWrite(n)
+		}})
+		m.server(n).do(m.Params.SendOccupancy, func() {
+			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy})
+		})
+		issued()
+	})
+}
+
+// retireBufferedWrite removes one write from node n's store buffer and
+// resumes a waiting Fence when the buffer drains.
+func (m *Machine) retireBufferedWrite(n topology.NodeID) {
+	pw := m.pendingWrites(n)
+	if pw.count <= 0 {
+		panic("coherence: store buffer underflow")
+	}
+	pw.count--
+	if pw.count == 0 && pw.fence != nil {
+		resume := pw.fence
+		pw.fence = nil
+		resume()
+	}
+}
+
+// Fence blocks node n until every buffered write has been granted (a
+// release operation under release consistency).
+func (m *Machine) Fence(n topology.NodeID, done func()) {
+	pw := m.pendingWrites(n)
+	if pw.count == 0 {
+		done()
+		return
+	}
+	if pw.fence != nil {
+		panic("coherence: second concurrent Fence on one node")
+	}
+	pw.fence = done
+}
+
+// writeBuffer tracks a node's outstanding release-consistency writes.
+type writeBuffer struct {
+	count int
+	fence func()
+}
+
+func (m *Machine) pendingWrites(n topology.NodeID) *writeBuffer {
+	if m.writeBufs == nil {
+		m.writeBufs = make([]*writeBuffer, m.Mesh.Nodes())
+	}
+	if m.writeBufs[n] == nil {
+		m.writeBufs[n] = &writeBuffer{}
+	}
+	return m.writeBufs[n]
+}
+
+// deliver is the network's delivery callback: it dispatches every worm
+// arrival to the protocol handler for its message type.
+func (m *Machine) deliver(d network.Delivery) {
+	pm := d.Worm.Tag.(*msg)
+	m.Metrics.MsgsRecv[d.Node]++
+	m.trace(d.Node, "msg.recv", pm.block, "%v from node %d (final=%v)", pm.typ, d.Worm.Source(), d.Final)
+	switch pm.typ {
+	case readReq, writeReq:
+		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
+			m.runOrQueue(pm.block, func() { m.homeHandle(d.Node, pm) })
+		})
+	case inval:
+		if pm.tree != nil {
+			m.recvTreeInval(d.Node, pm)
+			return
+		}
+		m.sharerInval(d.Node, pm, d.Final)
+	case invalAck:
+		if pm.tree != nil {
+			m.recvTreeAck(d.Node, pm)
+			return
+		}
+		m.server(d.Node).do(m.Params.RecvOccupancy, func() { pm.txn.ackArrived(m) })
+	case gatherAck:
+		m.server(d.Node).do(m.Params.RecvOccupancy, func() { pm.txn.ackArrived(m) })
+	case fetchReq, fetchInval:
+		m.ownerFetch(d.Node, pm)
+	case fetchReply:
+		m.homeFetchReply(d.Node, pm)
+	case readReply, writeReply:
+		m.requesterReply(d.Node, pm)
+	case writeback:
+		m.homeWriteback(d.Node, pm)
+	case fwdData:
+		m.recvForward(d.Node, pm, d.Final)
+	case fwdAck:
+		m.recvForwardAck(d.Node, pm)
+	case barrier:
+		m.barrierDeliver(d, pm.bar)
+	default:
+		panic("coherence: unhandled message " + pm.typ.String())
+	}
+}
+
+// homeHandle runs a read or write request at the home once the block is
+// free of earlier transactions. The block is "busy" from here until
+// releaseBlock.
+func (m *Machine) homeHandle(home topology.NodeID, pm *msg) {
+	m.server(home).do(m.Params.DirLookup, func() {
+		e := m.dirs[home].Lookup(pm.block)
+		if pm.typ == readReq {
+			m.homeRead(home, e, pm)
+		} else {
+			m.homeWrite(home, e, pm)
+		}
+	})
+}
+
+func (m *Machine) homeRead(home topology.NodeID, e *directory.Entry, pm *msg) {
+	b, requester := pm.block, pm.from
+	switch e.State {
+	case directory.Uncached, directory.Shared:
+		e.State = directory.Shared
+		e.Sharers.Set(requester)
+		m.notePointerLimit(e)
+		m.server(home).do(m.Params.MemAccess+m.Params.SendOccupancy, func() {
+			m.send(readReply, home, requester, &msg{typ: readReply, block: b, from: requester})
+			m.releaseBlock(b)
+		})
+	case directory.Exclusive:
+		if e.Owner == requester {
+			// The owner re-requesting can only mean its copy raced away via
+			// writeback; serve it like an uncached read once the writeback
+			// lands. Simplest consistent action: treat as uncached.
+			e.State = directory.Shared
+			e.Sharers.Reset()
+			e.Sharers.Set(requester)
+			m.server(home).do(m.Params.MemAccess+m.Params.SendOccupancy, func() {
+				m.send(readReply, home, requester, &msg{typ: readReply, block: b, from: requester})
+				m.releaseBlock(b)
+			})
+			return
+		}
+		e.State = directory.Waiting
+		m.homeOps(b).set(&homeOp{requester: requester, write: false, owner: e.Owner,
+			forwarded: m.Params.ReplyForwarding})
+		m.server(home).do(m.Params.SendOccupancy, func() {
+			m.send(fetchReq, home, e.Owner, &msg{typ: fetchReq, block: b, from: requester})
+		})
+	default:
+		panic("coherence: homeRead in state " + e.State.String())
+	}
+}
+
+func (m *Machine) homeWrite(home topology.NodeID, e *directory.Entry, pm *msg) {
+	b, requester := pm.block, pm.from
+	if m.Params.Protocol == WriteUpdate {
+		m.homeWriteUpdate(home, e, pm)
+		return
+	}
+	grant := func(withData bool) {
+		cost := m.Params.SendOccupancy
+		if withData {
+			cost += m.Params.MemAccess
+		}
+		m.server(home).do(cost, func() {
+			e.State = directory.Exclusive
+			e.Owner = requester
+			e.Sharers.Reset()
+			e.Overflow = false
+			m.clearCoarse(e)
+			m.send(writeReply, home, requester, &msg{typ: writeReply, block: b, from: requester})
+			m.releaseBlock(b)
+		})
+	}
+	switch e.State {
+	case directory.Uncached:
+		grant(true)
+	case directory.Exclusive:
+		if e.Owner == requester {
+			grant(false)
+			return
+		}
+		e.State = directory.Waiting
+		m.homeOps(b).set(&homeOp{requester: requester, write: true, owner: e.Owner})
+		m.server(home).do(m.Params.SendOccupancy, func() {
+			m.send(fetchInval, home, e.Owner, &msg{typ: fetchInval, block: b, from: requester})
+		})
+	case directory.Shared:
+		m.startInval(home, e, b, requester, func() {
+			grant(!pm.hasCopy)
+		})
+	default:
+		panic("coherence: homeWrite in state " + e.State.String())
+	}
+}
+
+// homeWriteUpdate runs a write under the write-update protocol: the home
+// writes memory and distributes the new data to every sharer with update
+// worms (the invalidation machinery with txn.update set); the writer joins
+// the sharers and completes when all acks are in. No exclusive state
+// exists under this protocol.
+func (m *Machine) homeWriteUpdate(home topology.NodeID, e *directory.Entry, pm *msg) {
+	b, requester := pm.block, pm.from
+	if e.State == directory.Exclusive {
+		panic("coherence: exclusive entry under write-update protocol")
+	}
+	finish := func() {
+		m.server(home).do(m.Params.MemAccess+m.Params.SendOccupancy, func() {
+			e.State = directory.Shared
+			e.Sharers.Set(requester)
+			m.notePointerLimit(e)
+			m.send(writeReply, home, requester, &msg{typ: writeReply, block: b, from: requester})
+			m.releaseBlock(b)
+		})
+	}
+	if e.State == directory.Uncached {
+		finish()
+		return
+	}
+	m.startInval(home, e, b, requester, func() {
+		// Distribution complete; the entry returns to Shared with every
+		// copy refreshed.
+		e.State = directory.Shared
+		finish()
+	})
+}
+
+// sharerInval handles an invalidation arriving at a sharer, under any
+// framework: unicast (UI-UA), multicast copy (MI-UA, BR), or i-reserve
+// copy / final (MI-MA). Update transactions (write-update protocol)
+// refresh the local copy instead of dropping it.
+func (m *Machine) sharerInval(n topology.NodeID, pm *msg, final bool) {
+	txn := pm.txn
+	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheInvalidate, func() {
+		if !txn.update {
+			m.caches[n].Invalidate(pm.block)
+		}
+		if !m.Params.Scheme.GatherAck() {
+			m.server(n).do(m.Params.SendOccupancy, func() {
+				m.send(invalAck, n, txn.home, &msg{typ: invalAck, block: pm.block, from: n, txn: txn})
+			})
+			return
+		}
+		if final {
+			// Last member of the group: launch the i-gather worm.
+			m.server(n).do(m.Params.SendOccupancy, func() {
+				m.sendGather(txn, pm.groupIdx)
+			})
+			return
+		}
+		// Intermediate member: post the ack into the local i-ack buffer
+		// entry the reserve worm left behind; no outgoing message at all —
+		// the point of the MI-MA framework.
+		m.Net.PostAck(n, txn.id)
+	})
+}
+
+// ownerFetch handles fetchReq (downgrade) and fetchInval (invalidate) at
+// the current owner.
+func (m *Machine) ownerFetch(n topology.NodeID, pm *msg) {
+	if op := m.op(n, pm.block); op != nil {
+		// The fetch overtook our own reply for this block (virtual networks
+		// are unordered relative to each other); handle it once the fill
+		// completes.
+		op.afterFill = append(op.afterFill, func() { m.ownerFetch(n, pm) })
+		return
+	}
+	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheAccess, func() {
+		if m.caches[n].State(pm.block) == cache.ModifiedLine {
+			if pm.typ == fetchInval {
+				m.caches[n].Invalidate(pm.block)
+			} else {
+				m.caches[n].Downgrade(pm.block)
+			}
+		}
+		// If the line is already gone a writeback is in flight; the data
+		// logically comes from the writeback buffer.
+		if pm.typ == fetchReq && m.Params.ReplyForwarding {
+			// 3-hop dirty read: data straight to the requester, sharing
+			// writeback to the home.
+			m.server(n).do(m.Params.SendOccupancy, func() {
+				m.send(readReply, n, pm.from, &msg{typ: readReply, block: pm.block, from: pm.from})
+			})
+		}
+		m.server(n).do(m.Params.SendOccupancy, func() {
+			home := m.Home(pm.block)
+			m.send(fetchReply, n, home, &msg{typ: fetchReply, block: pm.block, from: pm.from})
+		})
+	})
+}
+
+// homeFetchReply finishes a dirty-block transaction at the home.
+func (m *Machine) homeFetchReply(home topology.NodeID, pm *msg) {
+	m.server(home).do(m.Params.RecvOccupancy+m.Params.MemAccess, func() {
+		op := m.homeOps(pm.block).take()
+		e := m.dirs[home].Lookup(pm.block)
+		if op.write {
+			e.State = directory.Exclusive
+			e.Owner = op.requester
+			e.Sharers.Reset()
+			m.server(home).do(m.Params.SendOccupancy, func() {
+				m.send(writeReply, home, op.requester, &msg{typ: writeReply, block: pm.block, from: op.requester})
+				m.releaseBlock(pm.block)
+			})
+			return
+		}
+		e.State = directory.Shared
+		e.Sharers.Reset()
+		e.Overflow = false
+		m.clearCoarse(e)
+		e.Sharers.Set(op.owner)
+		e.Sharers.Set(op.requester)
+		m.notePointerLimit(e)
+		forwarding := m.forwardAfterFetch(home, e, pm.block,
+			[]topology.NodeID{op.owner, op.requester},
+			func() { m.releaseBlock(pm.block) })
+		if op.forwarded {
+			// 3-hop mode: the owner already sent the requester its data;
+			// the home only retires the sharing writeback.
+			if !forwarding {
+				m.releaseBlock(pm.block)
+			}
+			return
+		}
+		m.server(home).do(m.Params.SendOccupancy, func() {
+			m.send(readReply, home, op.requester, &msg{typ: readReply, block: pm.block, from: op.requester})
+			if !forwarding {
+				m.releaseBlock(pm.block)
+			}
+		})
+	})
+}
+
+// requesterReply completes the processor's outstanding miss.
+func (m *Machine) requesterReply(n topology.NodeID, pm *msg) {
+	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheAccess, func() {
+		op := m.op(n, pm.block)
+		if op == nil {
+			panic("coherence: reply for no outstanding operation")
+		}
+		m.removeOp(n, pm.block)
+		state := cache.SharedLine
+		if pm.typ == writeReply && m.Params.Protocol == WriteInvalidate {
+			state = cache.ModifiedLine
+		}
+		victim, vs, evicted := m.caches[n].Fill(pm.block, state)
+		if evicted && vs == cache.ModifiedLine {
+			m.server(n).do(m.Params.SendOccupancy, func() {
+				m.send(writeback, n, m.Home(victim), &msg{typ: writeback, block: victim, from: n})
+			})
+		}
+		now := m.Engine.Now()
+		m.trace(n, "op.done", pm.block, "%v after %d cycles", pm.typ, now-simTime(op.issue))
+		if pm.typ == writeReply {
+			m.Metrics.WriteLatency.AddTime(now - simTime(op.issue))
+			m.Metrics.WriteMiss.AddTime(now - simTime(op.issue))
+		} else {
+			m.Metrics.ReadLatency.AddTime(now - simTime(op.issue))
+			m.Metrics.ReadMiss.AddTime(now - simTime(op.issue))
+		}
+		op.done()
+		for _, fn := range op.afterFill {
+			fn()
+		}
+	})
+}
+
+// notePointerLimit marks a limited directory entry as overflowed once it
+// tracks more sharers than it has pointers for, falling back to the
+// coarse vector when configured and to broadcast otherwise.
+func (m *Machine) notePointerLimit(e *directory.Entry) {
+	if m.Params.DirPointers <= 0 || e.Overflow || e.CoarseMode {
+		if e.CoarseMode {
+			// Already coarse: fold any newly set exact bits into regions.
+			m.foldIntoCoarse(e)
+		}
+		return
+	}
+	if e.Sharers.Count() <= m.Params.DirPointers {
+		return
+	}
+	if m.Params.DirCoarseRegion > 0 {
+		e.CoarseMode = true
+		if e.Coarse == nil {
+			e.Coarse = directory.NewPresence(m.regionCount())
+		}
+		m.foldIntoCoarse(e)
+		return
+	}
+	e.Overflow = true
+}
+
+// regionCount returns the number of coarse-vector regions.
+func (m *Machine) regionCount() int {
+	r := m.Params.DirCoarseRegion
+	return (m.Mesh.Nodes() + r - 1) / r
+}
+
+// region maps a node to its coarse-vector region.
+func (m *Machine) region(n topology.NodeID) topology.NodeID {
+	return topology.NodeID(int(n) / m.Params.DirCoarseRegion)
+}
+
+// foldIntoCoarse moves the entry's exact presence bits into the coarse
+// vector (the exact identities are lost, as in hardware).
+func (m *Machine) foldIntoCoarse(e *directory.Entry) {
+	for _, n := range e.Sharers.Nodes() {
+		e.Coarse.Set(m.region(n))
+	}
+	e.Sharers.Reset()
+}
+
+// clearCoarse resets an entry's coarse-vector state.
+func (m *Machine) clearCoarse(e *directory.Entry) {
+	e.CoarseMode = false
+	if e.Coarse != nil {
+		e.Coarse.Reset()
+	}
+}
+
+// homeWriteback retires a dirty eviction at the home.
+func (m *Machine) homeWriteback(home topology.NodeID, pm *msg) {
+	m.server(home).do(m.Params.RecvOccupancy+m.Params.MemAccess, func() {
+		e := m.dirs[home].Lookup(pm.block)
+		if e.State == directory.Exclusive && e.Owner == pm.from {
+			e.State = directory.Uncached
+			e.Sharers.Reset()
+			e.Overflow = false
+			m.clearCoarse(e)
+		}
+		// Otherwise a fetch crossed the writeback; the fetch path already
+		// handled ownership.
+	})
+}

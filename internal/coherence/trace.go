@@ -1,0 +1,49 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/directory"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TraceEvent is one protocol-level event for debugging and analysis.
+type TraceEvent struct {
+	// At is the simulation time of the event.
+	At sim.Time
+	// Node is where the event happened.
+	Node topology.NodeID
+	// Kind classifies the event: "msg.send", "msg.recv", "txn.start",
+	// "txn.done", "op.issue", "op.done".
+	Kind string
+	// Block is the coherence block involved.
+	Block directory.BlockID
+	// Detail carries the message type, transaction id or scheme specifics.
+	Detail string
+}
+
+// String renders the event for logs.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%8d] node %3d %-9s block %-6d %s",
+		e.At, e.Node, e.Kind, e.Block, e.Detail)
+}
+
+// Trace installs fn as the machine's protocol tracer (nil disables). The
+// tracer sees every protocol message send and receive, transaction start
+// and completion, and processor operation issue and completion. Tracing
+// has no effect on simulated timing.
+func (m *Machine) Trace(fn func(TraceEvent)) { m.tracer = fn }
+
+func (m *Machine) trace(node topology.NodeID, kind string, b directory.BlockID, format string, args ...any) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer(TraceEvent{
+		At:     m.Engine.Now(),
+		Node:   node,
+		Kind:   kind,
+		Block:  b,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,104 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+func TestTraceCapturesTransactionLifecycle(t *testing.T) {
+	m := newM(t, 8, grouping.MIMAEC)
+	var events []TraceEvent
+	m.Trace(func(e TraceEvent) { events = append(events, e) })
+
+	const b = 17
+	for _, c := range []topology.Coord{{X: 3, Y: 1}, {X: 3, Y: 6}} {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+	}
+	events = nil // keep only the write transaction
+	doOp(t, m, true, nodeAt(m, 2, 2), b)
+
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	need := map[string]int{}
+	for _, k := range kinds {
+		need[k]++
+	}
+	if need["op.issue"] != 1 || need["op.done"] != 1 {
+		t.Fatalf("op events = %v", need)
+	}
+	if need["txn.start"] != 1 || need["txn.done"] != 1 {
+		t.Fatalf("txn events = %v", need)
+	}
+	if need["msg.send"] == 0 || need["msg.recv"] == 0 {
+		t.Fatalf("message events missing: %v", need)
+	}
+	// Ordering: issue before txn.start before txn.done before op.done.
+	idx := func(kind string) int {
+		for i, k := range kinds {
+			if k == kind {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx("op.issue") < idx("txn.start") && idx("txn.start") < idx("txn.done") &&
+		idx("txn.done") < idx("op.done")) {
+		t.Fatalf("event order wrong: %v", kinds)
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("trace timestamps went backwards")
+		}
+	}
+}
+
+func TestTraceStringFormat(t *testing.T) {
+	e := TraceEvent{At: 42, Node: 7, Kind: "msg.send", Block: 17, Detail: "writeReq -> node 1"}
+	s := e.String()
+	for _, want := range []string{"42", "node   7", "msg.send", "17", "writeReq"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTraceDisabledByDefaultAndRemovable(t *testing.T) {
+	m := newM(t, 4, grouping.UIUA)
+	doOp(t, m, false, nodeAt(m, 1, 1), 3) // no tracer: must not panic
+	count := 0
+	m.Trace(func(TraceEvent) { count++ })
+	doOp(t, m, false, nodeAt(m, 2, 2), 3)
+	if count == 0 {
+		t.Fatal("tracer saw nothing")
+	}
+	m.Trace(nil)
+	before := count
+	doOp(t, m, false, nodeAt(m, 3, 3), 3)
+	if count != before {
+		t.Fatal("tracer fired after removal")
+	}
+}
+
+func TestTraceDoesNotPerturbTiming(t *testing.T) {
+	run := func(traced bool) uint64 {
+		m := newM(t, 8, grouping.MIMATM)
+		if traced {
+			m.Trace(func(TraceEvent) {})
+		}
+		const b = 17
+		for _, c := range []topology.Coord{{X: 3, Y: 1}, {X: 6, Y: 2}} {
+			doOp(t, m, false, m.Mesh.ID(c), b)
+		}
+		doOp(t, m, true, nodeAt(m, 2, 2), b)
+		return uint64(m.Engine.Now())
+	}
+	if run(false) != run(true) {
+		t.Fatal("tracing changed simulated time")
+	}
+}

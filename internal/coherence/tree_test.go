@@ -1,0 +1,141 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+func TestTreeTopologyHelpers(t *testing.T) {
+	// Binomial tree over ranks 0..6: 0 -> {1,2,4}; 1 -> {3,5}; 2 -> {6}.
+	if got := treeChildren(0, 6); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("children(0) = %v", got)
+	}
+	if got := treeChildren(1, 6); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("children(1) = %v", got)
+	}
+	if got := treeChildren(2, 6); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("children(2) = %v", got)
+	}
+	if got := treeChildren(6, 6); len(got) != 0 {
+		t.Fatalf("children(6) = %v", got)
+	}
+	for j, want := range map[int]int{1: 0, 2: 0, 3: 1, 4: 0, 5: 1, 6: 2} {
+		if got := treeParent(j); got != want {
+			t.Fatalf("parent(%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestTreeEveryRankReachable(t *testing.T) {
+	// Property: for any m, the union of all subtrees from rank 0 covers
+	// 1..m exactly once.
+	for m := 1; m <= 40; m++ {
+		seen := map[int]int{}
+		var walk func(j int)
+		walk = func(j int) {
+			for _, c := range treeChildren(j, m) {
+				seen[c]++
+				walk(c)
+			}
+		}
+		walk(0)
+		for r := 1; r <= m; r++ {
+			if seen[r] != 1 {
+				t.Fatalf("m=%d: rank %d covered %d times", m, r, seen[r])
+			}
+		}
+	}
+}
+
+func TestUMCInvalidationEndToEnd(t *testing.T) {
+	m := newM(t, 8, grouping.UMC)
+	const b = 17
+	readers := []topology.Coord{{X: 3, Y: 1}, {X: 3, Y: 6}, {X: 6, Y: 2}, {X: 0, Y: 4}, {X: 5, Y: 5}, {X: 1, Y: 7}, {X: 7, Y: 0}}
+	for _, c := range readers {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+	}
+	writer := nodeAt(m, 2, 2)
+	doOp(t, m, true, writer, b)
+	for _, c := range readers {
+		if m.Cache(m.Mesh.ID(c)).State(b) != cache.Invalid {
+			t.Fatalf("reader %v survived tree invalidation", c)
+		}
+	}
+	if m.Cache(writer).State(b) != cache.ModifiedLine {
+		t.Fatal("writer not granted")
+	}
+	rec := m.Metrics.Invals[0]
+	// 7 sharers: home's binomial children = {1,2,4} -> 3 sends + 3 acks.
+	if rec.HomeMsgs != 6 {
+		t.Fatalf("home msgs = %d, want 6 (tree fan-out 3)", rec.HomeMsgs)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.treeCtxs(rec.Txn)) != 0 {
+		t.Fatal("tree contexts leaked")
+	}
+}
+
+func TestUMCHomeMessagesLogarithmic(t *testing.T) {
+	// d=15 sharers: home children = {1,2,4,8} -> 8 home messages, versus
+	// 30 under UI-UA.
+	m := newM(t, 8, grouping.UMC)
+	const b = 17
+	count := 0
+	for y := 0; y < 8 && count < 15; y++ {
+		for x := 4; x < 8 && count < 15; x++ {
+			doOp(t, m, false, m.Mesh.ID(topology.Coord{X: x, Y: y}), b)
+			count++
+		}
+	}
+	doOp(t, m, true, nodeAt(m, 0, 0), b)
+	rec := m.Metrics.Invals[0]
+	if rec.Sharers != 15 {
+		t.Fatalf("sharers = %d, want 15", rec.Sharers)
+	}
+	if rec.HomeMsgs != 8 {
+		t.Fatalf("home msgs = %d, want 8 (2 x 4 children)", rec.HomeMsgs)
+	}
+}
+
+func TestUMCSoakWithInvariants(t *testing.T) {
+	m := newM(t, 4, grouping.UMC)
+	rng := newRNG()
+	for step := 0; step < 120; step++ {
+		n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+		b := blockID(rng.Intn(8))
+		doOp(t, m, rng.Intn(3) == 0, n, b)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestUMCSlowerThanWormsFasterThanUnicastAtHome(t *testing.T) {
+	// The comparator's defining tradeoff: logarithmic home messages like
+	// MI-MA, but intermediate software forwarding inflates latency
+	// relative to worms.
+	readers := []topology.Coord{
+		{X: 1, Y: 0}, {X: 1, Y: 7}, {X: 2, Y: 3}, {X: 3, Y: 5}, {X: 4, Y: 1},
+		{X: 5, Y: 6}, {X: 6, Y: 2}, {X: 7, Y: 4}, {X: 2, Y: 6}, {X: 5, Y: 0},
+		{X: 6, Y: 7}, {X: 3, Y: 2},
+	}
+	writer := topology.Coord{X: 0, Y: 3}
+	msgs := map[grouping.Scheme]int{}
+	lat := map[grouping.Scheme]float64{}
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.UMC, grouping.MIMAEC} {
+		m, _ := populateAndWrite(t, s, readers, writer)
+		msgs[s] = m.Metrics.Invals[0].HomeMsgs
+		lat[s] = float64(m.Metrics.Invals[0].Latency())
+	}
+	if !(msgs[grouping.UMC] < msgs[grouping.UIUA]) {
+		t.Fatalf("tree home msgs %d not below unicast %d", msgs[grouping.UMC], msgs[grouping.UIUA])
+	}
+	if !(lat[grouping.MIMAEC] < lat[grouping.UMC]) {
+		t.Fatalf("worm latency %v not below tree %v", lat[grouping.MIMAEC], lat[grouping.UMC])
+	}
+}

@@ -1,0 +1,136 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+func newUpdM(t *testing.T, k int, s grouping.Scheme) *Machine {
+	t.Helper()
+	p := DefaultParams(k, s)
+	p.Protocol = WriteUpdate
+	return NewMachine(p)
+}
+
+func TestUpdateWriteKeepsSharers(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMATM} {
+		m := newUpdM(t, 8, s)
+		const b = 17
+		var readers []topology.NodeID
+		for _, c := range []topology.Coord{{X: 3, Y: 1}, {X: 3, Y: 6}, {X: 6, Y: 2}} {
+			n := m.Mesh.ID(c)
+			readers = append(readers, n)
+			doOp(t, m, false, n, b)
+		}
+		writer := nodeAt(m, 7, 7)
+		doOp(t, m, true, writer, b)
+		e := m.DirEntry(b)
+		if e.State != directory.Shared {
+			t.Fatalf("%v: dir = %v, want shared (no exclusivity under update)", s, e.State)
+		}
+		for _, r := range readers {
+			if m.Cache(r).State(b) != cache.SharedLine {
+				t.Fatalf("%v: reader %d lost its copy under write-update", s, r)
+			}
+			if !e.Sharers.Has(r) {
+				t.Fatalf("%v: reader %d missing from presence bits", s, r)
+			}
+		}
+		if m.Cache(writer).State(b) != cache.SharedLine || !e.Sharers.Has(writer) {
+			t.Fatalf("%v: writer not a sharer after update write", s)
+		}
+		if len(m.Metrics.Invals) != 1 {
+			t.Fatalf("%v: update transactions = %d, want 1", s, len(m.Metrics.Invals))
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestUpdateEveryWriteIsATransaction(t *testing.T) {
+	m := newUpdM(t, 8, grouping.MIMAEC)
+	const b = 17
+	doOp(t, m, false, nodeAt(m, 3, 3), b)
+	writer := nodeAt(m, 7, 7)
+	doOp(t, m, true, writer, b)
+	doOp(t, m, true, writer, b) // second write must also distribute
+	if len(m.Metrics.Invals) != 2 {
+		t.Fatalf("update transactions = %d, want 2 (no write hits under update)", len(m.Metrics.Invals))
+	}
+}
+
+func TestUpdateReadsNeverFetchDirty(t *testing.T) {
+	m := newUpdM(t, 8, grouping.MIMAEC)
+	const b = 17
+	writer := nodeAt(m, 7, 7)
+	doOp(t, m, true, writer, b)
+	reader := nodeAt(m, 0, 0)
+	start := m.Engine.Now()
+	doOp(t, m, false, reader, b)
+	lat := uint64(m.Engine.Now() - start)
+	// A clean read: no fetch round trip to an owner. A dirty fetch on this
+	// diagonal would exceed ~700 cycles; a clean read stays well under.
+	if lat > 500 {
+		t.Fatalf("update-protocol read took %d cycles, suspiciously like a dirty fetch", lat)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateSoakWithInvariants(t *testing.T) {
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAECRC, grouping.MIMATM} {
+		p := DefaultParams(4, s)
+		p.Protocol = WriteUpdate
+		m := NewMachine(p)
+		rng := newRNG()
+		for step := 0; step < 100; step++ {
+			n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+			b := blockID(rng.Intn(8))
+			doOp(t, m, rng.Intn(3) == 0, n, b)
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("%v step %d: %v", s, step, err)
+			}
+		}
+	}
+}
+
+func TestUpdateVsInvalidateTradeoff(t *testing.T) {
+	// Producer-consumer: writer updates, many readers re-read. Update
+	// protocol: readers always hit. Invalidate: readers miss after each
+	// write.
+	run := func(proto Protocol) (readMisses int) {
+		p := DefaultParams(8, grouping.MIMAEC)
+		p.Protocol = proto
+		m := NewMachine(p)
+		const b = 17
+		readers := []topology.NodeID{nodeAt(m, 1, 1), nodeAt(m, 5, 2), nodeAt(m, 2, 6)}
+		for _, r := range readers {
+			doOp(t, m, false, r, b)
+		}
+		writer := nodeAt(m, 7, 7)
+		for round := 0; round < 3; round++ {
+			doOp(t, m, true, writer, b)
+			for _, r := range readers {
+				doOp(t, m, false, r, b)
+			}
+		}
+		return m.Metrics.ReadMiss.N()
+	}
+	upd := run(WriteUpdate)
+	inv := run(WriteInvalidate)
+	if upd >= inv {
+		t.Fatalf("update read misses %d not below invalidate %d", upd, inv)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if WriteInvalidate.String() != "invalidate" || WriteUpdate.String() != "update" {
+		t.Error("protocol names wrong")
+	}
+}

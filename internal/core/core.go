@@ -1,0 +1,115 @@
+// Package core is the library's public face: it re-exports the pieces a
+// downstream user composes to build and drive a wormhole-routed DSM with
+// multidestination cache-invalidation support — the machine, its
+// parameters, the six invalidation grouping schemes, and blocking
+// convenience wrappers over the asynchronous protocol API.
+//
+// The implementation lives in the focused packages underneath:
+//
+//	sim        deterministic discrete-event kernel
+//	topology   2-D mesh geometry
+//	routing    e-cube / west-first base routing and BRCP paths
+//	network    flit-level wormhole network with multidestination worms
+//	grouping   the six sharer-grouping schemes (the paper's contribution)
+//	directory  fully-mapped directory
+//	cache      node caches
+//	coherence  protocol controllers and invalidation frameworks
+//	workload   synthetic drivers (Tables 4-5, figure sweeps, hot-spots)
+//	apps       Barnes-Hut, LU and APSP application workloads
+package core
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+// Machine is a simulated k x k wormhole-routed DSM.
+type Machine = coherence.Machine
+
+// Params configures a Machine; see DefaultParams for the paper's
+// technology point.
+type Params = coherence.Params
+
+// Scheme selects one of the invalidation frameworks / grouping schemes.
+type Scheme = grouping.Scheme
+
+// BlockID identifies a coherence block.
+type BlockID = directory.BlockID
+
+// NodeID identifies a node (processor + router).
+type NodeID = topology.NodeID
+
+// The invalidation schemes (see DESIGN.md section 2).
+const (
+	// UIUA is the unicast-invalidation, unicast-acknowledgment baseline.
+	UIUA = grouping.UIUA
+	// MIUAEC sends e-cube column-grouped multidestination invalidations
+	// with unicast acks.
+	MIUAEC = grouping.MIUAEC
+	// MIMAEC adds i-gather acknowledgment worms to the column grouping.
+	MIMAEC = grouping.MIMAEC
+	// MIMAECRC merges home-row sharers into column worms (minimum worm
+	// count under e-cube).
+	MIMAECRC = grouping.MIMAECRC
+	// MIUAPA groups with planar-adaptive dominance chains (covers
+	// diagonals), unicast acks.
+	MIUAPA = grouping.MIUAPA
+	// MIMAPA combines planar-adaptive chains with i-gather worms.
+	MIMAPA = grouping.MIMAPA
+	// MIUATM groups with west-first turn-model snakes, unicast acks.
+	MIUATM = grouping.MIUATM
+	// MIMATM combines snake grouping with i-gather worms (G <= 2 typical).
+	MIMATM = grouping.MIMATM
+	// BR is the hierarchical-ring broadcast comparator [29].
+	BR = grouping.BR
+	// ADAPT picks the cheapest grouping per transaction (extension).
+	ADAPT = grouping.ADAPT
+	// UMC is the software unicast-tree multicast comparator [31]
+	// (extension).
+	UMC = grouping.UMC
+)
+
+// AllSchemes lists every scheme in presentation order.
+var AllSchemes = grouping.AllSchemes
+
+// NewMachine builds a machine from params.
+func NewMachine(p Params) *Machine { return coherence.NewMachine(p) }
+
+// DefaultParams returns the paper's system parameters (100 MHz processors,
+// 200 Mbyte/s links, 20 ns routers, 32-byte blocks, 4 consumption channels
+// and 4 i-ack buffers per router interface) for a k x k mesh under the
+// given scheme. All times are 5 ns cycles.
+func DefaultParams(k int, s Scheme) Params { return coherence.DefaultParams(k, s) }
+
+// Read performs a blocking shared read: it issues the read and runs the
+// simulation until it completes, returning the elapsed cycles.
+func Read(m *Machine, n NodeID, b BlockID) uint64 {
+	start := m.Engine.Now()
+	done := false
+	m.Read(n, b, func() { done = true })
+	m.Engine.Run()
+	if !done {
+		panic("core: read did not complete")
+	}
+	return uint64(m.Engine.Now() - start)
+}
+
+// Write performs a blocking shared write (exclusive-ownership acquisition
+// including the full invalidation transaction), returning elapsed cycles.
+func Write(m *Machine, n NodeID, b BlockID) uint64 {
+	start := m.Engine.Now()
+	done := false
+	m.Write(n, b, func() { done = true })
+	m.Engine.Run()
+	if !done {
+		panic("core: write did not complete")
+	}
+	return uint64(m.Engine.Now() - start)
+}
+
+// Node returns the NodeID at mesh coordinate (x, y) of machine m.
+func Node(m *Machine, x, y int) NodeID {
+	return m.Mesh.ID(topology.Coord{X: x, Y: y})
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/directory"
+)
+
+func TestFacadeReadWrite(t *testing.T) {
+	m := NewMachine(DefaultParams(8, MIMAEC))
+	reader := Node(m, 3, 3)
+	writer := Node(m, 6, 1)
+	const b = BlockID(42)
+	rl := Read(m, reader, b)
+	if rl == 0 {
+		t.Fatal("zero read latency")
+	}
+	wl := Write(m, writer, b)
+	if wl == 0 {
+		t.Fatal("zero write latency")
+	}
+	if got := m.DirEntry(b).State; got != directory.Exclusive {
+		t.Fatalf("dir state = %v, want exclusive", got)
+	}
+	if len(m.Metrics.Invals) != 1 {
+		t.Fatalf("inval transactions = %d, want 1", len(m.Metrics.Invals))
+	}
+}
+
+func TestAllSchemesExported(t *testing.T) {
+	if len(AllSchemes) != 9 {
+		t.Fatalf("AllSchemes = %d entries, want 9", len(AllSchemes))
+	}
+	if UIUA.String() != "UI-UA" || MIMATM.String() != "MI-MA-tm" || MIMAPA.String() != "MI-MA-pa" {
+		t.Fatal("scheme constants miswired")
+	}
+}

@@ -1,0 +1,165 @@
+// Package directory implements the fully-mapped directory of the paper's
+// DSM: one entry per memory block holding a protocol state and a presence
+// bit per node [44]. Blocks are distributed across home nodes by
+// interleaving block numbers.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/topology"
+)
+
+// BlockID identifies a memory block (cache-line-sized, aligned).
+type BlockID uint64
+
+// State is the directory state of a block.
+type State int
+
+const (
+	// Uncached: no node holds a copy.
+	Uncached State = iota
+	// Shared: one or more nodes hold read-only copies (presence bits set).
+	Shared
+	// Exclusive: exactly one node holds a writable (dirty) copy.
+	Exclusive
+	// Waiting: an invalidation or ownership transfer is in flight; new
+	// requests for the block must be deferred.
+	Waiting
+)
+
+var stateNames = [...]string{"uncached", "shared", "exclusive", "waiting"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Presence is a bit vector of sharer nodes. Node IDs index bits.
+type Presence []uint64
+
+// NewPresence returns an empty presence vector sized for n nodes.
+func NewPresence(n int) Presence {
+	return make(Presence, (n+63)/64)
+}
+
+// Set marks node as present.
+func (p Presence) Set(n topology.NodeID) { p[n/64] |= 1 << (uint(n) % 64) }
+
+// Clear removes node.
+func (p Presence) Clear(n topology.NodeID) { p[n/64] &^= 1 << (uint(n) % 64) }
+
+// Has reports whether node is present.
+func (p Presence) Has(n topology.NodeID) bool { return p[n/64]&(1<<(uint(n)%64)) != 0 }
+
+// Count returns the number of present nodes.
+func (p Presence) Count() int {
+	total := 0
+	for _, w := range p {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Nodes returns the present nodes in ascending ID order.
+func (p Presence) Nodes() []topology.NodeID {
+	var out []topology.NodeID
+	for wi, w := range p {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, topology.NodeID(wi*64+b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (p Presence) Clone() Presence {
+	q := make(Presence, len(p))
+	copy(q, p)
+	return q
+}
+
+// Reset clears every bit.
+func (p Presence) Reset() {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// Entry is one directory entry.
+type Entry struct {
+	State State
+	// Sharers is valid in Shared state (and transiently in Waiting).
+	Sharers Presence
+	// Owner is valid in Exclusive state.
+	Owner topology.NodeID
+	// Overflow is set by limited-pointer directories (Dir_i-B) when more
+	// sharers exist than the entry can track individually; an invalidation
+	// must then be broadcast to every node [16, 29]. Cleared when the
+	// entry returns to Uncached or Exclusive.
+	Overflow bool
+	// CoarseMode / Coarse implement the coarse-vector fallback (Dir_i-CV,
+	// as in DASH): past the pointer limit the entry tracks node *regions*
+	// instead of nodes — Coarse holds one bit per region. Invalidations
+	// then target every node of every marked region, a strict improvement
+	// on broadcast for localized sharing.
+	CoarseMode bool
+	Coarse     Presence
+}
+
+// Directory is one node's slice of the distributed full-map directory: it
+// holds the entries for every block whose home is this node. Entries are
+// created lazily in the Uncached state.
+type Directory struct {
+	nodes   int
+	entries map[BlockID]*Entry
+}
+
+// New returns an empty directory for a machine with n nodes.
+func New(n int) *Directory {
+	return &Directory{nodes: n, entries: make(map[BlockID]*Entry)}
+}
+
+// Lookup returns the entry for block, creating it Uncached on first touch.
+func (d *Directory) Lookup(block BlockID) *Entry {
+	e, ok := d.entries[block]
+	if !ok {
+		e = &Entry{State: Uncached, Sharers: NewPresence(d.nodes)}
+		d.entries[block] = e
+	}
+	return e
+}
+
+// Blocks returns the number of entries materialized so far.
+func (d *Directory) Blocks() int { return len(d.entries) }
+
+// ForEach visits every materialized entry in unspecified order.
+func (d *Directory) ForEach(fn func(BlockID, *Entry)) {
+	for b, e := range d.entries {
+		fn(b, e)
+	}
+}
+
+// HomeMap distributes blocks across nodes by low-order interleaving, the
+// conventional DSM placement.
+type HomeMap struct {
+	nodes int
+}
+
+// NewHomeMap returns a home map for n nodes.
+func NewHomeMap(n int) *HomeMap {
+	if n <= 0 {
+		panic("directory: HomeMap needs at least one node")
+	}
+	return &HomeMap{nodes: n}
+}
+
+// Home returns the home node of a block.
+func (h *HomeMap) Home(block BlockID) topology.NodeID {
+	return topology.NodeID(uint64(block) % uint64(h.nodes))
+}

@@ -1,0 +1,833 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md section 5 for the experiment index and
+// EXPERIMENTS.md for recorded results). Each function runs the relevant
+// workloads on the cycle-level simulator and renders a report table; the
+// benches in bench_test.go and the cmd/ tools are thin wrappers over this
+// package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/coherence"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/network"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// CompareSchemes is the scheme set used by the figure sweeps, in
+// presentation order.
+var CompareSchemes = grouping.AllSchemes
+
+// SharerCounts is the d-axis of the sharer sweeps (E4-E6).
+var SharerCounts = []int{1, 2, 4, 8, 16, 24, 32}
+
+// SweepPoint is one (scheme, d) cell of the sharer sweep.
+type SweepPoint struct {
+	Scheme grouping.Scheme
+	D      int
+	Res    workload.InvalResult
+}
+
+// SharerSweep runs the d-sweep for every scheme on a k x k mesh and
+// returns all points (E4, E5 and E6 render different columns of it).
+func SharerSweep(k int, ds []int, schemes []grouping.Scheme, trials int) []SweepPoint {
+	var out []SweepPoint
+	for _, s := range schemes {
+		for _, d := range ds {
+			res := workload.RunInval(workload.InvalConfig{
+				K: k, Scheme: s, D: d, Trials: trials, Seed: uint64(d) + 7,
+			})
+			out = append(out, SweepPoint{Scheme: s, D: d, Res: res})
+		}
+	}
+	return out
+}
+
+// sweepTable renders one measure of a sharer sweep as d-rows x
+// scheme-columns.
+func sweepTable(title string, points []SweepPoint, ds []int,
+	schemes []grouping.Scheme, measure func(workload.InvalResult) float64) *report.Table {
+	cols := []string{"d"}
+	for _, s := range schemes {
+		cols = append(cols, s.String())
+	}
+	t := report.NewTable(title, cols...)
+	byKey := map[[2]int]workload.InvalResult{}
+	for _, p := range points {
+		byKey[[2]int{int(p.Scheme), p.D}] = p.Res
+	}
+	for _, d := range ds {
+		row := []any{d}
+		for _, s := range schemes {
+			row = append(row, measure(byKey[[2]int{int(s), d}]))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigLatencyVsSharers renders E4: mean invalidation latency versus d.
+func FigLatencyVsSharers(k, trials int) *report.Table {
+	points := SharerSweep(k, SharerCounts, CompareSchemes, trials)
+	return sweepTable(
+		fmt.Sprintf("E4: invalidation latency (cycles) vs sharers, %dx%d mesh, random placement", k, k),
+		points, SharerCounts, CompareSchemes,
+		func(r workload.InvalResult) float64 { return r.Latency.Mean() })
+}
+
+// FigOccupancyVsSharers renders E5: home messages (occupancy proxy) vs d.
+func FigOccupancyVsSharers(k, trials int) *report.Table {
+	points := SharerSweep(k, SharerCounts, CompareSchemes, trials)
+	return sweepTable(
+		fmt.Sprintf("E5: home-node messages per transaction vs sharers, %dx%d mesh", k, k),
+		points, SharerCounts, CompareSchemes,
+		func(r workload.InvalResult) float64 { return r.HomeMsgs })
+}
+
+// FigTrafficVsSharers renders E6: network flit-hops per transaction vs d.
+func FigTrafficVsSharers(k, trials int) *report.Table {
+	points := SharerSweep(k, SharerCounts, CompareSchemes, trials)
+	return sweepTable(
+		fmt.Sprintf("E6: network flit-hops per transaction vs sharers, %dx%d mesh", k, k),
+		points, SharerCounts, CompareSchemes,
+		func(r workload.InvalResult) float64 { return r.FlitHops })
+}
+
+// MeshSizes is the k-axis of E7.
+var MeshSizes = []int{4, 8, 16, 32}
+
+// FigLatencyVsMeshSize renders E7: latency at fixed d as the mesh grows.
+func FigLatencyVsMeshSize(d, trials int) *report.Table {
+	cols := []string{"k"}
+	for _, s := range CompareSchemes {
+		cols = append(cols, s.String())
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E7: invalidation latency (cycles) vs mesh size, d=%d, random placement", d), cols...)
+	for _, k := range MeshSizes {
+		dd := d
+		if max := k*k - 2; dd > max {
+			dd = max
+		}
+		row := []any{k}
+		for _, s := range CompareSchemes {
+			res := workload.RunInval(workload.InvalConfig{
+				K: k, Scheme: s, D: dd, Trials: trials, Seed: uint64(k),
+			})
+			row = append(row, res.Latency.Mean())
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigIAckBuffers renders E8: concurrent MI-MA transactions on one widely
+// shared sharer set under varying i-ack buffer depth, blocking versus VCT
+// deferred delivery, with idle and heterogeneously loaded sharer
+// controllers. The buffer axis shows the paper's "2-4 buffers suffice";
+// the load axis shows when VCT deferred delivery pays off: a gather worm
+// only catches an unposted ack when some sharers post late relative to the
+// group's launch node.
+func FigIAckBuffers(k, d, writers int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("E8: %d concurrent MI-MA-ec invalidations, %dx%d mesh, d=%d: i-ack buffer sensitivity", writers, k, k, d),
+		"buffers", "mode", "sharer load", "mean latency", "makespan", "gather waits")
+	for _, bufs := range []int{1, 2, 4, 8} {
+		for _, vct := range []bool{false, true} {
+			for _, jitter := range []sim.Time{0, 500} {
+				mode := "blocking"
+				if vct {
+					mode = "VCT-deferred"
+				}
+				load := "idle"
+				if jitter > 0 {
+					load = fmt.Sprintf("jitter<%d", jitter)
+				}
+				res := workload.RunHotSpot(workload.HotSpotConfig{
+					K: k, Scheme: grouping.MIMAEC, D: d, Writers: writers,
+					OverlapSharers: true, DistinctHomes: true, BusyJitter: jitter,
+					Tune: func(p *coherence.Params) {
+						p.Net.IAckBuffers = bufs
+						p.Net.VCTDeferred = vct
+					},
+				})
+				t.Row(bufs, mode, load, res.Latency.Mean(), uint64(res.Makespan), res.GatherWaits)
+			}
+		}
+	}
+	return t
+}
+
+// HotSpotWriters is the concurrency axis of E10.
+var HotSpotWriters = []int{1, 2, 4, 8}
+
+// FigHotSpot renders E10: concurrent invalidation bursts at one home.
+func FigHotSpot(k, d int) *report.Table {
+	cols := []string{"writers"}
+	for _, s := range CompareSchemes {
+		cols = append(cols, s.String())
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E10: makespan (cycles) of concurrent invalidation bursts, %dx%d mesh, d=%d", k, k, d), cols...)
+	for _, w := range HotSpotWriters {
+		row := []any{w}
+		for _, s := range CompareSchemes {
+			res := workload.RunHotSpot(workload.HotSpotConfig{K: k, Scheme: s, D: d, Writers: w})
+			row = append(row, uint64(res.Makespan))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// AblationPlacement renders E11: sensitivity of each multidestination
+// scheme to sharer placement.
+func AblationPlacement(k, d, trials int) *report.Table {
+	pats := []workload.Pattern{
+		workload.RandomPlacement, workload.ClusteredPlacement,
+		workload.ColumnPlacement, workload.RowPlacement, workload.DiagonalPlacement,
+	}
+	schemes := []grouping.Scheme{grouping.MIUAEC, grouping.MIMAEC, grouping.MIMAECRC, grouping.MIMAPA, grouping.MIMATM, grouping.ADAPT}
+	cols := []string{"placement"}
+	for _, s := range schemes {
+		cols = append(cols, s.String()+" lat", s.String()+" worms")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E11: placement sensitivity, %dx%d mesh, d=%d", k, k, d), cols...)
+	for _, pat := range pats {
+		row := []any{pat.String()}
+		for _, s := range schemes {
+			res := workload.RunInval(workload.InvalConfig{
+				K: k, Scheme: s, D: d, Pattern: pat, Trials: trials,
+			})
+			row = append(row, res.Latency.Mean(), res.Groups)
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// AblationConsumptionChannels renders E12: how many consumption channels
+// the router interface needs before multidestination worms stop starving
+// (the paper relies on 4 for deadlock freedom; fewer also throttles
+// throughput [2]).
+func AblationConsumptionChannels(k, d, writers int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("E12: consumption channels ablation, %d concurrent MI-MA-ec invalidations, %dx%d mesh, d=%d", writers, k, k, d),
+		"consumption channels", "mean latency", "makespan")
+	for _, c := range []int{1, 2, 4, 8} {
+		res := workload.RunHotSpot(workload.HotSpotConfig{
+			K: k, Scheme: grouping.MIMAEC, D: d, Writers: writers,
+			OverlapSharers: true, DistinctHomes: true,
+			Tune: func(p *coherence.Params) {
+				p.Net.ConsumptionChannels = c
+				// VCT keeps one-buffer corner cases live-locked-free while
+				// the consumption channels are the varied resource.
+				p.Net.VCTDeferred = true
+			},
+		})
+		t.Row(c, res.Latency.Mean(), uint64(res.Makespan))
+	}
+	return t
+}
+
+// Table4 renders the derived memory miss latencies (paper Table 4), in
+// 5 ns cycles, on an 8x8 mesh with the default technology point.
+func Table4() *report.Table {
+	p := workload.DefaultMicroParams(grouping.UIUA)
+	t := report.NewTable("Table 4: derived typical memory miss latencies (5 ns cycles, 8x8 mesh)",
+		"operation", "cycles", "microseconds")
+	for _, kind := range workload.AllMissKinds {
+		cycles := workload.MeasureMiss(p, kind)
+		t.Row(kind.String(), uint64(cycles), float64(cycles)*5/1000)
+	}
+	return t
+}
+
+// Table5 renders the clean neighbor read-miss latency breakdown (paper
+// Table 5).
+func Table5() *report.Table {
+	p := workload.DefaultMicroParams(grouping.UIUA)
+	rows, total := workload.ReadMissBreakdown(p)
+	measured := workload.MeasureMiss(p, workload.ReadMissNeighborClean)
+	t := report.NewTable("Table 5: breakdown of a clean read-miss to a neighboring node (5 ns cycles)",
+		"component", "cycles")
+	for _, r := range rows {
+		t.Row(r.Component, uint64(r.Cycles))
+	}
+	t.Row("TOTAL (sum of components)", uint64(total))
+	t.Row("TOTAL (measured end-to-end)", uint64(measured))
+	return t
+}
+
+// PaperApps returns the paper's three application workloads at their
+// published sizes: Barnes-Hut 128 bodies / 4 steps, LU 128x128 with 8x8
+// blocks, APSP (Floyd-Warshall) on 64 vertices; 16 processors each.
+func PaperApps() []apps.Workload {
+	return []apps.Workload{
+		apps.BarnesHut(apps.BarnesConfig{}),
+		apps.LU(apps.LUConfig{}),
+		apps.APSP(apps.APSPConfig{}),
+	}
+}
+
+// Table6 renders the application characteristics (paper Table 6) measured
+// under the UI-UA baseline on a 4x4 mesh.
+func Table6() *report.Table {
+	t := report.NewTable("Table 6: application characteristics (16 processors, UI-UA baseline)",
+		"application", "shared reads", "shared writes", "barriers",
+		"inval txns", "avg sharers", "max sharers", "exec cycles")
+	for _, w := range PaperApps() {
+		m := coherence.NewMachine(coherence.DefaultParams(4, grouping.UIUA))
+		res := apps.Run(m, w)
+		st := w.Stats()
+		t.Row(w.Name, st.Reads, st.Writes, st.Barriers/uint64(len(w.Programs)),
+			res.Invals, res.AvgSharers, res.MaxSharers, uint64(res.Time))
+	}
+	return t
+}
+
+// AppSchemes is the framework set of the application comparison (E9).
+var AppSchemes = []grouping.Scheme{grouping.UIUA, grouping.MIUAEC, grouping.MIMAEC, grouping.MIMATM}
+
+// FigApplications renders E9: application execution time under each
+// framework, normalized to UI-UA.
+func FigApplications() *report.Table {
+	cols := []string{"application"}
+	for _, s := range AppSchemes {
+		cols = append(cols, s.String())
+	}
+	cols = append(cols, "UI-UA cycles")
+	t := report.NewTable("E9: normalized application execution time (16 processors, 4x4 mesh)", cols...)
+	for _, w := range PaperApps() {
+		var base sim.Time
+		row := []any{w.Name}
+		for i, s := range AppSchemes {
+			m := coherence.NewMachine(coherence.DefaultParams(4, s))
+			res := apps.Run(m, w)
+			if i == 0 {
+				base = res.Time
+			}
+			row = append(row, report.Float3(float64(res.Time)/float64(base)))
+		}
+		row = append(row, uint64(base))
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigConsistency renders E13: application execution time under sequential
+// versus release consistency for the baseline and the best
+// multidestination framework. Under RC, write (invalidation) latency hides
+// behind computation, so the framework gap narrows on latency — but the
+// occupancy and traffic savings of MI-MA remain.
+func FigConsistency() *report.Table {
+	t := report.NewTable("E13: consistency model x framework, normalized application execution time (16 processors)",
+		"application", "SC UI-UA", "SC MI-MA-ec", "RC UI-UA", "RC MI-MA-ec", "SC UI-UA cycles")
+	for _, w := range PaperApps() {
+		var base sim.Time
+		row := []any{w.Name}
+		for _, cons := range []coherence.Consistency{coherence.SequentialConsistency, coherence.ReleaseConsistency} {
+			for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+				p := coherence.DefaultParams(4, s)
+				p.Consistency = cons
+				m := coherence.NewMachine(p)
+				res := apps.Run(m, w)
+				if base == 0 {
+					base = res.Time
+				}
+				row = append(row, report.Float3(float64(res.Time)/float64(base)))
+			}
+		}
+		row = append(row, uint64(base))
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigVirtualChannels renders E14: hot-spot bursts under 1, 2 and 4 virtual
+// channels per link, for the baseline and MI-MA frameworks. Extra lanes
+// relieve the serialization that blocked worms impose on physical links.
+func FigVirtualChannels(k, d, writers int) *report.Table {
+	schemes := []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMATM}
+	cols := []string{"virtual channels"}
+	for _, s := range schemes {
+		cols = append(cols, s.String())
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E14: makespan (cycles) of %d concurrent invalidations vs virtual channels, %dx%d mesh, d=%d",
+			writers, k, k, d), cols...)
+	for _, vcs := range []int{1, 2, 4} {
+		row := []any{vcs}
+		for _, s := range schemes {
+			res := workload.RunHotSpot(workload.HotSpotConfig{
+				K: k, Scheme: s, D: d, Writers: writers,
+				OverlapSharers: true, DistinctHomes: true,
+				Tune: func(p *coherence.Params) {
+					p.Net.VirtualChannels = vcs
+				},
+			})
+			row = append(row, uint64(res.Makespan))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigLimitedDirectory renders E15: invalidation cost under limited-pointer
+// directories (Dir_i-B). Once the pointer count overflows, invalidations
+// broadcast to every node — the regime the BR framework [29] was designed
+// for, and where multidestination worms dwarf unicast.
+func FigLimitedDirectory(k int) *report.Table {
+	schemes := []grouping.Scheme{grouping.UIUA, grouping.MIUAEC, grouping.MIMAEC, grouping.MIMATM, grouping.BR}
+	cols := []string{"directory", "mean targets"}
+	for _, s := range schemes {
+		cols = append(cols, s.String()+" lat", s.String()+" home msgs")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E15: limited-directory invalidation (d=6 true sharers, %dx%d mesh)", k, k), cols...)
+	configs := []struct {
+		label    string
+		pointers int
+		coarse   int // coarse-vector region size (0 = broadcast fallback)
+	}{
+		{"full map", 0, 0},
+		{"Dir8-B", 8, 0},
+		{"Dir4-B", 4, 0},
+		{"Dir2-B", 2, 0},
+		{"Dir4-CV(row)", 4, k},
+		{"Dir2-CV(row)", 2, k},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		row := []any{cfg.label, 0.0}
+		first := true
+		for _, s := range schemes {
+			res := workload.RunInval(workload.InvalConfig{
+				K: k, Scheme: s, D: 6, Trials: 5,
+				Tune: func(p *coherence.Params) {
+					p.DirPointers = cfg.pointers
+					p.DirCoarseRegion = cfg.coarse
+				},
+			})
+			if first {
+				// Mean invalidation targets per transaction, derived from
+				// the UI-UA home message count (2 messages per target).
+				row[1] = res.HomeMsgs / 2
+				first = false
+			}
+			row = append(row, res.Latency.Mean(), res.HomeMsgs)
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigDataForwarding renders E16: application read misses and execution
+// time with and without producer-initiated data forwarding [21], under the
+// unicast baseline and grouped multidestination worms. Forwarding converts
+// consumers' re-read misses into hits; multidestination grouping makes the
+// pushes cheap.
+func FigDataForwarding() *report.Table {
+	t := report.NewTable("E16: data forwarding x framework (16 processors)",
+		"application", "config", "read misses", "exec cycles", "normalized")
+	for _, w := range PaperApps() {
+		var base sim.Time
+		for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+			for _, fwd := range []bool{false, true} {
+				p := coherence.DefaultParams(4, s)
+				p.DataForwarding = fwd
+				m := coherence.NewMachine(p)
+				res := apps.Run(m, w)
+				if base == 0 {
+					base = res.Time
+				}
+				cfgName := s.String()
+				if fwd {
+					cfgName += "+fwd"
+				}
+				t.Row(w.Name, cfgName, res.ReadMisses, uint64(res.Time),
+					report.Float3(float64(res.Time)/float64(base)))
+			}
+		}
+	}
+	return t
+}
+
+// invalSizeBuckets are the Weber/Gupta-style invalidation size classes.
+var invalSizeBuckets = []struct {
+	label    string
+	min, max int
+}{
+	{"1", 1, 1}, {"2", 2, 2}, {"3-4", 3, 4}, {"5-8", 5, 8},
+	{"9-15", 9, 15}, {">=16", 16, 1 << 30},
+}
+
+// FigInvalSizeDistribution renders E17: the distribution of invalidation
+// sizes each application produces — the "cache invalidation patterns"
+// analysis of the paper's related work [3, 16] that motivates which
+// grouping scheme pays off where.
+func FigInvalSizeDistribution() *report.Table {
+	cols := []string{"application"}
+	for _, b := range invalSizeBuckets {
+		cols = append(cols, b.label)
+	}
+	cols = append(cols, "total txns")
+	t := report.NewTable("E17: invalidation size distribution (percent of transactions, 16 processors, UI-UA)", cols...)
+	for _, w := range PaperApps() {
+		m := coherence.NewMachine(coherence.DefaultParams(4, grouping.UIUA))
+		apps.Run(m, w)
+		counts := make([]int, len(invalSizeBuckets))
+		total := 0
+		for _, rec := range m.Metrics.Invals {
+			total++
+			for i, b := range invalSizeBuckets {
+				if rec.Sharers >= b.min && rec.Sharers <= b.max {
+					counts[i]++
+					break
+				}
+			}
+		}
+		row := []any{w.Name}
+		for _, c := range counts {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(c) / float64(total)
+			}
+			row = append(row, pct)
+		}
+		row = append(row, total)
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigWriteUpdate renders E18: write-invalidate versus write-update on the
+// applications. Update protocols eliminate consumers' re-read misses but
+// pay a full distribution transaction for every write; multidestination
+// worms cut that per-write cost the same way they cut invalidations —
+// making update protocols far more viable than under unicast messaging.
+func FigWriteUpdate() *report.Table {
+	t := report.NewTable("E18: write-invalidate vs write-update (16 processors)",
+		"application", "config", "read misses", "write txns", "exec cycles", "normalized")
+	for _, w := range PaperApps() {
+		var base sim.Time
+		for _, proto := range []coherence.Protocol{coherence.WriteInvalidate, coherence.WriteUpdate} {
+			for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+				p := coherence.DefaultParams(4, s)
+				p.Protocol = proto
+				m := coherence.NewMachine(p)
+				res := apps.Run(m, w)
+				if base == 0 {
+					base = res.Time
+				}
+				t.Row(w.Name, proto.String()+"/"+s.String(), res.ReadMisses,
+					len(m.Metrics.Invals), uint64(res.Time),
+					report.Float3(float64(res.Time)/float64(base)))
+			}
+		}
+	}
+	return t
+}
+
+// InjectionRates is the offered-load axis of E19 (worms per node per 1000
+// cycles).
+var InjectionRates = []float64{1, 5, 10, 20, 30, 40}
+
+// FigOfferedLoad renders E19: the classic network latency-versus-offered-
+// load curve under uniform random unicast traffic, for 1 and 2 virtual
+// channels per link — the substrate validation experiment of the wormhole
+// routing literature the paper builds on [27, 33].
+func FigOfferedLoad(k int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("E19: uniform traffic on a %dx%d mesh: latency vs offered load", k, k),
+		"rate (worms/node/kcycle)", "1 VC latency", "1 VC util", "2 VC latency", "2 VC util")
+	for _, rate := range InjectionRates {
+		row := []any{rate}
+		for _, vcs := range []int{1, 2} {
+			res := workload.RunTraffic(workload.TrafficConfig{
+				K: k, Rate: rate, Duration: 20000, VirtualChannels: vcs,
+			})
+			row = append(row, res.Latency.Mean(), report.Float3(res.AvgLinkUtilization))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigSoftwareTree renders E20: hardware multidestination worms versus the
+// software unicast-tree multicast of McKinley et al. [31] (binomial
+// distribution tree with ack combining, 1 us per software forward). The
+// tree matches MI-MA's logarithmic home occupancy but pays processor
+// involvement at every internal tree node, where a worm pays only router
+// latency — the quantitative form of the paper's related-work argument.
+func FigSoftwareTree(k, trials int) *report.Table {
+	schemes := []grouping.Scheme{grouping.UIUA, grouping.UMC, grouping.MIMAECRC, grouping.MIMATM}
+	cols := []string{"d"}
+	for _, s := range schemes {
+		cols = append(cols, s.String()+" lat", s.String()+" home msgs")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E20: worms vs software tree multicast, %dx%d mesh, random placement", k, k), cols...)
+	for _, d := range SharerCounts {
+		row := []any{d}
+		for _, s := range schemes {
+			res := workload.RunInval(workload.InvalConfig{
+				K: k, Scheme: s, D: d, Trials: trials, Seed: uint64(d) + 7,
+			})
+			row = append(row, res.Latency.Mean(), res.HomeMsgs)
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// FigTorus renders E21: mesh versus torus (k-ary 2-cube, the companion
+// BRCP papers' topology). Wraparound halves average distances and turns
+// every column into a ring one worm can sweep, removing the mesh's
+// up/down column split — worm counts drop toward one per sharer column.
+func FigTorus(k, trials int) *report.Table {
+	schemes := []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMAECRC}
+	cols := []string{"d", "topology"}
+	for _, s := range schemes {
+		cols = append(cols, s.String()+" lat", s.String()+" worms")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E21: mesh vs torus, %dx%d, random placement", k, k), cols...)
+	for _, d := range []int{4, 8, 16, 32} {
+		for _, torus := range []bool{false, true} {
+			name := "mesh"
+			if torus {
+				name = "torus"
+			}
+			row := []any{d, name}
+			for _, s := range schemes {
+				res := workload.RunInval(workload.InvalConfig{
+					K: k, Scheme: s, D: d, Trials: trials, Seed: uint64(d) + 7,
+					Tune: func(p *coherence.Params) { p.Torus = torus },
+				})
+				row = append(row, res.Latency.Mean(), res.Groups)
+			}
+			t.Row(row...)
+		}
+	}
+	return t
+}
+
+// FigWormBarrier renders E22: the multidestination worm barrier of the
+// companion paper [37] versus the shared-memory sense-reversing barrier,
+// as episode latency versus machine size and as whole-application impact
+// on APSP. The worm barrier costs ~2(W+H) worms over O(k) hops; the
+// shared-memory barrier serializes Theta(N) coherence transactions at one
+// home. Barrier gathers run with VCT deferred delivery, which the mixing
+// of barrier and coherence traffic requires (see [36] and barrier.go).
+func FigWormBarrier() *report.Table {
+	t := report.NewTable("E22: worm barrier [37] vs shared-memory barrier",
+		"measure", "k", "SM barrier", "worm barrier", "ratio")
+	for _, k := range []int{4, 8, 16} {
+		p := coherence.DefaultParams(k, grouping.MIMAEC)
+		p.Net.VCTDeferred = true
+		m := coherence.NewMachine(p)
+		// Steady-state worm barrier episode (second episode; setup
+		// amortized).
+		for ep := 0; ep < 2; ep++ {
+			left := m.Mesh.Nodes()
+			for n := 0; n < m.Mesh.Nodes(); n++ {
+				n := n
+				m.Engine.At(m.Engine.Now(), func() {
+					m.BarrierArrive(topology.NodeID(n), func() { left-- })
+				})
+			}
+			m.Engine.Run()
+			if left != 0 {
+				panic("experiments: worm barrier incomplete")
+			}
+		}
+		worm := m.Metrics.BarrierLatency.Max()
+
+		// Shared-memory sense-reversing episode on a fresh machine.
+		m2 := coherence.NewMachine(coherence.DefaultParams(k, grouping.MIMAEC))
+		start := m2.Engine.Now()
+		for n := 0; n < m2.Mesh.Nodes(); n++ {
+			runBlocking(m2, false, topology.NodeID(n), 5000)
+			runBlocking(m2, true, topology.NodeID(n), 5000)
+		}
+		runBlocking(m2, true, 0, 5001)
+		for n := 0; n < m2.Mesh.Nodes(); n++ {
+			runBlocking(m2, false, topology.NodeID(n), 5001)
+		}
+		sm := float64(m2.Engine.Now() - start)
+		t.Row("episode latency (cycles)", k, sm, worm, report.Float3(sm/worm))
+	}
+
+	// Application impact: APSP with shared-memory vs worm barriers.
+	smW := apps.APSP(apps.APSPConfig{})
+	wbW := apps.APSP(apps.APSPConfig{HWBarriers: true})
+	wbW.WormBarriers = true
+	pSM := coherence.DefaultParams(4, grouping.MIMAEC)
+	mSM := coherence.NewMachine(pSM)
+	resSM := apps.Run(mSM, smW)
+	pWB := coherence.DefaultParams(4, grouping.MIMAEC)
+	pWB.Net.VCTDeferred = true
+	mWB := coherence.NewMachine(pWB)
+	resWB := apps.Run(mWB, wbW)
+	t.Row("APSP exec cycles (16 procs)", 4, uint64(resSM.Time), uint64(resWB.Time),
+		report.Float3(float64(resSM.Time)/float64(resWB.Time)))
+	return t
+}
+
+// runBlocking drives one operation to completion on m.
+func runBlocking(m *coherence.Machine, write bool, n topology.NodeID, b uint64) {
+	done := false
+	if write {
+		m.Write(n, directory.BlockID(b), func() { done = true })
+	} else {
+		m.Read(n, directory.BlockID(b), func() { done = true })
+	}
+	m.Engine.Run()
+	if !done {
+		panic("experiments: blocking op incomplete")
+	}
+}
+
+// FigSharingDependence renders E23: the application-level gain of
+// multidestination invalidation as a function of each workload's sharing
+// degree, across the paper's three applications plus the Jacobi stencil
+// extension (nearest-neighbor sharing, the negative control). The gain
+// tracks average invalidation size: broadcast-sharing workloads benefit,
+// pairwise producer-consumer workloads cannot.
+func FigSharingDependence() *report.Table {
+	t := report.NewTable("E23: sharing degree vs multidestination gain (16 processors)",
+		"application", "avg sharers", "UI-UA cycles", "MI-MA-ec cycles", "gain %")
+	workloads := append(PaperApps(), apps.Jacobi(apps.JacobiConfig{}))
+	for _, w := range workloads {
+		var ui, mm sim.Time
+		var avg float64
+		for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+			m := coherence.NewMachine(coherence.DefaultParams(4, s))
+			res := apps.Run(m, w)
+			if s == grouping.UIUA {
+				ui = res.Time
+				avg = res.AvgSharers
+			} else {
+				mm = res.Time
+			}
+		}
+		t.Row(w.Name, avg, uint64(ui), uint64(mm),
+			100*(1-float64(mm)/float64(ui)))
+	}
+	return t
+}
+
+// FigCongestion renders E24: the per-link congestion pattern of a UI-UA
+// invalidation burst, verifying the paper's observation verbatim: "In the
+// request phase, the X-dimension links along the row containing the home
+// node are congested. While in the acknowledging phase, the Y-dimension
+// links along the column containing the home node are congested." The
+// request network carries invalidations (X-first e-cube from the home
+// row); the reply network carries acks (reverse-routed, Y-first into the
+// home column).
+func FigCongestion(k, d, writers int) *report.Table {
+	p := coherence.DefaultParams(k, grouping.UIUA)
+	m := coherence.NewMachine(p)
+	rng := sim.NewRNG(1)
+	home := m.Mesh.ID(topology.Coord{X: k / 2, Y: k / 2})
+	// Several back-to-back transactions at one home keep the links busy
+	// long enough for utilization to show the pattern.
+	for i := 0; i < writers; i++ {
+		block := directory.BlockID(uint64(home) + uint64(i+1)*uint64(m.Mesh.Nodes()))
+		var sharers []topology.NodeID
+		seen := map[topology.NodeID]bool{home: true}
+		for len(sharers) < d {
+			n := topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+			if !seen[n] {
+				seen[n] = true
+				sharers = append(sharers, n)
+			}
+		}
+		for _, s := range sharers {
+			runBlocking(m, false, s, uint64(block))
+		}
+		var writer topology.NodeID
+		for {
+			writer = topology.NodeID(rng.Intn(m.Mesh.Nodes()))
+			if !seen[writer] {
+				break
+			}
+		}
+		runBlocking(m, true, writer, uint64(block))
+	}
+
+	hc := m.Mesh.Coord(home)
+	rowMean := func(util []float64, row int, inRow bool) float64 {
+		var sum float64
+		var cnt int
+		for id := 0; id < m.Mesh.Nodes(); id++ {
+			if (m.Mesh.Coord(topology.NodeID(id)).Y == row) == inRow {
+				sum += util[id]
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	colMean := func(util []float64, col int, inCol bool) float64 {
+		var sum float64
+		var cnt int
+		for id := 0; id < m.Mesh.Nodes(); id++ {
+			if (m.Mesh.Coord(topology.NodeID(id)).X == col) == inCol {
+				sum += util[id]
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	reqX := m.Net.DimUtilization(network.Request, 'x')
+	repY := m.Net.DimUtilization(network.Reply, 'y')
+
+	t := report.NewTable(
+		fmt.Sprintf("E24: UI-UA congestion pattern, %dx%d mesh, d=%d, %d transactions (mean link utilization x1000)", k, k, d, writers),
+		"links", "home row/column", "elsewhere", "ratio")
+	hr := rowMean(reqX, hc.Y, true) * 1000
+	or := rowMean(reqX, hc.Y, false) * 1000
+	t.Row("request X-links", hr, or, report.Float3(hr/or))
+	hcY := colMean(repY, hc.X, true) * 1000
+	ocY := colMean(repY, hc.X, false) * 1000
+	t.Row("reply Y-links", hcY, ocY, report.Float3(hcY/ocY))
+	return t
+}
+
+// FigThreeHop renders E25: dirty read-miss latency under the baseline
+// 4-hop protocol (data routed through the home) versus DASH-style 3-hop
+// reply forwarding (owner sends data directly to the requester, sharing
+// writeback retires in the background) — a protocol ablation orthogonal
+// to the invalidation machinery.
+func FigThreeHop() *report.Table {
+	t := report.NewTable("E25: dirty read miss, 4-hop vs 3-hop reply forwarding (8x8 mesh)",
+		"requester", "owner", "4-hop (cycles)", "3-hop (cycles)", "speedup")
+	cases := []struct{ rq, ow topology.Coord }{
+		{topology.Coord{X: 0, Y: 0}, topology.Coord{X: 7, Y: 7}}, // far apart
+		{topology.Coord{X: 6, Y: 6}, topology.Coord{X: 7, Y: 7}}, // adjacent
+		{topology.Coord{X: 0, Y: 5}, topology.Coord{X: 7, Y: 0}}, // home between
+	}
+	for _, tc := range cases {
+		var lat [2]float64
+		for i, fh := range []bool{false, true} {
+			p := coherence.DefaultParams(8, grouping.UIUA)
+			p.ReplyForwarding = fh
+			m := coherence.NewMachine(p)
+			const b = 17 // homed at (1,2)
+			runBlocking(m, true, m.Mesh.ID(tc.ow), b)
+			runBlocking(m, false, m.Mesh.ID(tc.rq), b)
+			lat[i] = m.Metrics.ReadMiss.Max()
+		}
+		t.Row(tc.rq.String(), tc.ow.String(), lat[0], lat[1],
+			report.Float3(lat[0]/lat[1]))
+	}
+	return t
+}

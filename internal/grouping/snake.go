@@ -1,0 +1,203 @@
+package grouping
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// snakeGroups implements the west-first turn-model grouping. The turn
+// model's extra legal turns (N->E, E->S, S->E, E->N) let one worm sweep
+// whole regions boustrophedon-style:
+//
+//   - one eastern worm snakes column-major across all sharers with
+//     x >= homeX, alternating sweep directions per column;
+//   - one western worm makes its westward hops first along the home row
+//     (covering home-row sharers on the way), then snakes east over the
+//     remaining western sharers.
+//
+// A column entered without an intervening eastward hop (the home column,
+// or the westernmost column right after the west run) cannot host a
+// direction reversal; when sharers sit on both sides of the entry row
+// there, the unreachable side spills into an additional worm. Group count
+// is therefore <= 2 typically and <= 4 in the worst case, independent of
+// the sharer count — the turn-model schemes' key property.
+func snakeGroups(m *topology.Mesh, home topology.NodeID, sharers []topology.NodeID) []Group {
+	hc := m.Coord(home)
+	var east, west []topology.NodeID
+	for _, sh := range sharers {
+		if m.Coord(sh).X >= hc.X {
+			east = append(east, sh)
+		} else {
+			west = append(west, sh)
+		}
+	}
+	var groups []Group
+	groups = append(groups, snakeSide(m, home, east, true)...)
+	groups = append(groups, snakeSide(m, home, west, false)...)
+	return groups
+}
+
+// snakeSide builds the worms for one side of the home column.
+func snakeSide(m *topology.Mesh, home topology.NodeID, members []topology.NodeID, eastSide bool) []Group {
+	if len(members) == 0 {
+		return nil
+	}
+	hc := m.Coord(home)
+
+	// remaining[x] holds that column's unvisited member y's, sorted asc.
+	remaining := map[int][]int{}
+	node := func(x, y int) topology.NodeID { return m.ID(topology.Coord{X: x, Y: y}) }
+	for _, sh := range members {
+		c := m.Coord(sh)
+		remaining[c.X] = append(remaining[c.X], c.Y)
+	}
+	for x := range remaining {
+		sort.Ints(remaining[x])
+	}
+
+	var groups []Group
+	for len(remaining) > 0 {
+		var wp []topology.NodeID
+		curY, lastDir := hc.Y, 0 // lastDir: +1 north, -1 south, 0 none
+		prevX := hc.X
+
+		if !eastSide {
+			// The westward run travels the home row; it passes home-row
+			// sharers in descending x order and ends at the westernmost
+			// remaining column.
+			cols := sortedColumns(remaining)
+			var rowXs []int
+			for _, x := range cols {
+				if ys := remaining[x]; len(ys) > 0 && containsInt(ys, hc.Y) {
+					rowXs = append(rowXs, x)
+				}
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(rowXs)))
+			for _, x := range rowXs {
+				wp = append(wp, node(x, hc.Y))
+				remaining[x] = removeInt(remaining[x], hc.Y)
+				if len(remaining[x]) == 0 {
+					delete(remaining, x)
+				}
+				prevX = x
+			}
+			if len(remaining) == 0 {
+				groups = append(groups, buildGroup(routing.WestFirst, m, home, wp))
+				break
+			}
+			// The run continues to the westernmost remaining column even if
+			// it holds no home-row sharer.
+			if west := sortedColumns(remaining)[0]; west < prevX {
+				prevX = west
+			}
+		}
+
+		for _, x := range sortedColumns(remaining) {
+			if !eastSide && x >= hc.X {
+				panic("grouping: western snake found eastern column")
+			}
+			ys := remaining[x]
+			lo, hi := ys[0], ys[len(ys)-1]
+			eSep := x > prevX
+			ascOK := curY <= lo || (eSep && lastDir != +1)
+			descOK := curY >= hi || (eSep && lastDir != -1)
+
+			sweepAsc := true
+			switch {
+			case ascOK && descOK:
+				// Pick the cheaper entry.
+				if absInt(curY-hi) < absInt(curY-lo) {
+					sweepAsc = false
+				}
+			case ascOK:
+			case descOK:
+				sweepAsc = false
+			default:
+				// No eastward separation and sharers on both sides of the
+				// entry row: cover the upper side now, spill the rest.
+				split := firstAtLeast(ys, curY)
+				upper := ys[split:]
+				remaining[x] = ys[:split]
+				for _, y := range upper {
+					wp = append(wp, node(x, y))
+				}
+				curY, lastDir, prevX = upper[len(upper)-1], +1, x
+				continue
+			}
+
+			order := append([]int(nil), ys...)
+			if !sweepAsc {
+				reverseInts(order)
+			}
+			for _, y := range order {
+				wp = append(wp, node(x, y))
+			}
+			exit := order[len(order)-1]
+			entry := order[0]
+			if exit != curY || entry != curY {
+				if sweepAsc {
+					lastDir = +1
+				} else {
+					lastDir = -1
+				}
+			}
+			curY, prevX = exit, x
+			delete(remaining, x)
+		}
+		// Drop columns fully consumed by the spill logic.
+		for x, ys := range remaining {
+			if len(ys) == 0 {
+				delete(remaining, x)
+			}
+		}
+		groups = append(groups, buildGroup(routing.WestFirst, m, home, wp))
+	}
+	return groups
+}
+
+func sortedColumns(remaining map[int][]int) []int {
+	xs := make([]int, 0, len(remaining))
+	for x := range remaining {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeInt(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func firstAtLeast(sorted []int, v int) int {
+	return sort.SearchInts(sorted, v)
+}
+
+func reverseInts(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,130 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// channel is one unidirectional wormhole virtual channel: a lane of a
+// node's injection port (network interface to its router) or of a physical
+// link (router to neighboring router) on one virtual network. A channel is
+// held exclusively by one worm from header acquisition until the worm's
+// tail crosses it.
+type channel struct {
+	name string
+	busy bool
+
+	// stats
+	flits     sim.Counter // flits that crossed this channel
+	acquired  sim.Time    // time of the current acquisition
+	busyTotal sim.Time    // accumulated held cycles
+}
+
+// utilization returns the fraction of [0, now] this channel was held.
+func (c *channel) utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	total := c.busyTotal
+	if c.busy {
+		total += now - c.acquired
+	}
+	return float64(total) / float64(now)
+}
+
+// vcSet is the set of virtual channels multiplexed over one physical
+// resource (an injection port or a link). A worm acquires any free lane;
+// when all lanes are busy it queues FIFO for the next release. With one
+// lane per set this degenerates to plain wormhole switching.
+//
+// The simulator time-multiplexes lanes idealistically (each worm streams at
+// full link rate once granted); the first-order effect of virtual channels
+// — blocked worms no longer blocking the physical link for others — is
+// what the model captures.
+type vcSet struct {
+	name    string
+	chans   []*channel
+	waiters sim.FIFO[func(*channel)]
+}
+
+func newVCSet(name string, lanes int) *vcSet {
+	s := &vcSet{name: name}
+	for i := 0; i < lanes; i++ {
+		s.chans = append(s.chans, &channel{name: fmt.Sprintf("%s.vc%d", name, i)})
+	}
+	return s
+}
+
+// acquire grants a free lane immediately (onGrant runs inline) or queues
+// onGrant for the next released lane.
+func (s *vcSet) acquire(now sim.Time, onGrant func(*channel)) {
+	for _, c := range s.chans {
+		if !c.busy {
+			c.busy = true
+			c.acquired = now
+			onGrant(c)
+			return
+		}
+	}
+	s.waiters.Push(onGrant)
+}
+
+// release frees lane c at time now; the head waiter, if any, receives the
+// lane immediately.
+func (s *vcSet) release(c *channel, now sim.Time) {
+	if !c.busy {
+		panic("network: release of idle channel " + c.name)
+	}
+	c.busyTotal += now - c.acquired
+	c.busy = false
+	if !s.waiters.Empty() {
+		grant := s.waiters.Pop()
+		c.busy = true
+		c.acquired = now
+		grant(c)
+	}
+}
+
+// consumptionPool is the set of consumption channels from a router
+// interface to its node. Every worm delivery (final consumption and
+// forward-and-absorb copies) holds one token; the paper shows 4 channels
+// per interface suffice for deadlock freedom of multidestination worms on
+// a 2-D mesh.
+type consumptionPool struct {
+	total   int
+	inUse   int
+	waiters sim.FIFO[func()]
+	peak    int
+}
+
+func newConsumptionPool(n int) *consumptionPool {
+	return &consumptionPool{total: n}
+}
+
+// acquire grants a token immediately when one is free, else queues.
+func (p *consumptionPool) acquire(onGrant func()) {
+	if p.inUse < p.total {
+		p.inUse++
+		if p.inUse > p.peak {
+			p.peak = p.inUse
+		}
+		onGrant()
+		return
+	}
+	p.waiters.Push(onGrant)
+}
+
+// release returns a token; the head waiter, if any, is granted immediately
+// (the token passes directly to it).
+func (p *consumptionPool) release() {
+	if p.inUse <= 0 {
+		panic("network: release of idle consumption channel")
+	}
+	if !p.waiters.Empty() {
+		grant := p.waiters.Pop()
+		grant()
+		return
+	}
+	p.inUse--
+}

@@ -1,0 +1,145 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// iackEntry is one invalidation-acknowledgment buffer entry at a router
+// interface (Fig. 7 of the paper). An i-reserve worm reserves an entry as
+// it passes; the local node posts its ack into the entry once the cache
+// invalidation completes; an i-gather worm collects the posted ack and
+// frees the entry. In virtual-cut-through deferred-delivery mode the entry
+// additionally provides a message field that can park a blocked gather
+// worm.
+type iackEntry struct {
+	txn      uint64
+	posted   bool
+	deferred *Worm  // VCT mode: gather worm parked awaiting the post
+	waiting  func() // blocking mode: resume for a gather stalled in place
+}
+
+// iackFile is the per-router-interface set of i-ack buffers.
+type iackFile struct {
+	entries []iackEntry
+	free    int
+	// reserveWaiters queues reserve worms stalled on a full buffer file
+	// (hold-and-wait, as the paper describes).
+	reserveWaiters sim.FIFO[func()]
+	peakUsed       int
+}
+
+func newIAckFile(n int) *iackFile {
+	f := &iackFile{entries: make([]iackEntry, n), free: n}
+	for i := range f.entries {
+		f.entries[i] = iackEntry{txn: noTxn}
+	}
+	return f
+}
+
+const noTxn = ^uint64(0)
+
+// reserve allocates an entry for txn, calling onGrant once one is
+// available. Multiple reservations for the same txn at the same interface
+// are a protocol bug and panic.
+func (f *iackFile) reserve(txn uint64, onGrant func()) {
+	if f.find(txn) >= 0 {
+		panic(fmt.Sprintf("network: duplicate i-ack reservation for txn %d", txn))
+	}
+	if f.free == 0 {
+		f.reserveWaiters.Push(func() { f.reserve(txn, onGrant) })
+		return
+	}
+	i := f.findFree()
+	f.entries[i] = iackEntry{txn: txn}
+	f.free--
+	if used := len(f.entries) - f.free; used > f.peakUsed {
+		f.peakUsed = used
+	}
+	onGrant()
+}
+
+// post records the local node's invalidation acknowledgment for txn.
+// It returns a parked gather worm to re-inject (VCT mode) or a resume
+// callback (blocking mode), or nil values when no gather is waiting yet.
+func (f *iackFile) post(txn uint64) (deferred *Worm, resume func()) {
+	i := f.find(txn)
+	if i < 0 {
+		panic(fmt.Sprintf("network: i-ack post for unreserved txn %d", txn))
+	}
+	e := &f.entries[i]
+	if e.posted {
+		panic(fmt.Sprintf("network: duplicate i-ack post for txn %d", txn))
+	}
+	e.posted = true
+	return e.deferred, e.waiting
+}
+
+// collect attempts to pick up the posted ack for txn on behalf of a gather
+// worm. It returns true and frees the entry when the ack is present.
+func (f *iackFile) collect(txn uint64) bool {
+	i := f.find(txn)
+	if i < 0 {
+		panic(fmt.Sprintf("network: i-ack collect for unreserved txn %d", txn))
+	}
+	if !f.entries[i].posted {
+		return false
+	}
+	f.releaseEntry(i)
+	return true
+}
+
+// await registers a blocked gather worm against txn's entry: either parked
+// in the entry's message field (VCT deferred mode, worm non-nil) or
+// stalled in place with a resume callback (blocking mode).
+func (f *iackFile) await(txn uint64, deferred *Worm, resume func()) {
+	i := f.find(txn)
+	if i < 0 {
+		panic(fmt.Sprintf("network: i-ack await for unreserved txn %d", txn))
+	}
+	e := &f.entries[i]
+	if e.deferred != nil || e.waiting != nil {
+		panic(fmt.Sprintf("network: second gather worm waiting on txn %d", txn))
+	}
+	e.deferred = deferred
+	e.waiting = resume
+}
+
+// finish frees txn's entry after a previously-waiting gather proceeds.
+func (f *iackFile) finish(txn uint64) {
+	i := f.find(txn)
+	if i < 0 {
+		panic(fmt.Sprintf("network: i-ack finish for unreserved txn %d", txn))
+	}
+	f.releaseEntry(i)
+}
+
+func (f *iackFile) releaseEntry(i int) {
+	f.entries[i] = iackEntry{txn: noTxn}
+	f.free++
+	if !f.reserveWaiters.Empty() {
+		f.reserveWaiters.Pop()()
+	}
+}
+
+func (f *iackFile) find(txn uint64) int {
+	if txn == noTxn {
+		panic("network: invalid txn id")
+	}
+	for i := range f.entries {
+		if f.entries[i].txn == txn {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *iackFile) findFree() int {
+	for i := range f.entries {
+		if f.entries[i].txn == noTxn {
+			return i
+		}
+	}
+	panic("network: iackFile.findFree with free == 0 accounting bug")
+}

@@ -1,0 +1,564 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config holds the network timing and resource parameters. All times are in
+// the repository's 5 ns base cycles.
+type Config struct {
+	// FlitCycles is the time for one flit to cross one link (2 cycles:
+	// 2-byte flits on a 200 Mbyte/s link).
+	FlitCycles sim.Time
+	// RouterDelay is the header's routing-decision delay per router
+	// (4 cycles = 20 ns).
+	RouterDelay sim.Time
+	// InjectDelay is the header's delay from the network interface into
+	// the local router.
+	InjectDelay sim.Time
+	// ConsumptionChannels is the number of consumption channels from each
+	// router interface to its node; 4 guarantees deadlock freedom for
+	// multidestination worms on a 2-D mesh [39].
+	ConsumptionChannels int
+	// IAckBuffers is the number of i-ack buffer entries per router
+	// interface (the paper proposes 2-4).
+	IAckBuffers int
+	// VirtualChannels is the number of virtual channel lanes multiplexed
+	// over each physical link per virtual network (1 = plain wormhole).
+	VirtualChannels int
+	// VCTDeferred enables virtual-cut-through deferred delivery for
+	// blocked i-gather worms: instead of stalling in the network holding
+	// channels, the worm parks in the i-ack buffer's message field and is
+	// re-injected when the local ack posts [36].
+	VCTDeferred bool
+	// HeaderFlitsUnicast is the routing header length of a unicast worm.
+	HeaderFlitsUnicast int
+	// DestsPerHeaderFlit is how many additional destinations one extra
+	// header flit encodes (bit-string multidestination encoding [37, 38]).
+	DestsPerHeaderFlit int
+}
+
+// DefaultConfig returns the paper's technology point (100 MHz processors,
+// 200 Mbyte/s links, 20 ns routers) expressed in 5 ns cycles.
+func DefaultConfig() Config {
+	return Config{
+		FlitCycles:          2,
+		RouterDelay:         4,
+		InjectDelay:         2,
+		ConsumptionChannels: 4,
+		IAckBuffers:         4,
+		VirtualChannels:     1,
+		VCTDeferred:         false,
+		HeaderFlitsUnicast:  3,
+		DestsPerHeaderFlit:  2,
+	}
+}
+
+// HeaderFlits returns the header length for a worm with the given number of
+// destinations under this config's encoding.
+func (c Config) HeaderFlits(numDests int) int {
+	if numDests <= 1 {
+		return c.HeaderFlitsUnicast
+	}
+	extra := (numDests - 2 + c.DestsPerHeaderFlit) / c.DestsPerHeaderFlit
+	return c.HeaderFlitsUnicast + extra
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Injected   uint64 // worms injected
+	Completed  uint64 // worms fully consumed at their final destination
+	Copies     uint64 // forward-and-absorb copies delivered at intermediates
+	FlitHops   uint64 // sum over worms of flits x links traversed
+	VCTParks   uint64 // gather worms parked by deferred delivery
+	GatherWait uint64 // gather worms that found an ack not yet posted
+}
+
+// Network is the cycle-level wormhole mesh simulator. Deliveries are
+// reported through OnDeliver, which must be set before the first Inject.
+type Network struct {
+	Engine *sim.Engine
+	Mesh   *topology.Mesh
+	Cfg    Config
+	// OnDeliver receives every worm delivery: intermediate copies as the
+	// tail passes each destination, and the final consumption.
+	OnDeliver func(Delivery)
+
+	// injection[vn][node] and links[vn][node][port] are the wormhole
+	// channel sets; cons[node] the consumption pools; iack[node] the
+	// i-ack buffer files.
+	injection [numVNs][]*vcSet
+	links     [numVNs][][]*vcSet
+	cons      []*consumptionPool
+	iack      []*iackFile
+
+	nextID      uint64
+	outstanding int
+	stats       Stats
+	// inFlight tracks injected worms until completion, for Diagnose.
+	inFlight map[uint64]*Worm
+}
+
+// New constructs a network over mesh with the given parameters.
+func New(engine *sim.Engine, mesh *topology.Mesh, cfg Config) *Network {
+	if cfg.FlitCycles == 0 || cfg.HeaderFlitsUnicast == 0 {
+		panic("network: zero-valued Config; use DefaultConfig as a base")
+	}
+	if cfg.ConsumptionChannels <= 0 || cfg.IAckBuffers <= 0 {
+		panic("network: need at least one consumption channel and i-ack buffer")
+	}
+	if cfg.VirtualChannels <= 0 {
+		panic("network: need at least one virtual channel per link")
+	}
+	n := &Network{Engine: engine, Mesh: mesh, Cfg: cfg, inFlight: make(map[uint64]*Worm)}
+	nodes := mesh.Nodes()
+	for vn := 0; vn < int(numVNs); vn++ {
+		n.injection[vn] = make([]*vcSet, nodes)
+		n.links[vn] = make([][]*vcSet, nodes)
+		for id := 0; id < nodes; id++ {
+			n.injection[vn][id] = newVCSet(fmt.Sprintf("inj%d@%d", vn, id), 1)
+			n.links[vn][id] = make([]*vcSet, topology.NumPorts)
+			for p := topology.East; p <= topology.South; p++ {
+				if _, ok := mesh.Neighbor(topology.NodeID(id), p); ok {
+					n.links[vn][id][p] = newVCSet(fmt.Sprintf("link%d@%d.%v", vn, id, p), cfg.VirtualChannels)
+				}
+			}
+		}
+	}
+	n.cons = make([]*consumptionPool, nodes)
+	n.iack = make([]*iackFile, nodes)
+	for id := 0; id < nodes; id++ {
+		n.cons[id] = newConsumptionPool(cfg.ConsumptionChannels)
+		n.iack[id] = newIAckFile(cfg.IAckBuffers)
+	}
+	return n
+}
+
+// Outstanding returns the number of injected worms not yet fully consumed.
+// A positive value after the event queue drains indicates deadlock.
+func (n *Network) Outstanding() int { return n.outstanding }
+
+// Stats returns a copy of the aggregate counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// linkSet returns the virtual channel set from Path[i] to Path[i+1] of w.
+func (n *Network) linkSet(w *Worm, i int) *vcSet {
+	from, to := w.Path[i], w.Path[i+1]
+	for p := topology.East; p <= topology.South; p++ {
+		if nb, ok := n.Mesh.Neighbor(from, p); ok && nb == to {
+			return n.links[w.VN][from][p]
+		}
+	}
+	panic("network: no link between consecutive path nodes")
+}
+
+// Inject launches w at the current simulation time. The worm's Path, Dest,
+// Kind, VN, HeaderFlits and PayloadFlits must be filled in.
+func (n *Network) Inject(w *Worm) {
+	if n.OnDeliver == nil {
+		panic("network: OnDeliver not set")
+	}
+	w.validate(n.Mesh)
+	w.ID = n.nextID
+	n.nextID++
+	w.net = n
+	w.injectedAt = n.Engine.Now()
+	w.state = wormInjecting
+	w.held = make([]sim.Time, len(w.Path))
+	w.lanes = make([]*channel, len(w.Path))
+	w.heldFrom = 0
+	w.consHeld = make(map[int]*consumptionPool)
+	n.outstanding++
+	n.stats.Injected++
+	n.inFlight[w.ID] = w
+	n.stats.FlitHops += uint64(w.Flits()) * uint64(w.Hops())
+
+	if len(w.Path) == 1 {
+		// Degenerate local delivery: no network resources used.
+		n.Engine.After(n.Cfg.InjectDelay+sim.Time(w.Flits())*n.Cfg.FlitCycles, func() {
+			n.finishWorm(w)
+		})
+		return
+	}
+	inj := n.injection[w.VN][w.Source()]
+	inj.acquire(n.Engine.Now(), func(lane *channel) {
+		w.held[0] = n.Engine.Now()
+		w.lanes[0] = lane
+		lane.flits.Add(uint64(w.Flits()))
+		n.Engine.After(n.Cfg.InjectDelay, func() { n.headerAt(w, 0) })
+	})
+}
+
+// headerAt runs when w's header flit arrives at the router of Path[i]
+// (for i == 0, when it enters the source router from the interface).
+func (n *Network) headerAt(w *Worm, i int) {
+	w.state = wormMoving
+	w.hopIdx = i
+	n.Engine.After(n.Cfg.RouterDelay, func() { n.serviceNode(w, i) })
+}
+
+// serviceNode performs destination duties at Path[i] (absorb / reserve /
+// collect) and then moves the header onward.
+func (n *Network) serviceNode(w *Worm, i int) {
+	last := len(w.Path) - 1
+	if !w.Dest[i] || i == last || i == 0 {
+		n.requestNext(w, i)
+		return
+	}
+	switch w.Kind {
+	case Multicast:
+		// Forward-and-absorb: hold a consumption channel while the copy
+		// streams to the node; released when the tail passes.
+		n.acquireCons(w, i, func() { n.requestNext(w, i) })
+	case Reserve:
+		n.acquireCons(w, i, func() {
+			n.iack[w.Path[i]].reserve(w.TxnID, func() { n.requestNext(w, i) })
+		})
+	case Gather:
+		n.gatherCollect(w, i)
+	default:
+		panic("network: unicast worm serviced at intermediate destination")
+	}
+}
+
+func (n *Network) acquireCons(w *Worm, i int, onGrant func()) {
+	w.state = wormBlocked
+	pool := n.cons[w.Path[i]]
+	pool.acquire(func() {
+		w.consHeld[i] = pool
+		w.state = wormMoving
+		onGrant()
+	})
+}
+
+// gatherCollect implements the i-gather pickup at an intermediate
+// destination: proceed immediately when the i-ack is posted, otherwise
+// stall in place (blocking mode) or park in the buffer's message field
+// (VCT deferred-delivery mode).
+func (n *Network) gatherCollect(w *Worm, i int) {
+	file := n.iack[w.Path[i]]
+	if file.collect(w.TxnID) {
+		n.requestNext(w, i)
+		return
+	}
+	n.stats.GatherWait++
+	if n.Cfg.VCTDeferred {
+		// Park: the worm is absorbed into the buffer entry, releasing every
+		// channel it holds, and re-injected at this router when the local
+		// ack posts.
+		n.stats.VCTParks++
+		w.state = wormDeferred
+		now := n.Engine.Now()
+		for w.heldFrom <= i {
+			n.releaseIndex(w, w.heldFrom, now)
+		}
+		file.await(w.TxnID, w, nil)
+		return
+	}
+	w.state = wormBlocked
+	file.await(w.TxnID, nil, func() {
+		file.finish(w.TxnID)
+		w.state = wormMoving
+		n.requestNext(w, i)
+	})
+}
+
+// PostAck records node's invalidation acknowledgment for txn into the local
+// i-ack buffer entry and wakes any gather worm waiting for it.
+func (n *Network) PostAck(node topology.NodeID, txn uint64) {
+	deferred, resume := n.iack[node].post(txn)
+	switch {
+	case deferred != nil:
+		n.iack[node].finish(txn)
+		n.reinjectGather(deferred)
+	case resume != nil:
+		resume()
+	}
+}
+
+// reinjectGather re-launches a VCT-parked gather worm from the router where
+// it was parked.
+func (n *Network) reinjectGather(w *Worm) {
+	i := w.hopIdx
+	inj := n.injection[w.VN][w.Path[i]]
+	inj.acquire(n.Engine.Now(), func(lane *channel) {
+		w.held[i] = n.Engine.Now()
+		w.lanes[i] = lane
+		w.heldFrom = i
+		lane.flits.Add(uint64(w.Flits()))
+		// The parked copy occupies the injection channel as index i; mark it
+		// with a sentinel so releaseIndex releases the right channel.
+		w.reinjectedAt = append(w.reinjectedAt, i)
+		n.Engine.After(n.Cfg.InjectDelay, func() { n.requestNext(w, i) })
+	})
+}
+
+// requestNext moves w's header from Path[i] toward Path[i+1], or begins the
+// final drain when i is the last hop.
+func (n *Network) requestNext(w *Worm, i int) {
+	last := len(w.Path) - 1
+	if i == last {
+		w.state = wormBlocked
+		pool := n.cons[w.Path[i]]
+		pool.acquire(func() { n.drain(w, pool) })
+		return
+	}
+	set := n.linkSet(w, i)
+	w.state = wormBlocked
+	set.acquire(n.Engine.Now(), func(lane *channel) {
+		now := n.Engine.Now()
+		w.state = wormMoving
+		w.held[i+1] = now
+		w.lanes[i+1] = lane
+		lane.flits.Add(uint64(w.Flits()))
+		// Tail progress: with single-flit staging, the worm spans at most
+		// Flits() channels; anything further back has been vacated.
+		for w.heldFrom <= i+1-w.Flits() {
+			n.releaseIndex(w, w.heldFrom, now)
+		}
+		n.Engine.After(n.Cfg.FlitCycles, func() { n.headerAt(w, i+1) })
+	})
+}
+
+// drain consumes the worm at its final destination. The consumption pool
+// token is held until the tail is consumed; held channels release in tail
+// order.
+func (n *Network) drain(w *Worm, pool *consumptionPool) {
+	w.state = wormDraining
+	start := n.Engine.Now()
+	hops := sim.Time(w.Hops())
+	flits := sim.Time(w.Flits())
+	end := start + flits*n.Cfg.FlitCycles
+	// Stagger channel releases as the tail crosses each remaining link.
+	for j := w.heldFrom; j < len(w.Path); j++ {
+		j := j
+		rel := end
+		if behind := hops - sim.Time(j); behind < flits {
+			rel = end - behind*n.Cfg.FlitCycles
+		} else {
+			rel = start
+		}
+		if rel < start {
+			rel = start
+		}
+		n.Engine.At(rel, func() {
+			if w.heldFrom == j {
+				n.releaseIndex(w, j, rel)
+			}
+		})
+	}
+	n.Engine.At(end, func() {
+		for w.heldFrom < len(w.Path) {
+			n.releaseIndex(w, w.heldFrom, end)
+		}
+		pool.release()
+		n.finishWorm(w)
+	})
+}
+
+func (n *Network) finishWorm(w *Worm) {
+	w.state = wormDone
+	n.outstanding--
+	delete(n.inFlight, w.ID)
+	n.stats.Completed++
+	n.OnDeliver(Delivery{Node: w.Final(), Worm: w, Final: true})
+}
+
+// releaseIndex releases w's channel index j (0 or a re-injection point =
+// injection channel, otherwise the link into Path[j]) and performs the
+// tail-pass duties at node j: delivering forward-and-absorb copies and
+// freeing the consumption channel held there.
+func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
+	if j != w.heldFrom {
+		panic("network: out-of-order channel release")
+	}
+	w.heldFrom++
+	if j == 0 || w.wasReinjectedAt(j) {
+		n.injection[w.VN][w.Path[j]].release(w.lanes[j], now)
+	} else {
+		n.linkSet(w, j-1).release(w.lanes[j], now)
+	}
+	w.lanes[j] = nil
+	if j > 0 && j < len(w.Path)-1 && w.Dest[j] {
+		if pool, ok := w.consHeld[j]; ok {
+			delete(w.consHeld, j)
+			pool.release()
+			n.stats.Copies++
+			n.OnDeliver(Delivery{Node: w.Path[j], Worm: w, Final: false})
+		}
+	}
+}
+
+func (w *Worm) wasReinjectedAt(j int) bool {
+	for _, r := range w.reinjectedAt {
+		if r == j {
+			return true
+		}
+	}
+	return false
+}
+
+// AvgLinkUtilization returns the mean busy fraction over all link channels
+// up to the current time.
+func (n *Network) AvgLinkUtilization() float64 {
+	now := n.Engine.Now()
+	var sum float64
+	var count int
+	for vn := 0; vn < int(numVNs); vn++ {
+		for _, ports := range n.links[vn] {
+			for _, set := range ports {
+				if set == nil {
+					continue
+				}
+				for _, ch := range set.chans {
+					sum += ch.utilization(now)
+					count++
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// MaxLinkUtilization returns the busiest link channel's busy fraction, a
+// hot-spot indicator.
+func (n *Network) MaxLinkUtilization() float64 {
+	now := n.Engine.Now()
+	var max float64
+	for vn := 0; vn < int(numVNs); vn++ {
+		for _, ports := range n.links[vn] {
+			for _, set := range ports {
+				if set == nil {
+					continue
+				}
+				for _, ch := range set.chans {
+					if u := ch.utilization(now); u > max {
+						max = u
+					}
+				}
+			}
+		}
+	}
+	return max
+}
+
+// PeakConsumptionUse returns the highest simultaneous consumption-channel
+// occupancy observed at node.
+func (n *Network) PeakConsumptionUse(node topology.NodeID) int {
+	return n.cons[node].peak
+}
+
+// PeakIAckUse returns the highest simultaneous i-ack buffer occupancy
+// observed at node.
+func (n *Network) PeakIAckUse(node topology.NodeID) int {
+	return n.iack[node].peakUsed
+}
+
+// Diagnose describes every in-flight worm and what it is waiting on — the
+// tool to reach for when the event queue drains while Outstanding() > 0
+// (deadlock). The output names the worm, its position on its path, and
+// its blocking resource.
+func (n *Network) Diagnose() string {
+	if n.outstanding == 0 {
+		return "network: quiesced, no worms in flight"
+	}
+	ids := make([]uint64, 0, len(n.inFlight))
+	for id := range n.inFlight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "network: %d worm(s) in flight\n", n.outstanding)
+	for _, id := range ids {
+		w := n.inFlight[id]
+		if w.state == wormDone {
+			continue
+		}
+		fmt.Fprintf(&b, "  worm %d (%v, %v vn) at hop %d/%d of %v->%v: %s\n",
+			w.ID, w.Kind, w.VN, w.hopIdx, w.Hops(),
+			n.Mesh.Coord(w.Source()), n.Mesh.Coord(w.Final()), n.describeWait(w))
+	}
+	return b.String()
+}
+
+// describeWait names the resource a worm is blocked on.
+func (n *Network) describeWait(w *Worm) string {
+	switch w.state {
+	case wormQueued, wormInjecting:
+		return "waiting for its injection channel"
+	case wormMoving:
+		return "moving"
+	case wormDraining:
+		return "draining at its final destination"
+	case wormDeferred:
+		return fmt.Sprintf("VCT-parked at %v awaiting the local i-ack post",
+			n.Mesh.Coord(w.Path[w.hopIdx]))
+	case wormBlocked:
+		i := w.hopIdx
+		node := w.Path[i]
+		if i == len(w.Path)-1 {
+			return fmt.Sprintf("waiting for a consumption channel at %v", n.Mesh.Coord(node))
+		}
+		if w.Kind == Gather && w.Dest[i] {
+			return fmt.Sprintf("gather stalled at %v: i-ack for txn %d not posted",
+				n.Mesh.Coord(node), w.TxnID)
+		}
+		return fmt.Sprintf("waiting at %v for the link toward %v (or a consumption channel / i-ack buffer there)",
+			n.Mesh.Coord(node), n.Mesh.Coord(w.Path[i+1]))
+	}
+	return "unknown state"
+}
+
+// LinkUtilization returns the mean busy fraction of the virtual-channel
+// lanes on node's outgoing link through port on vn, up to the current
+// time. It returns 0 for absent links (mesh edges, local port).
+func (n *Network) LinkUtilization(node topology.NodeID, port topology.Port, vn VN) float64 {
+	if port < topology.East || port > topology.South {
+		return 0
+	}
+	set := n.links[vn][node][port]
+	if set == nil {
+		return 0
+	}
+	now := n.Engine.Now()
+	var sum float64
+	for _, ch := range set.chans {
+		sum += ch.utilization(now)
+	}
+	return sum / float64(len(set.chans))
+}
+
+// DimUtilization returns, per node, the mean utilization of its outgoing
+// links in one dimension ('x' = east/west, 'y' = north/south) on vn —
+// the congestion map of the paper's hot-spot discussion.
+func (n *Network) DimUtilization(vn VN, dim byte) []float64 {
+	out := make([]float64, n.Mesh.Nodes())
+	for id := 0; id < n.Mesh.Nodes(); id++ {
+		var ports []topology.Port
+		if dim == 'x' {
+			ports = []topology.Port{topology.East, topology.West}
+		} else {
+			ports = []topology.Port{topology.North, topology.South}
+		}
+		var sum float64
+		var cnt int
+		for _, p := range ports {
+			if n.links[vn][id][p] != nil {
+				sum += n.LinkUtilization(topology.NodeID(id), p, vn)
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			out[id] = sum / float64(cnt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package network is a cycle-level wormhole-routed 2-D mesh network
+// simulator with multidestination message passing support: unicast worms,
+// multicast worms with forward-and-absorb, i-reserve worms that reserve
+// invalidation-acknowledgment (i-ack) buffer entries at router interfaces,
+// and i-gather worms that collect the posted i-acks on their way back to
+// the home node (blocking or virtual-cut-through deferred-delivery mode),
+// as proposed by Dai and Panda for wormhole-routed DSMs.
+//
+// Two logically separate virtual networks carry coherence traffic, the
+// usual arrangement for avoiding request-reply protocol deadlock. Worms on
+// the request network follow the base routing (e-cube XY or west-first);
+// worms on the reply network follow the *reverse* base routing (Y-then-X
+// for e-cube), so an i-gather worm that retraces an i-reserve worm's path
+// backwards is base-routing conformed on its own network and the BRCP
+// deadlock-freedom argument applies unchanged.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind classifies a worm.
+type Kind int
+
+const (
+	// Unicast is an ordinary single-destination worm.
+	Unicast Kind = iota
+	// Multicast is a multidestination worm using forward-and-absorb at each
+	// intermediate destination's router interface (needs a consumption
+	// channel there) without touching i-ack buffers. Used by the MI-UA
+	// framework and the BR broadcast comparator.
+	Multicast
+	// Reserve is an i-reserve worm: a multicast worm that additionally
+	// reserves an i-ack buffer entry at every destination's router
+	// interface so a later gather worm can pick up the acknowledgment.
+	Reserve
+	// Gather is an i-gather worm: it visits destinations and must collect
+	// a posted i-ack from each router interface's i-ack buffer before
+	// moving on; it consumes no consumption channels at intermediate
+	// destinations.
+	Gather
+)
+
+var kindNames = [...]string{"unicast", "multicast", "reserve", "gather"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// VN selects a virtual network.
+type VN int
+
+const (
+	// Request carries processor-to-home and home-to-sharer traffic.
+	Request VN = iota
+	// Reply carries responses back; routed with the reverse base routing.
+	Reply
+	numVNs
+)
+
+func (v VN) String() string {
+	if v == Request {
+		return "request"
+	}
+	return "reply"
+}
+
+// wormState tracks where a worm is in its lifecycle.
+type wormState int
+
+const (
+	wormQueued wormState = iota // created, not yet injected
+	wormInjecting
+	wormMoving   // header advancing hop by hop
+	wormBlocked  // waiting on a channel, consumption channel, buffer or ack
+	wormDeferred // VCT-parked in an i-ack buffer awaiting the local ack
+	wormDraining // header reached final destination; body being consumed
+	wormDone
+)
+
+// Worm is one message in flight. Construct with the network's Send helpers
+// or fill the exported fields and call Inject.
+type Worm struct {
+	// ID is assigned at injection and unique per network.
+	ID uint64
+	// Kind selects unicast/multicast/reserve/gather behavior.
+	Kind Kind
+	// VN is the virtual network the worm travels on.
+	VN VN
+	// Path is the full node sequence from source to final destination,
+	// inclusive. It must follow mesh links hop by hop.
+	Path []topology.NodeID
+	// Dest flags, per Path index, the intermediate and final destinations.
+	// Dest[0] (the source) must be false; Dest[len(Path)-1] must be true.
+	Dest []bool
+	// PayloadFlits is the data length in flits (excluding header).
+	PayloadFlits int
+	// HeaderFlits is the routing header length in flits.
+	HeaderFlits int
+	// TxnID associates reserve and gather worms of one invalidation
+	// transaction for i-ack buffer matching.
+	TxnID uint64
+	// Tag carries an opaque protocol payload delivered with the worm.
+	Tag any
+
+	state      wormState
+	hopIdx     int // path index of the header's current router
+	injectedAt sim.Time
+	// reinjectedAt records path indexes where a VCT-parked gather worm was
+	// re-injected; those channel indexes map to injection channels, not
+	// link channels.
+	reinjectedAt []int
+	// held[i] is the acquisition time of channel index i (0 = injection
+	// channel, i >= 1 = link into Path[i]); lanes[i] is the virtual
+	// channel lane granted for that index; heldFrom marks the lowest
+	// still-held channel index.
+	held     []sim.Time
+	lanes    []*channel
+	heldFrom int
+	// consHeld maps path indexes to consumption-channel tokens held at
+	// intermediate destinations until the tail passes.
+	consHeld map[int]*consumptionPool
+	net      *Network
+}
+
+// Flits returns the total worm length in flits (header plus payload).
+func (w *Worm) Flits() int { return w.HeaderFlits + w.PayloadFlits }
+
+// InjectedAt returns the time the worm entered the network.
+func (w *Worm) InjectedAt() sim.Time { return w.injectedAt }
+
+// Hops returns the number of links the worm traverses.
+func (w *Worm) Hops() int { return len(w.Path) - 1 }
+
+// Source returns the injecting node.
+func (w *Worm) Source() topology.NodeID { return w.Path[0] }
+
+// Final returns the final destination node.
+func (w *Worm) Final() topology.NodeID { return w.Path[len(w.Path)-1] }
+
+// Destinations returns the worm's destinations in path order.
+func (w *Worm) Destinations() []topology.NodeID {
+	var out []topology.NodeID
+	for i, d := range w.Dest {
+		if d {
+			out = append(out, w.Path[i])
+		}
+	}
+	return out
+}
+
+// validate panics on structurally inconsistent worms: these are model bugs.
+func (w *Worm) validate(m *topology.Mesh) {
+	if len(w.Path) == 0 {
+		panic("network: worm with empty path")
+	}
+	if len(w.Dest) != len(w.Path) {
+		panic("network: worm Dest length mismatch")
+	}
+	if !w.Dest[len(w.Path)-1] {
+		panic("network: worm final path node must be a destination")
+	}
+	if len(w.Path) > 1 && w.Dest[0] {
+		panic("network: worm source must not be a destination")
+	}
+	if w.HeaderFlits <= 0 {
+		panic("network: worm needs at least one header flit")
+	}
+	for i := 1; i < len(w.Path); i++ {
+		if m.Distance(w.Path[i-1], w.Path[i]) != 1 {
+			panic(fmt.Sprintf("network: worm path not hop-contiguous at %d", i))
+		}
+	}
+	if w.Kind == Unicast {
+		for i := 1; i < len(w.Path)-1; i++ {
+			if w.Dest[i] {
+				panic("network: unicast worm with intermediate destination")
+			}
+		}
+	}
+}
+
+// Delivery reports one worm arrival at one destination to the protocol
+// layer.
+type Delivery struct {
+	// Node is the destination receiving this copy.
+	Node topology.NodeID
+	// Worm is the delivered worm; Tag carries the protocol payload.
+	Worm *Worm
+	// Final is true at the worm's last destination (where the worm is
+	// consumed), false for forward-and-absorb copies at intermediate
+	// destinations.
+	Final bool
+}

@@ -1,0 +1,142 @@
+// Package report renders fixed-width tables and CSV series for the
+// experiment harnesses, so every table and figure of the paper regenerates
+// with the same code from benches, CLIs and examples.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	title   string
+	columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{title: title, columns: columns}
+}
+
+// Row appends a row; cells are formatted with %v, floats with %.1f.
+func (t *Table) Row(cells ...any) *Table {
+	if len(cells) != len(t.columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.columns)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Float3 renders with three decimal places (for ratios and normalized
+// values); plain float64 cells render with one.
+type Float3 float64
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case Float3:
+		return fmt.Sprintf("%.3f", float64(v))
+	case float64:
+		return fmt.Sprintf("%.1f", v)
+	case float32:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// String renders the table with a title line, aligned columns and a rule.
+func (t *Table) String() string {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows), suitable
+// for plotting the paper's figures.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rows returns the number of data rows added so far.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col), for tests.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// Heatmap renders a W x H grid of values as an ASCII intensity map
+// (row-major input, row 0 printed at the bottom like the mesh drawings).
+// Values are normalized to the maximum; the scale runs " .:-=+*#%@".
+func Heatmap(title string, values []float64, w, h int) string {
+	if len(values) != w*h {
+		panic(fmt.Sprintf("report: heatmap got %d values for %dx%d", len(values), w, h))
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	const scale = " .:-=+*#%@"
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (max %.4f)\n", title, max)
+	}
+	for y := h - 1; y >= 0; y-- {
+		for x := 0; x < w; x++ {
+			v := values[y*w+x]
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(scale)-1))
+			}
+			b.WriteByte(scale[idx])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.Row("alpha", 1)
+	tab.Row("beta", 22.5)
+	out := tab.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22.5") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5: %q", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the header.
+	if len(lines[3]) < len("name  value") {
+		t.Fatalf("row narrower than header: %q", lines[3])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.Row(1)
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Fatal("empty title produced leading newline")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.Row(1.23456)
+	tab.Row(Float3(1.23456))
+	tab.Row(float32(2.5))
+	if tab.Cell(0, 0) != "1.2" {
+		t.Fatalf("float64 cell = %q, want 1.2", tab.Cell(0, 0))
+	}
+	if tab.Cell(1, 0) != "1.235" {
+		t.Fatalf("Float3 cell = %q, want 1.235", tab.Cell(1, 0))
+	}
+	if tab.Cell(2, 0) != "2.5" {
+		t.Fatalf("float32 cell = %q, want 2.5", tab.Cell(2, 0))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("Ignored In CSV", "x", "y")
+	tab.Row(1, 2.0)
+	tab.Row(3, 4.5)
+	want := "x,y\n1,2.0\n3,4.5\n"
+	if got := tab.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestRowArityMismatchPanics(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("short row did not panic")
+		}
+	}()
+	tab.Row(1)
+}
+
+func TestRowsAndCell(t *testing.T) {
+	tab := NewTable("t", "a")
+	if tab.Rows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tab.Row("x").Row("y")
+	if tab.Rows() != 2 || tab.Cell(1, 0) != "y" {
+		t.Fatalf("Rows/Cell wrong: %d %q", tab.Rows(), tab.Cell(1, 0))
+	}
+}
+
+func TestWideCellsExpandColumns(t *testing.T) {
+	tab := NewTable("t", "c")
+	tab.Row("a-very-long-cell-value")
+	lines := strings.Split(strings.TrimRight(tab.String(), "\n"), "\n")
+	rule := lines[2]
+	if len(rule) < len("a-very-long-cell-value") {
+		t.Fatalf("rule shorter than widest cell: %q", rule)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	vals := []float64{0, 0.5, 1, 0} // 2x2: (0,0)=0 (1,0)=.5 (0,1)=1 (1,1)=0
+	out := Heatmap("t", vals, 2, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Row y=1 prints first: max value '@' at x=0.
+	if lines[1][0] != '@' {
+		t.Fatalf("hottest cell not '@': %q", lines[1])
+	}
+	// Row y=0: zero at x=0 (space), mid at x=1.
+	if lines[2][0] != ' ' {
+		t.Fatalf("cold cell not blank: %q", lines[2])
+	}
+	if lines[2][2] == ' ' || lines[2][2] == '@' {
+		t.Fatalf("mid cell wrong: %q", lines[2])
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	out := Heatmap("", []float64{0, 0}, 2, 1)
+	if strings.ContainsAny(out, ".:-=+*#%@") {
+		t.Fatalf("all-zero heatmap not blank: %q", out)
+	}
+}
+
+func TestHeatmapSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	Heatmap("", []float64{1}, 2, 2)
+}

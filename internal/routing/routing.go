@@ -1,0 +1,448 @@
+// Package routing implements the base unicast routing schemes of the paper
+// (deterministic e-cube / XY and the west-first turn model) together with
+// the BRCP (Base-Routing-Conformed-Path) machinery: constructing and
+// validating the paths multidestination worms follow.
+//
+// Under the BRCP model a multidestination worm must traverse a path that the
+// base unicast routing could itself have produced; this is what lets the
+// worms share the base routing's deadlock-freedom proof without extra
+// virtual channels. For e-cube XY routing a conformed path is a monotone
+// run of X hops followed by a monotone run of Y hops. For west-first, all
+// westward hops must precede every other hop, and the path may thereafter
+// mix {east, north, south} hops freely as long as it never makes a 180
+// degree reversal.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Base selects a base unicast routing scheme.
+type Base int
+
+const (
+	// ECube is deterministic dimension-ordered XY routing [6].
+	ECube Base = iota
+	// WestFirst is the west-first turn model [15]: a packet makes all its
+	// westward hops first and thereafter routes adaptively among east,
+	// north and south.
+	WestFirst
+	// PlanarAdaptive is planar-adaptive routing [5]: within the 2-D plane a
+	// packet may take any minimal path, so a conformed path is any
+	// monotone staircase (at most one direction per dimension, freely
+	// interleaved) — which lets one multidestination worm cover a set of
+	// destinations along any diagonal, as the paper observes.
+	PlanarAdaptive
+)
+
+func (b Base) String() string {
+	switch b {
+	case ECube:
+		return "ecube"
+	case WestFirst:
+		return "west-first"
+	case PlanarAdaptive:
+		return "planar-adaptive"
+	}
+	return fmt.Sprintf("base(%d)", int(b))
+}
+
+// NextPort returns the output port the base routing uses at cur to advance
+// toward dst, or topology.Local when cur == dst.
+//
+// Both schemes are simulated deterministically: e-cube is deterministic by
+// definition, and for west-first we fix the canonical minimal choice
+// (west hops first, then east, then the Y dimension), which is one of the
+// routes the adaptive router is permitted to take. The turn model's
+// *adaptivity* is exploited where the paper exploits it: in the extra
+// multidestination paths that PathThrough admits.
+func (b Base) NextPort(m *topology.Mesh, cur, dst topology.NodeID) topology.Port {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	switch b {
+	case ECube, PlanarAdaptive:
+		// Planar-adaptive permits any minimal path; the canonical
+		// deterministic choice is dimension order, which conforms.
+		if cc.X != cd.X {
+			return m.PortToward(cur, dst, 'x')
+		}
+		if cc.Y != cd.Y {
+			return m.PortToward(cur, dst, 'y')
+		}
+		return topology.Local
+	case WestFirst:
+		if cd.X < cc.X {
+			return topology.West
+		}
+		if cd.X > cc.X {
+			return topology.East
+		}
+		if cc.Y != cd.Y {
+			return m.PortToward(cur, dst, 'y')
+		}
+		return topology.Local
+	}
+	panic("routing: unknown base " + b.String())
+}
+
+// UnicastPath returns the node sequence (inclusive of src and dst) the base
+// routing takes from src to dst.
+func (b Base) UnicastPath(m *topology.Mesh, src, dst topology.NodeID) []topology.NodeID {
+	path := []topology.NodeID{src}
+	cur := src
+	for cur != dst {
+		p := b.NextPort(m, cur, dst)
+		next, ok := m.Neighbor(cur, p)
+		if !ok {
+			panic(fmt.Sprintf("routing: %v fell off mesh at %v toward %v", b, m.Coord(cur), m.Coord(dst)))
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// Moves converts a node path into its sequence of hop directions.
+// It panics if consecutive nodes are not mesh neighbors.
+func Moves(m *topology.Mesh, path []topology.NodeID) []topology.Port {
+	if len(path) < 2 {
+		return nil
+	}
+	moves := make([]topology.Port, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		moves = append(moves, hopDir(m, path[i-1], path[i]))
+	}
+	return moves
+}
+
+func hopDir(m *topology.Mesh, from, to topology.NodeID) topology.Port {
+	cf, ct := m.Coord(from), m.Coord(to)
+	dx, dy := ct.X-cf.X, ct.Y-cf.Y
+	if m.Wrap() {
+		// Normalize wraparound hops to unit steps.
+		if dx == -(m.Width() - 1) {
+			dx = 1
+		} else if dx == m.Width()-1 {
+			dx = -1
+		}
+		if dy == -(m.Height() - 1) {
+			dy = 1
+		} else if dy == m.Height()-1 {
+			dy = -1
+		}
+	}
+	switch {
+	case dx == 1 && dy == 0:
+		return topology.East
+	case dx == -1 && dy == 0:
+		return topology.West
+	case dx == 0 && dy == 1:
+		return topology.North
+	case dx == 0 && dy == -1:
+		return topology.South
+	}
+	panic(fmt.Sprintf("routing: %v -> %v is not a single hop", cf, ct))
+}
+
+// Conformance is modelled as a tiny DFA per base routing: a path conforms
+// iff the DFA accepts its move sequence. The DFA state also drives the
+// backtracking search in PathThrough.
+type dfaState int8
+
+const (
+	dfaStart dfaState = iota
+	dfaWest           // west-first only: still in the initial westward phase
+	dfaEast
+	dfaNorth
+	dfaSouth
+	dfaFail = dfaState(-1)
+)
+
+// stateCount returns the size of the base routing's conformance DFA.
+func (b Base) stateCount() int {
+	if b == PlanarAdaptive {
+		// (x direction: unset/E/W) x (y direction: unset/N/S).
+		return 9
+	}
+	return 5
+}
+
+// step advances the conformance DFA by one hop direction.
+func (b Base) step(s dfaState, mv topology.Port) dfaState {
+	if s == dfaFail {
+		return dfaFail
+	}
+	switch b {
+	case PlanarAdaptive:
+		// State packs (xdir, ydir); a move must match or set its
+		// dimension's direction (monotone staircase).
+		x, y := int(s)/3, int(s)%3
+		switch mv {
+		case topology.East:
+			if x == 2 {
+				return dfaFail
+			}
+			x = 1
+		case topology.West:
+			if x == 1 {
+				return dfaFail
+			}
+			x = 2
+		case topology.North:
+			if y == 2 {
+				return dfaFail
+			}
+			y = 1
+		case topology.South:
+			if y == 1 {
+				return dfaFail
+			}
+			y = 2
+		default:
+			return dfaFail
+		}
+		return dfaState(x*3 + y)
+	case ECube:
+		switch s {
+		case dfaStart:
+			return dirState(mv)
+		case dfaEast, dfaWest:
+			// X run may continue in the same direction or turn into a Y run.
+			if dirState(mv) == s || mv == topology.North || mv == topology.South {
+				return dirState(mv)
+			}
+		case dfaNorth, dfaSouth:
+			if dirState(mv) == s {
+				return s
+			}
+		}
+		return dfaFail
+	case WestFirst:
+		switch s {
+		case dfaStart, dfaWest:
+			return dirState(mv) // any first/continuing move is legal
+		case dfaEast:
+			if mv != topology.West {
+				return dirState(mv)
+			}
+		case dfaNorth:
+			if mv == topology.North || mv == topology.East {
+				return dirState(mv)
+			}
+		case dfaSouth:
+			if mv == topology.South || mv == topology.East {
+				return dirState(mv)
+			}
+		}
+		return dfaFail
+	}
+	panic("routing: unknown base " + b.String())
+}
+
+func dirState(mv topology.Port) dfaState {
+	switch mv {
+	case topology.East:
+		return dfaEast
+	case topology.West:
+		return dfaWest
+	case topology.North:
+		return dfaNorth
+	case topology.South:
+		return dfaSouth
+	}
+	return dfaFail
+}
+
+// Conforms reports whether a hop-direction sequence is a path the base
+// routing could produce (the BRCP validity condition).
+func (b Base) Conforms(moves []topology.Port) bool {
+	s := dfaStart
+	for _, mv := range moves {
+		s = b.step(s, mv)
+		if s == dfaFail {
+			return false
+		}
+	}
+	return true
+}
+
+// legShape is one way to realize a leg between consecutive waypoints.
+type legShape int8
+
+const (
+	shapeXY legShape = iota // all X hops, then all Y hops
+	shapeYX                 // all Y hops, then all X hops
+)
+
+// legOpt is one concrete realization of a leg: a shape plus an explicit
+// direction and hop count per dimension. Meshes admit one direction per
+// dimension; tori admit both ways around each ring.
+type legOpt struct {
+	shape        legShape
+	xPort, yPort topology.Port
+	xHops, yHops int
+}
+
+// PathThrough builds the full node path of a multidestination worm that
+// starts at waypoints[0] and visits the remaining waypoints in order,
+// choosing for every leg between the X-then-Y and Y-then-X realization so
+// that the *concatenated* path conforms to the base routing (BRCP). The
+// Y-then-X option is what lets a west-first worm snake boustrophedon-style
+// across columns (the N->E, E->S, S->E, E->N turns are all legal under the
+// turn model).
+//
+// It returns an error when the waypoint sequence admits no conformed path;
+// callers (the grouping schemes) treat that as "this set needs another
+// worm". The search is a DFS over leg shapes memoized on (leg index, DFA
+// state), so it runs in O(legs x states).
+func (b Base) PathThrough(m *topology.Mesh, waypoints []topology.NodeID) ([]topology.NodeID, error) {
+	if len(waypoints) == 0 {
+		return nil, fmt.Errorf("routing: empty waypoint list")
+	}
+	if len(waypoints) == 1 {
+		return []topology.NodeID{waypoints[0]}, nil
+	}
+	nLegs := len(waypoints) - 1
+	// dead[i][s] records that no completion exists from waypoint i in DFA
+	// state s.
+	states := b.stateCount()
+	dead := make([][]bool, nLegs)
+	for i := range dead {
+		dead[i] = make([]bool, states)
+	}
+	chosen := make([]legOpt, nLegs)
+
+	var dfs func(leg int, s dfaState) bool
+	dfs = func(leg int, s dfaState) bool {
+		if leg == nLegs {
+			return true
+		}
+		if dead[leg][s] {
+			return false
+		}
+		for _, opt := range legOptions(m, waypoints[leg], waypoints[leg+1]) {
+			ns := b.runLeg(s, opt)
+			if ns == dfaFail {
+				continue
+			}
+			if dfs(leg+1, ns) {
+				chosen[leg] = opt
+				return true
+			}
+		}
+		dead[leg][s] = true
+		return false
+	}
+	if !dfs(0, dfaStart) {
+		return nil, fmt.Errorf("routing: no %v-conformed path through %d waypoints from %v",
+			b, len(waypoints), m.Coord(waypoints[0]))
+	}
+
+	path := []topology.NodeID{waypoints[0]}
+	for leg := 0; leg < nLegs; leg++ {
+		path = appendLeg(m, path, waypoints[leg], chosen[leg])
+	}
+	return path, nil
+}
+
+// legOptions enumerates a leg's concrete realizations: shape order times,
+// on a torus, the two ways around each ring. Shorter-direction candidates
+// come first so the DFS prefers minimal legs.
+func legOptions(m *topology.Mesh, a, bn topology.NodeID) []legOpt {
+	ca, cb := m.Coord(a), m.Coord(bn)
+	xs := dimChoices(ca.X, cb.X, m.Width(), topology.East, topology.West, m.Wrap())
+	ys := dimChoices(ca.Y, cb.Y, m.Height(), topology.North, topology.South, m.Wrap())
+	shapes := []legShape{shapeXY, shapeYX}
+	if ca.X == cb.X || ca.Y == cb.Y {
+		shapes = shapes[:1]
+	}
+	var out []legOpt
+	for _, sh := range shapes {
+		for _, x := range xs {
+			for _, y := range ys {
+				out = append(out, legOpt{shape: sh,
+					xPort: x.port, xHops: x.hops, yPort: y.port, yHops: y.hops})
+			}
+		}
+	}
+	return out
+}
+
+type dimChoice struct {
+	port topology.Port
+	hops int
+}
+
+// dimChoices returns the ways to cover one dimension's offset: the direct
+// direction on a mesh, both ring directions (shortest first) on a torus.
+func dimChoices(from, to, size int, fwd, bwd topology.Port, wrap bool) []dimChoice {
+	if from == to {
+		return []dimChoice{{port: fwd, hops: 0}}
+	}
+	if !wrap {
+		if to > from {
+			return []dimChoice{{port: fwd, hops: to - from}}
+		}
+		return []dimChoice{{port: bwd, hops: from - to}}
+	}
+	f := (to - from + size) % size
+	choices := []dimChoice{{port: fwd, hops: f}, {port: bwd, hops: size - f}}
+	if choices[1].hops < choices[0].hops {
+		choices[0], choices[1] = choices[1], choices[0]
+	}
+	return choices
+}
+
+// runLeg advances the DFA across one leg realization without materializing
+// the path.
+func (b Base) runLeg(s dfaState, opt legOpt) dfaState {
+	order := [2]struct {
+		mv topology.Port
+		n  int
+	}{{opt.xPort, opt.xHops}, {opt.yPort, opt.yHops}}
+	if opt.shape == shapeYX {
+		order[0], order[1] = order[1], order[0]
+	}
+	for _, run := range order {
+		for i := 0; i < run.n; i++ {
+			s = b.step(s, run.mv)
+			if s == dfaFail {
+				return dfaFail
+			}
+		}
+	}
+	return s
+}
+
+// appendLeg extends path (currently ending at a) with the nodes of the leg
+// realization, excluding a itself.
+func appendLeg(m *topology.Mesh, path []topology.NodeID, a topology.NodeID, opt legOpt) []topology.NodeID {
+	order := [2]struct {
+		mv topology.Port
+		n  int
+	}{{opt.xPort, opt.xHops}, {opt.yPort, opt.yHops}}
+	if opt.shape == shapeYX {
+		order[0], order[1] = order[1], order[0]
+	}
+	cur := a
+	for _, run := range order {
+		for i := 0; i < run.n; i++ {
+			next, ok := m.Neighbor(cur, run.mv)
+			if !ok {
+				panic("routing: leg fell off mesh")
+			}
+			path = append(path, next)
+			cur = next
+		}
+	}
+	return path
+}
+
+// PathLength returns the number of hops in a node path.
+func PathLength(path []topology.NodeID) int {
+	if len(path) == 0 {
+		return 0
+	}
+	return len(path) - 1
+}

@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It replaces the CSIM process-oriented simulator used by the paper with an
+// event-driven engine: a binary-heap event queue ordered by (time, sequence)
+// so that simultaneous events fire in schedule order, which makes every run
+// bit-for-bit reproducible. All simulated time is measured in integer cycles
+// (the repository convention is one cycle = 5 ns, matching the unit of the
+// paper's Tables 4 and 5).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in cycles.
+type Time uint64
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxUint64)
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// event's fire time, unless the event is cancelled first.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	fired  bool
+	cancel bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+	// chaos, when set, randomizes the firing order of same-time events
+	// (deterministically per seed) instead of the default schedule order —
+	// a schedule-perturbation tester in the spirit of protocol
+	// verification: models must not depend on tie-breaking.
+	chaos *RNG
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventQueue, 0, 1024)}
+}
+
+// Chaos switches same-time event ordering from FIFO to a seeded random
+// shuffle. Call before scheduling; per-seed runs remain deterministic.
+func (e *Engine) Chaos(seed uint64) { e.chaos = NewRNG(seed) }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t less
+// than Now) panics: it always indicates a model bug, never a recoverable
+// runtime condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	seq := e.seq
+	e.seq++
+	if e.chaos != nil {
+		seq = e.chaos.Uint64()
+	}
+	ev := &Event{at: t, seq: seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	// The event stays in the heap and is discarded when popped; removing it
+	// eagerly would cost O(log n) for no benefit at our queue sizes.
+}
+
+// Halt stops Run/RunUntil after the event currently executing returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest pending event. It returns false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called. It returns
+// the number of events executed.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil executes events with fire time <= limit. Events scheduled beyond
+// the limit remain queued; the clock is advanced to limit if the simulation
+// ran dry earlier. It returns the number of events executed.
+func (e *Engine) RunUntil(limit Time) uint64 {
+	start := e.fired
+	e.halted = false
+	for !e.halted {
+		ev := e.peek()
+		if ev == nil || ev.at > limit {
+			break
+		}
+		e.Step()
+	}
+	if !e.halted && e.now < limit {
+		e.now = limit
+	}
+	return e.fired - start
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// eventQueue implements heap.Interface ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,293 @@
+// Package workload provides the synthetic drivers of the paper's
+// evaluation: invalidation-pattern experiments (latency, occupancy and
+// traffic versus sharer count, placement and system size), the memory-miss
+// micro-measurements behind Tables 4 and 5, and the hot-spot driver with
+// concurrent invalidation transactions.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coherence"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Pattern selects how sharers are placed around the home node.
+type Pattern int
+
+const (
+	// RandomPlacement scatters sharers uniformly over the mesh.
+	RandomPlacement Pattern = iota
+	// ClusteredPlacement picks the d nodes nearest the home.
+	ClusteredPlacement
+	// ColumnPlacement stacks sharers in as few columns as possible (the
+	// best case for column-grouped worms).
+	ColumnPlacement
+	// RowPlacement spreads sharers along the home row and its neighbors
+	// (the worst case for column grouping).
+	RowPlacement
+	// DiagonalPlacement puts sharers on the diagonal running northeast
+	// from the home (one worm under planar-adaptive routing, one worm per
+	// sharer under e-cube).
+	DiagonalPlacement
+)
+
+var patternNames = [...]string{"random", "clustered", "column", "row", "diagonal"}
+
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// InvalConfig configures an invalidation-pattern experiment.
+type InvalConfig struct {
+	// K is the mesh dimension (k x k).
+	K int
+	// Scheme is the invalidation framework under test.
+	Scheme grouping.Scheme
+	// D is the number of sharers to invalidate.
+	D int
+	// Pattern places the sharers.
+	Pattern Pattern
+	// Trials is the number of independent transactions to run (default 10).
+	Trials int
+	// Seed makes placement reproducible (default 1).
+	Seed uint64
+	// Tune, when set, adjusts the machine parameters before construction.
+	Tune func(*coherence.Params)
+}
+
+// InvalResult aggregates an invalidation-pattern experiment.
+type InvalResult struct {
+	Config InvalConfig
+	// Latency samples per-transaction invalidation latency (cycles).
+	Latency sim.Sample
+	// HomeMsgs is the mean number of messages sent or received by the home
+	// per transaction (the occupancy proxy).
+	HomeMsgs float64
+	// Groups is the mean number of request worms per transaction.
+	Groups float64
+	// FlitHops is the mean network flit-hops consumed per transaction,
+	// inval and ack traffic only.
+	FlitHops float64
+	// Messages is the mean total protocol messages per transaction
+	// (invalidation worms plus acknowledgments).
+	Messages float64
+}
+
+// RunInval executes the experiment: for each trial it installs D sharers of
+// a fresh block homed at the mesh center, issues one write, and records the
+// invalidation transaction.
+func RunInval(cfg InvalConfig) InvalResult {
+	if cfg.Trials == 0 {
+		cfg.Trials = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.D < 1 || cfg.D > cfg.K*cfg.K-2 {
+		panic(fmt.Sprintf("workload: D=%d out of range for %dx%d mesh", cfg.D, cfg.K, cfg.K))
+	}
+	p := coherence.DefaultParams(cfg.K, cfg.Scheme)
+	if cfg.Tune != nil {
+		cfg.Tune(&p)
+	}
+	m := coherence.NewMachine(p)
+	rng := sim.NewRNG(cfg.Seed)
+	home := m.Mesh.ID(topology.Coord{X: cfg.K / 2, Y: cfg.K / 2})
+
+	res := InvalResult{Config: cfg}
+	var homeMsgs, groups, flitHops, messages float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		block := directory.BlockID(uint64(home) + uint64(trial+1)*uint64(m.Mesh.Nodes()))
+		if m.Home(block) != home {
+			panic("workload: block homing arithmetic broken")
+		}
+		sharers := placeSharers(m.Mesh, rng, home, cfg.D, cfg.Pattern)
+		writer := pickWriter(m.Mesh, rng, home, sharers)
+
+		for _, s := range sharers {
+			runOp(m, false, s, block)
+		}
+		before := m.Net.Stats()
+		nInvals := len(m.Metrics.Invals)
+		runOp(m, true, writer, block)
+		after := m.Net.Stats()
+		if len(m.Metrics.Invals) != nInvals+1 {
+			panic("workload: write did not produce an invalidation transaction")
+		}
+		rec := m.Metrics.Invals[nInvals]
+		res.Latency.AddTime(rec.Latency())
+		homeMsgs += float64(rec.HomeMsgs)
+		groups += float64(rec.Groups)
+		acks := rec.HomeMsgs - rec.Groups
+		messages += float64(rec.Groups + acks)
+		// Total flit-hops during the write minus the writeReq/writeReply
+		// pair, leaving the invalidation traffic.
+		flitHops += float64(after.FlitHops - before.FlitHops)
+	}
+	n := float64(cfg.Trials)
+	res.HomeMsgs = homeMsgs / n
+	res.Groups = groups / n
+	res.FlitHops = flitHops / n
+	res.Messages = messages / n
+	return res
+}
+
+// runOp drives one blocking operation to completion.
+func runOp(m *coherence.Machine, write bool, n topology.NodeID, b directory.BlockID) {
+	done := false
+	if write {
+		m.Write(n, b, func() { done = true })
+	} else {
+		m.Read(n, b, func() { done = true })
+	}
+	m.Engine.Run()
+	if !done {
+		panic("workload: operation did not complete (deadlock?)")
+	}
+	if !m.Quiesced() {
+		panic("workload: network traffic outstanding after operation")
+	}
+}
+
+// placeSharers returns d distinct sharer nodes (never the home) under the
+// given placement pattern.
+func placeSharers(mesh *topology.Mesh, rng *sim.RNG, home topology.NodeID, d int, pat Pattern) []topology.NodeID {
+	switch pat {
+	case RandomPlacement:
+		var out []topology.NodeID
+		for _, idx := range rng.Sample(mesh.Nodes()-1, d) {
+			n := topology.NodeID(idx)
+			if n >= home {
+				n++
+			}
+			out = append(out, n)
+		}
+		return out
+	case ClusteredPlacement:
+		type cand struct {
+			n    topology.NodeID
+			dist int
+		}
+		var cands []cand
+		for n := topology.NodeID(0); int(n) < mesh.Nodes(); n++ {
+			if n != home {
+				cands = append(cands, cand{n, mesh.Distance(home, n)})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].n < cands[j].n
+		})
+		out := make([]topology.NodeID, d)
+		for i := 0; i < d; i++ {
+			out[i] = cands[i].n
+		}
+		return out
+	case ColumnPlacement:
+		hc := mesh.Coord(home)
+		var out []topology.NodeID
+		x := (hc.X + 2) % mesh.Width()
+		for len(out) < d {
+			for y := 0; y < mesh.Height() && len(out) < d; y++ {
+				c := topology.Coord{X: x, Y: y}
+				if n := mesh.ID(c); n != home {
+					out = append(out, n)
+				}
+			}
+			x = (x + 1) % mesh.Width()
+			if x == hc.X {
+				x = (x + 1) % mesh.Width()
+			}
+		}
+		return out
+	case RowPlacement:
+		hc := mesh.Coord(home)
+		var out []topology.NodeID
+		y := hc.Y
+		for len(out) < d {
+			for x := 0; x < mesh.Width() && len(out) < d; x++ {
+				c := topology.Coord{X: x, Y: y}
+				if n := mesh.ID(c); n != home {
+					out = append(out, n)
+				}
+			}
+			y = (y + 1) % mesh.Height()
+			if y == hc.Y {
+				y = (y + 1) % mesh.Height()
+			}
+		}
+		return out
+	case DiagonalPlacement:
+		hc := mesh.Coord(home)
+		type cand struct {
+			n                    topology.NodeID
+			band, quadPref, dist int
+		}
+		var cands []cand
+		for n := topology.NodeID(0); int(n) < mesh.Nodes(); n++ {
+			if n == home {
+				continue
+			}
+			c := mesh.Coord(n)
+			dx, dy := c.X-hc.X, c.Y-hc.Y
+			quad := 2
+			if dx > 0 && dy > 0 {
+				quad = 0 // northeast arm first: one planar-adaptive chain
+			} else if dx < 0 && dy < 0 {
+				quad = 1
+			}
+			cands = append(cands, cand{n: n, band: abs(dx - dy), quadPref: quad,
+				dist: abs(dx) + abs(dy)})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.band != b.band {
+				return a.band < b.band
+			}
+			if a.quadPref != b.quadPref {
+				return a.quadPref < b.quadPref
+			}
+			if a.dist != b.dist {
+				return a.dist < b.dist
+			}
+			return a.n < b.n
+		})
+		out := make([]topology.NodeID, d)
+		for i := 0; i < d; i++ {
+			out[i] = cands[i].n
+		}
+		return out
+	}
+	panic("workload: unknown pattern")
+}
+
+// pickWriter chooses a random node that is neither the home nor a sharer.
+func pickWriter(mesh *topology.Mesh, rng *sim.RNG, home topology.NodeID, sharers []topology.NodeID) topology.NodeID {
+	taken := map[topology.NodeID]bool{home: true}
+	for _, s := range sharers {
+		taken[s] = true
+	}
+	for {
+		n := topology.NodeID(rng.Intn(mesh.Nodes()))
+		if !taken[n] {
+			return n
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TrafficConfig configures an open-loop uniform-random network experiment:
+// every node injects unicast worms to uniformly random destinations with
+// geometric inter-arrival times, the standard methodology for
+// latency-versus-offered-load curves in the wormhole routing literature
+// [27, 33].
+type TrafficConfig struct {
+	// K is the mesh dimension.
+	K int
+	// Rate is the per-node injection rate in worms per 1000 cycles.
+	Rate float64
+	// Duration is the injection window in cycles (the network then drains).
+	Duration sim.Time
+	// PayloadFlits sizes each worm's payload (default 4 = a control
+	// message).
+	PayloadFlits int
+	// VirtualChannels per link (default 1).
+	VirtualChannels int
+	// Seed drives the arrival and destination streams (default 1).
+	Seed uint64
+}
+
+// TrafficResult reports the experiment's measurements.
+type TrafficResult struct {
+	Config TrafficConfig
+	// Injected and Delivered count worms; they match unless the run was
+	// cut off while saturated.
+	Injected, Delivered uint64
+	// Latency samples per-worm network latency (inject to consume).
+	Latency sim.Sample
+	// AvgLinkUtilization is the mean busy fraction over all links.
+	AvgLinkUtilization float64
+	// DrainTime is how long past the injection window the network needed
+	// to deliver everything — a saturation indicator.
+	DrainTime sim.Time
+}
+
+// RunTraffic executes the experiment and returns its measurements.
+func RunTraffic(cfg TrafficConfig) TrafficResult {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.PayloadFlits == 0 {
+		cfg.PayloadFlits = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 20000
+	}
+	if cfg.Rate <= 0 {
+		panic("workload: traffic needs a positive rate")
+	}
+	engine := sim.NewEngine()
+	mesh := topology.NewSquareMesh(cfg.K)
+	ncfg := network.DefaultConfig()
+	if cfg.VirtualChannels > 0 {
+		ncfg.VirtualChannels = cfg.VirtualChannels
+	}
+	net := network.New(engine, mesh, ncfg)
+
+	res := TrafficResult{Config: cfg}
+	net.OnDeliver = func(d network.Delivery) {
+		if d.Final {
+			res.Delivered++
+			res.Latency.AddTime(engine.Now() - d.Worm.InjectedAt())
+		}
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	// Geometric inter-arrival with mean 1000/Rate cycles.
+	nextGap := func() sim.Time {
+		mean := 1000.0 / cfg.Rate
+		// Inverse-CDF geometric approximation of a Poisson process.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		gap := -mean * ln(u)
+		if gap < 1 {
+			gap = 1
+		}
+		return sim.Time(gap)
+	}
+	var schedule func(src topology.NodeID, at sim.Time)
+	schedule = func(src topology.NodeID, at sim.Time) {
+		if at > cfg.Duration {
+			return
+		}
+		engine.At(at, func() {
+			dst := topology.NodeID(rng.Intn(mesh.Nodes()))
+			if dst == src {
+				dst = topology.NodeID((int(dst) + 1) % mesh.Nodes())
+			}
+			path := routing.ECube.UnicastPath(mesh, src, dst)
+			dests := make([]bool, len(path))
+			dests[len(path)-1] = true
+			net.Inject(&network.Worm{
+				Kind: network.Unicast, VN: network.Request,
+				Path: path, Dest: dests,
+				HeaderFlits:  ncfg.HeaderFlits(1),
+				PayloadFlits: cfg.PayloadFlits,
+			})
+			res.Injected++
+			schedule(src, at+nextGap())
+		})
+	}
+	for n := 0; n < mesh.Nodes(); n++ {
+		schedule(topology.NodeID(n), nextGap())
+	}
+	engine.Run()
+	if net.Outstanding() != 0 {
+		panic(fmt.Sprintf("workload: %d worms undelivered after drain", net.Outstanding()))
+	}
+	res.AvgLinkUtilization = net.AvgLinkUtilization()
+	if now := engine.Now(); now > cfg.Duration {
+		res.DrainTime = now - cfg.Duration
+	}
+	return res
+}
+
+// ln aliases math.Log for the inter-arrival draw.
+func ln(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,59 @@
+package workload
+
+import "testing"
+
+func TestTrafficLowLoadMatchesUncontendedLatency(t *testing.T) {
+	res := RunTraffic(TrafficConfig{K: 8, Rate: 0.5, Duration: 20000})
+	if res.Injected == 0 || res.Delivered != res.Injected {
+		t.Fatalf("injected %d delivered %d", res.Injected, res.Delivered)
+	}
+	// At near-zero load the mean latency approaches the uncontended mean:
+	// ~ inject(2) + h*(6) + 4 + L*2 with mean hop count ~5.3 on 8x8 and
+	// L=7 flits: ~50 cycles. Allow generous headroom.
+	if m := res.Latency.Mean(); m < 20 || m > 90 {
+		t.Fatalf("low-load mean latency = %v, want ~50", m)
+	}
+	if res.DrainTime > 500 {
+		t.Fatalf("low-load drain took %d cycles", res.DrainTime)
+	}
+}
+
+func TestTrafficLatencyGrowsWithLoad(t *testing.T) {
+	low := RunTraffic(TrafficConfig{K: 8, Rate: 1, Duration: 20000})
+	high := RunTraffic(TrafficConfig{K: 8, Rate: 30, Duration: 20000})
+	if high.Latency.Mean() <= low.Latency.Mean() {
+		t.Fatalf("latency did not grow with load: %v vs %v",
+			low.Latency.Mean(), high.Latency.Mean())
+	}
+	if high.AvgLinkUtilization <= low.AvgLinkUtilization {
+		t.Fatal("utilization did not grow with load")
+	}
+}
+
+func TestTrafficVirtualChannelsRaiseSaturation(t *testing.T) {
+	// Near saturation, two lanes per link must deliver lower latency than
+	// one at the same offered load.
+	one := RunTraffic(TrafficConfig{K: 8, Rate: 25, Duration: 20000, VirtualChannels: 1})
+	two := RunTraffic(TrafficConfig{K: 8, Rate: 25, Duration: 20000, VirtualChannels: 2})
+	if two.Latency.Mean() >= one.Latency.Mean() {
+		t.Fatalf("2 VCs latency %v not below 1 VC %v at high load",
+			two.Latency.Mean(), one.Latency.Mean())
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	a := RunTraffic(TrafficConfig{K: 8, Rate: 5, Duration: 10000, Seed: 3})
+	b := RunTraffic(TrafficConfig{K: 8, Rate: 5, Duration: 10000, Seed: 3})
+	if a.Injected != b.Injected || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatal("traffic runs nondeterministic")
+	}
+}
+
+func TestTrafficZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate did not panic")
+		}
+	}()
+	RunTraffic(TrafficConfig{K: 4})
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRunInvalBasic(t *testing.T) {
+	res := RunInval(InvalConfig{K: 8, Scheme: grouping.UIUA, D: 4, Trials: 3})
+	if res.Latency.N() != 3 {
+		t.Fatalf("trials recorded = %d, want 3", res.Latency.N())
+	}
+	if res.Latency.Mean() <= 0 {
+		t.Fatal("zero invalidation latency")
+	}
+	// UIUA: 2 messages per sharer at the home.
+	if res.HomeMsgs != 8 {
+		t.Fatalf("HomeMsgs = %v, want 8", res.HomeMsgs)
+	}
+	if res.Groups != 4 {
+		t.Fatalf("Groups = %v, want 4", res.Groups)
+	}
+}
+
+func TestRunInvalSchemeOrderingAtLargeD(t *testing.T) {
+	// d=24 on a 16x16 mesh: the paper's headline shape. Home messages must
+	// fall strictly UIUA > MIUA > MIMA, and MI-MA latency must beat UI-UA
+	// by a clear margin.
+	results := map[grouping.Scheme]InvalResult{}
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIUAEC, grouping.MIMAEC, grouping.MIMATM} {
+		results[s] = RunInval(InvalConfig{K: 16, Scheme: s, D: 24, Trials: 5})
+	}
+	ui, miua, mima, mimatm := results[grouping.UIUA], results[grouping.MIUAEC], results[grouping.MIMAEC], results[grouping.MIMATM]
+	if !(mima.HomeMsgs < miua.HomeMsgs && miua.HomeMsgs < ui.HomeMsgs) {
+		t.Fatalf("home msgs ordering: ui=%v miua=%v mima=%v", ui.HomeMsgs, miua.HomeMsgs, mima.HomeMsgs)
+	}
+	if !(mima.Latency.Mean() < ui.Latency.Mean()) {
+		t.Fatalf("MI-MA latency %v not better than UI-UA %v", mima.Latency.Mean(), ui.Latency.Mean())
+	}
+	if !(mimatm.Groups < mima.Groups) {
+		t.Fatalf("turn-model groups %v not fewer than e-cube %v", mimatm.Groups, mima.Groups)
+	}
+	if mimatm.HomeMsgs > 8 {
+		t.Fatalf("turn-model home msgs = %v, want <= 8 (bounded groups)", mimatm.HomeMsgs)
+	}
+}
+
+func TestRunInvalPlacements(t *testing.T) {
+	for _, pat := range []Pattern{RandomPlacement, ClusteredPlacement, ColumnPlacement, RowPlacement, DiagonalPlacement} {
+		res := RunInval(InvalConfig{K: 8, Scheme: grouping.MIMAEC, D: 6, Pattern: pat, Trials: 2})
+		if res.Latency.N() != 2 {
+			t.Fatalf("%v: trials = %d", pat, res.Latency.N())
+		}
+	}
+}
+
+func TestColumnPlacementFavorsColumnGrouping(t *testing.T) {
+	col := RunInval(InvalConfig{K: 8, Scheme: grouping.MIMAEC, D: 7, Pattern: ColumnPlacement, Trials: 3})
+	row := RunInval(InvalConfig{K: 8, Scheme: grouping.MIMAEC, D: 7, Pattern: RowPlacement, Trials: 3})
+	if col.Groups >= row.Groups {
+		t.Fatalf("column placement groups %v should be fewer than row placement %v", col.Groups, row.Groups)
+	}
+}
+
+func TestPlaceSharersProperties(t *testing.T) {
+	mesh := topology.NewSquareMesh(8)
+	rng := newTestRNG()
+	home := mesh.ID(topology.Coord{X: 4, Y: 4})
+	for _, pat := range []Pattern{RandomPlacement, ClusteredPlacement, ColumnPlacement, RowPlacement, DiagonalPlacement} {
+		for _, d := range []int{1, 5, 20} {
+			sharers := placeSharers(mesh, rng, home, d, pat)
+			if len(sharers) != d {
+				t.Fatalf("%v d=%d: got %d sharers", pat, d, len(sharers))
+			}
+			seen := map[topology.NodeID]bool{}
+			for _, s := range sharers {
+				if s == home {
+					t.Fatalf("%v: home placed as sharer", pat)
+				}
+				if seen[s] {
+					t.Fatalf("%v: duplicate sharer", pat)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestClusteredPlacementIsNearest(t *testing.T) {
+	mesh := topology.NewSquareMesh(8)
+	home := mesh.ID(topology.Coord{X: 4, Y: 4})
+	sharers := placeSharers(mesh, newTestRNG(), home, 4, ClusteredPlacement)
+	for _, s := range sharers {
+		if mesh.Distance(home, s) != 1 {
+			t.Fatalf("clustered d=4 includes non-neighbor %v", mesh.Coord(s))
+		}
+	}
+}
+
+func TestRunInvalDOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range D did not panic")
+		}
+	}()
+	RunInval(InvalConfig{K: 4, Scheme: grouping.UIUA, D: 15})
+}
+
+func TestMeasureMissOrderings(t *testing.T) {
+	p := DefaultMicroParams(grouping.UIUA)
+	lat := map[MissKind]uint64{}
+	for _, k := range AllMissKinds {
+		v := MeasureMiss(p, k)
+		if v == 0 {
+			t.Fatalf("%v: zero latency", k)
+		}
+		lat[k] = uint64(v)
+	}
+	// Sanity orderings a real memory system obeys.
+	if !(lat[ReadHit] < lat[ReadMissLocal]) {
+		t.Fatalf("hit %d not faster than local miss %d", lat[ReadHit], lat[ReadMissLocal])
+	}
+	if !(lat[ReadMissNeighborClean] < lat[ReadMissRemoteClean]) {
+		t.Fatalf("neighbor miss %d not faster than remote miss %d",
+			lat[ReadMissNeighborClean], lat[ReadMissRemoteClean])
+	}
+	if !(lat[ReadMissRemoteClean] < lat[ReadMissRemoteDirty]) {
+		t.Fatalf("clean miss %d not faster than dirty miss %d",
+			lat[ReadMissRemoteClean], lat[ReadMissRemoteDirty])
+	}
+	if !(lat[UpgradeNoSharers] < lat[WriteMissSharers4]) {
+		t.Fatalf("upgrade %d not faster than 4-sharer write %d",
+			lat[UpgradeNoSharers], lat[WriteMissSharers4])
+	}
+	if !(lat[ReadHit] <= 4) {
+		t.Fatalf("read hit = %d cycles, want <= 4", lat[ReadHit])
+	}
+}
+
+func TestReadMissBreakdownSumsToMeasured(t *testing.T) {
+	p := DefaultMicroParams(grouping.UIUA)
+	rows, total := ReadMissBreakdown(p)
+	if len(rows) != 7 {
+		t.Fatalf("breakdown rows = %d, want 7", len(rows))
+	}
+	measured := MeasureMiss(p, ReadMissNeighborClean)
+	if total != measured {
+		t.Fatalf("breakdown sum %d != measured %d", total, measured)
+	}
+}
+
+func TestHotSpotScalesWithWriters(t *testing.T) {
+	one := RunHotSpot(HotSpotConfig{K: 8, Scheme: grouping.UIUA, D: 6, Writers: 1})
+	four := RunHotSpot(HotSpotConfig{K: 8, Scheme: grouping.UIUA, D: 6, Writers: 4})
+	if one.Latency.N() != 1 || four.Latency.N() != 4 {
+		t.Fatalf("latency samples: %d, %d", one.Latency.N(), four.Latency.N())
+	}
+	if four.Makespan <= one.Makespan {
+		t.Fatalf("4-writer makespan %d not longer than 1-writer %d", four.Makespan, one.Makespan)
+	}
+	if four.HomeOccupancy <= one.HomeOccupancy {
+		t.Fatal("home occupancy did not grow with writers")
+	}
+}
+
+func TestHotSpotMIMARelievesHome(t *testing.T) {
+	ui := RunHotSpot(HotSpotConfig{K: 8, Scheme: grouping.UIUA, D: 8, Writers: 4})
+	mima := RunHotSpot(HotSpotConfig{K: 8, Scheme: grouping.MIMAEC, D: 8, Writers: 4})
+	if mima.HomeOccupancy >= ui.HomeOccupancy {
+		t.Fatalf("MI-MA home occupancy %d not below UI-UA %d", mima.HomeOccupancy, ui.HomeOccupancy)
+	}
+	if mima.Makespan >= ui.Makespan {
+		t.Fatalf("MI-MA makespan %d not below UI-UA %d", mima.Makespan, ui.Makespan)
+	}
+}
+
+func TestHotSpotAllSchemesComplete(t *testing.T) {
+	for _, s := range grouping.AllSchemes {
+		res := RunHotSpot(HotSpotConfig{K: 8, Scheme: s, D: 5, Writers: 3})
+		if res.Latency.N() != 3 {
+			t.Fatalf("%v: %d transactions completed, want 3", s, res.Latency.N())
+		}
+	}
+}
+
+func TestHotSpotVCTWithTinyBuffers(t *testing.T) {
+	// One i-ack buffer per interface with concurrent MI-MA transactions:
+	// VCT deferred delivery must still drain everything.
+	res := RunHotSpot(HotSpotConfig{
+		K: 8, Scheme: grouping.MIMAEC, D: 6, Writers: 4,
+		Tune: func(p *coherence.Params) {
+			p.Net.IAckBuffers = 1
+			p.Net.VCTDeferred = true
+		},
+	})
+	if res.Latency.N() != 4 {
+		t.Fatalf("completed %d transactions, want 4", res.Latency.N())
+	}
+}
+
+func newTestRNG() *sim.RNG { return sim.NewRNG(42) }
+
+func TestDiagonalPlacementFavorsPlanarAdaptive(t *testing.T) {
+	pa := RunInval(InvalConfig{K: 16, Scheme: grouping.MIMAPA, D: 7, Pattern: DiagonalPlacement, Trials: 2})
+	ec := RunInval(InvalConfig{K: 16, Scheme: grouping.MIMAEC, D: 7, Pattern: DiagonalPlacement, Trials: 2})
+	if pa.Groups != 1 {
+		t.Fatalf("planar-adaptive diagonal groups = %v, want 1", pa.Groups)
+	}
+	if ec.Groups != 7 {
+		t.Fatalf("ecube diagonal groups = %v, want 7", ec.Groups)
+	}
+	if pa.HomeMsgs >= ec.HomeMsgs {
+		t.Fatalf("PA home msgs %v not below ecube %v on diagonal", pa.HomeMsgs, ec.HomeMsgs)
+	}
+}
