@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench sweep
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine's determinism tests double as its race-detector
+# certification: worker pools at parallel=8 must produce byte-identical
+# aggregates with no data races.
+race:
+	$(GO) test -race ./internal/sweep/... ./internal/sim/...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+sweep:
+	$(GO) run ./cmd/invalsweep -experiment all

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	appbench            # characteristics + framework comparison
-//	appbench -table6    # characteristics only
+//	appbench              # characteristics + framework comparison
+//	appbench -table6      # characteristics only
+//	appbench -parallel 8  # application cells on 8 workers (same output)
 //	appbench -csv
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -25,8 +27,10 @@ func main() {
 	var (
 		table6Only = flag.Bool("table6", false, "only print application characteristics")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "application-run worker goroutines")
 	)
 	flag.Parse()
+	experiments.Sweep.Parallel = *parallel
 
 	emit := func(t *report.Table) {
 		if *csv {

@@ -10,6 +10,12 @@
 //
 // Experiments: latency, occupancy, traffic, meshsize, buffers, hotspot,
 // placement, cons, table4, table5, all.
+//
+// Sweeps run on a worker pool (-parallel, default all cores); the tables
+// are byte-identical at any worker count. Long sweeps can checkpoint
+// completed points (-checkpoint sweep.json) and pick up where they left
+// off after a kill (-resume). Progress goes to stderr (-progress=false to
+// silence); stdout carries only the tables.
 package main
 
 import (
@@ -17,22 +23,46 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("invalsweep: ")
 	var (
-		exp    = flag.String("experiment", "all", "which experiment to run")
-		k      = flag.Int("k", 16, "mesh dimension for the sweeps")
-		d      = flag.Int("d", 16, "sharers for fixed-d experiments")
-		trials = flag.Int("trials", 10, "trials per configuration")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp        = flag.String("experiment", "all", "which experiment to run")
+		k          = flag.Int("k", 16, "mesh dimension for the sweeps")
+		d          = flag.Int("d", 16, "sharers for fixed-d experiments")
+		trials     = flag.Int("trials", 10, "trials per configuration")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines")
+		progress   = flag.Bool("progress", true, "report sweep progress on stderr")
+		timeout    = flag.Duration("point-timeout", 0, "wall-clock budget per sweep point (0 = none); overrunning points are marked partial")
+		checkpoint = flag.String("checkpoint", "", "JSON file to checkpoint completed sweep points to")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint, skipping completed points")
 	)
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+	if *checkpoint != "" && *exp == "all" {
+		log.Fatal("-checkpoint needs a single -experiment (each experiment is its own sweep)")
+	}
+	experiments.Sweep = sweep.Options{
+		Parallel:       *parallel,
+		PointTimeout:   *timeout,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	}
+	if *progress {
+		experiments.Sweep.OnProgress = sweep.Reporter(os.Stderr, time.Second)
+	}
 
 	runners := map[string]func() *report.Table{
 		"latency":     func() *report.Table { return experiments.FigLatencyVsSharers(*k, *trials) },

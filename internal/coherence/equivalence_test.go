@@ -1,0 +1,169 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// invalOutcome is the protocol-level result of one invalidation
+// transaction, independent of how the messages traveled.
+type invalOutcome struct {
+	// sharers is the transaction's accounted sharer (and therefore ack)
+	// count; every sharer acknowledges exactly once in every framework.
+	sharers int
+	// invalidated[i] is how many times node i's cache processed an
+	// invalidation for the block (from cache stats deltas).
+	invalidated []uint64
+	// dirState / dirOwner are the directory entry's final state.
+	dirState directory.State
+	dirOwner topology.NodeID
+}
+
+// runEquivalenceCase installs the sharer set via reads and issues the
+// write, returning the protocol outcome.
+func runEquivalenceCase(t *testing.T, s grouping.Scheme, k int,
+	block directory.BlockID, sharers []topology.NodeID, writer topology.NodeID) invalOutcome {
+	t.Helper()
+	m := NewMachine(DefaultParams(k, s))
+	drive := func(write bool, n topology.NodeID) {
+		done := false
+		if write {
+			m.Write(n, block, func() { done = true })
+		} else {
+			m.Read(n, block, func() { done = true })
+		}
+		m.Engine.Run()
+		if !done {
+			t.Fatalf("%v: operation stuck (deadlock?)", s)
+		}
+	}
+	for _, sh := range sharers {
+		drive(false, sh)
+	}
+	before := make([]uint64, m.Mesh.Nodes())
+	for n := range before {
+		before[n] = m.Cache(topology.NodeID(n)).Stats().Invalidates
+	}
+	nInvals := len(m.Metrics.Invals)
+	drive(true, writer)
+	if len(m.Metrics.Invals) != nInvals+1 {
+		t.Fatalf("%v: write produced %d transactions, want 1", s, len(m.Metrics.Invals)-nInvals)
+	}
+	rec := m.Metrics.Invals[nInvals]
+
+	out := invalOutcome{
+		sharers:     rec.Sharers,
+		invalidated: make([]uint64, m.Mesh.Nodes()),
+	}
+	for n := range out.invalidated {
+		out.invalidated[n] = m.Cache(topology.NodeID(n)).Stats().Invalidates - before[n]
+	}
+	e := m.DirEntry(block)
+	out.dirState, out.dirOwner = e.State, e.Owner
+
+	// Scheme-independent postconditions, checked on every machine: sharers
+	// lose their copies, the writer gains the exclusive one.
+	for _, sh := range sharers {
+		if st := m.Cache(sh).State(block); st != cache.Invalid {
+			t.Fatalf("%v: sharer %d left in state %v", s, sh, st)
+		}
+	}
+	if st := m.Cache(writer).State(block); st != cache.ModifiedLine {
+		t.Fatalf("%v: writer %d in state %v, want modified", s, writer, st)
+	}
+	return out
+}
+
+// TestCrossSchemeInvalOutcomeEquivalence is the cross-scheme equivalence
+// property test: for identical traces (install d sharers, then one write)
+// over seeded random directory states, every framework — unicast UI-UA,
+// the multidestination MI-UA variants, the gather-ack MI-MA variants and
+// the BR comparator — must invalidate exactly the same sharer set and
+// collect exactly the same number of acknowledgments. Schemes are allowed
+// to differ in latency, occupancy and traffic; never in protocol outcome.
+func TestCrossSchemeInvalOutcomeEquivalence(t *testing.T) {
+	const seeds = 200
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(uint64(seed) + 1)
+			k := 4
+			maxD := 10
+			if seed%4 == 0 {
+				// Every fourth state exercises the bigger mesh, where worm
+				// paths span several groups.
+				k, maxD = 8, 24
+			}
+			n := k * k
+			block := directory.BlockID(rng.Uint64() % 4096)
+
+			// The block's home is a function of the block id; derive it from
+			// a throwaway machine so placement can avoid it.
+			probe := NewMachine(DefaultParams(k, grouping.UIUA))
+			home := probe.Home(block)
+
+			d := 1 + rng.Intn(maxD)
+			var sharers []topology.NodeID
+			taken := map[topology.NodeID]bool{home: true}
+			for len(sharers) < d {
+				cand := topology.NodeID(rng.Intn(n))
+				if !taken[cand] {
+					taken[cand] = true
+					sharers = append(sharers, cand)
+				}
+			}
+			var writer topology.NodeID
+			for {
+				writer = topology.NodeID(rng.Intn(n))
+				if !taken[writer] {
+					break
+				}
+			}
+
+			var want invalOutcome
+			for i, s := range grouping.AllSchemes {
+				got := runEquivalenceCase(t, s, k, block, sharers, writer)
+				if got.sharers != d {
+					t.Fatalf("%v: accounted %d sharers/acks, want %d", s, got.sharers, d)
+				}
+				for node, cnt := range got.invalidated {
+					if taken[topology.NodeID(node)] && topology.NodeID(node) != home {
+						if cnt != 1 {
+							t.Fatalf("%v: sharer %d invalidated %d times, want exactly once", s, node, cnt)
+						}
+					} else if cnt != 0 {
+						t.Fatalf("%v: bystander %d invalidated %d times", s, node, cnt)
+					}
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got.sharers != want.sharers {
+					t.Fatalf("%v: ack count %d differs from %v's %d",
+						s, got.sharers, grouping.AllSchemes[0], want.sharers)
+				}
+				for node := range got.invalidated {
+					if got.invalidated[node] != want.invalidated[node] {
+						t.Fatalf("%v: node %d invalidation count %d differs from %v's %d",
+							s, node, got.invalidated[node], grouping.AllSchemes[0], want.invalidated[node])
+					}
+				}
+				if got.dirState != want.dirState || got.dirOwner != want.dirOwner {
+					t.Fatalf("%v: directory (%v, owner %d) differs from %v's (%v, owner %d)",
+						s, got.dirState, got.dirOwner, grouping.AllSchemes[0], want.dirState, want.dirOwner)
+				}
+			}
+			if want.dirState != directory.Exclusive || want.dirOwner != writer {
+				t.Fatalf("final directory state (%v, owner %d), want exclusive at writer %d",
+					want.dirState, want.dirOwner, writer)
+			}
+		})
+	}
+}

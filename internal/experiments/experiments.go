@@ -7,7 +7,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"runtime"
 
 	"repro/internal/apps"
 	"repro/internal/coherence"
@@ -16,9 +19,45 @@ import (
 	"repro/internal/network"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+// Sweep controls how the figure sweeps execute: worker count, per-point
+// timeout, progress reporting and checkpoint/resume. The CLIs overwrite it
+// from their flags before rendering. Parallel execution changes wall-clock
+// time only — every figure is byte-identical at any worker count, because
+// each sweep point runs on an isolated machine with its own seed and
+// results merge in point order (see internal/sweep).
+var Sweep = sweep.Options{Parallel: runtime.GOMAXPROCS(0)}
+
+// runSweep executes points under the package sweep options. Experiment
+// grids are statically well-formed, so any error (a corrupt checkpoint, a
+// cancelled context) is surfaced as a panic rather than threaded through
+// every figure signature.
+func runSweep(points []sweep.Point) []sweep.Result {
+	sum, err := sweep.Run(context.Background(), points, Sweep)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sweep failed: %v", err))
+	}
+	if sum.Partial > 0 {
+		// A table built from timed-out points averages only the completed
+		// trials (or prints 0.0 when none finished) — never let that pass
+		// for a full measurement silently.
+		fmt.Fprintf(os.Stderr, "sweep: warning: %d/%d points hit the point timeout; their table cells cover only completed trials (0.0 if none)\n",
+			sum.Partial, len(sum.Results))
+	}
+	return sum.Results
+}
+
+// eachCell runs fn over [0, n) cells on the configured worker pool (for
+// experiment shapes that do not fit the Point grid: application runs,
+// hot-spot bursts). Each cell builds its own machine and writes only its
+// own result slot, so ordering is irrelevant to the output.
+func eachCell(n int, fn func(i int)) {
+	sweep.Each(Sweep.Parallel, n, fn)
+}
 
 // CompareSchemes is the scheme set used by the figure sweeps, in
 // presentation order.
@@ -31,20 +70,27 @@ var SharerCounts = []int{1, 2, 4, 8, 16, 24, 32}
 type SweepPoint struct {
 	Scheme grouping.Scheme
 	D      int
-	Res    workload.InvalResult
+	Res    sweep.Measures
 }
 
 // SharerSweep runs the d-sweep for every scheme on a k x k mesh and
-// returns all points (E4, E5 and E6 render different columns of it).
+// returns all points (E4, E5 and E6 render different columns of it). The
+// per-point seed keeps the historical per-d value (d + 7) so the recorded
+// EXPERIMENTS.md tables regenerate unchanged; ad-hoc grids built through
+// sweep.Grid derive seeds from a base seed via splitmix instead.
 func SharerSweep(k int, ds []int, schemes []grouping.Scheme, trials int) []SweepPoint {
-	var out []SweepPoint
+	var pts []sweep.Point
 	for _, s := range schemes {
 		for _, d := range ds {
-			res := workload.RunInval(workload.InvalConfig{
-				K: k, Scheme: s, D: d, Trials: trials, Seed: uint64(d) + 7,
+			pts = append(pts, sweep.Point{
+				Index: len(pts), K: k, Scheme: s, D: d, Trials: trials,
+				Seed: uint64(d) + 7,
 			})
-			out = append(out, SweepPoint{Scheme: s, D: d, Res: res})
 		}
+	}
+	var out []SweepPoint
+	for _, r := range runSweep(pts) {
+		out = append(out, SweepPoint{Scheme: r.Point.Scheme, D: r.Point.D, Res: r.Measures})
 	}
 	return out
 }
@@ -52,13 +98,13 @@ func SharerSweep(k int, ds []int, schemes []grouping.Scheme, trials int) []Sweep
 // sweepTable renders one measure of a sharer sweep as d-rows x
 // scheme-columns.
 func sweepTable(title string, points []SweepPoint, ds []int,
-	schemes []grouping.Scheme, measure func(workload.InvalResult) float64) *report.Table {
+	schemes []grouping.Scheme, measure func(sweep.Measures) float64) *report.Table {
 	cols := []string{"d"}
 	for _, s := range schemes {
 		cols = append(cols, s.String())
 	}
 	t := report.NewTable(title, cols...)
-	byKey := map[[2]int]workload.InvalResult{}
+	byKey := map[[2]int]sweep.Measures{}
 	for _, p := range points {
 		byKey[[2]int{int(p.Scheme), p.D}] = p.Res
 	}
@@ -78,7 +124,7 @@ func FigLatencyVsSharers(k, trials int) *report.Table {
 	return sweepTable(
 		fmt.Sprintf("E4: invalidation latency (cycles) vs sharers, %dx%d mesh, random placement", k, k),
 		points, SharerCounts, CompareSchemes,
-		func(r workload.InvalResult) float64 { return r.Latency.Mean() })
+		func(r sweep.Measures) float64 { return r.Latency.Mean() })
 }
 
 // FigOccupancyVsSharers renders E5: home messages (occupancy proxy) vs d.
@@ -87,7 +133,7 @@ func FigOccupancyVsSharers(k, trials int) *report.Table {
 	return sweepTable(
 		fmt.Sprintf("E5: home-node messages per transaction vs sharers, %dx%d mesh", k, k),
 		points, SharerCounts, CompareSchemes,
-		func(r workload.InvalResult) float64 { return r.HomeMsgs })
+		func(r sweep.Measures) float64 { return r.HomeMsgs })
 }
 
 // FigTrafficVsSharers renders E6: network flit-hops per transaction vs d.
@@ -96,7 +142,7 @@ func FigTrafficVsSharers(k, trials int) *report.Table {
 	return sweepTable(
 		fmt.Sprintf("E6: network flit-hops per transaction vs sharers, %dx%d mesh", k, k),
 		points, SharerCounts, CompareSchemes,
-		func(r workload.InvalResult) float64 { return r.FlitHops })
+		func(r sweep.Measures) float64 { return r.FlitHops })
 }
 
 // MeshSizes is the k-axis of E7.
@@ -110,17 +156,24 @@ func FigLatencyVsMeshSize(d, trials int) *report.Table {
 	}
 	t := report.NewTable(
 		fmt.Sprintf("E7: invalidation latency (cycles) vs mesh size, d=%d, random placement", d), cols...)
+	var pts []sweep.Point
 	for _, k := range MeshSizes {
 		dd := d
 		if max := k*k - 2; dd > max {
 			dd = max
 		}
-		row := []any{k}
 		for _, s := range CompareSchemes {
-			res := workload.RunInval(workload.InvalConfig{
-				K: k, Scheme: s, D: dd, Trials: trials, Seed: uint64(k),
+			pts = append(pts, sweep.Point{
+				Index: len(pts), K: k, Scheme: s, D: dd, Trials: trials,
+				Seed: uint64(k),
 			})
-			row = append(row, res.Latency.Mean())
+		}
+	}
+	results := runSweep(pts)
+	for i, k := range MeshSizes {
+		row := []any{k}
+		for j := range CompareSchemes {
+			row = append(row, results[i*len(CompareSchemes)+j].Measures.Latency.Mean())
 		}
 		t.Row(row...)
 	}
@@ -138,28 +191,42 @@ func FigIAckBuffers(k, d, writers int) *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("E8: %d concurrent MI-MA-ec invalidations, %dx%d mesh, d=%d: i-ack buffer sensitivity", writers, k, k, d),
 		"buffers", "mode", "sharer load", "mean latency", "makespan", "gather waits")
+	type cell struct {
+		bufs   int
+		vct    bool
+		jitter sim.Time
+	}
+	var cells []cell
 	for _, bufs := range []int{1, 2, 4, 8} {
 		for _, vct := range []bool{false, true} {
 			for _, jitter := range []sim.Time{0, 500} {
-				mode := "blocking"
-				if vct {
-					mode = "VCT-deferred"
-				}
-				load := "idle"
-				if jitter > 0 {
-					load = fmt.Sprintf("jitter<%d", jitter)
-				}
-				res := workload.RunHotSpot(workload.HotSpotConfig{
-					K: k, Scheme: grouping.MIMAEC, D: d, Writers: writers,
-					OverlapSharers: true, DistinctHomes: true, BusyJitter: jitter,
-					Tune: func(p *coherence.Params) {
-						p.Net.IAckBuffers = bufs
-						p.Net.VCTDeferred = vct
-					},
-				})
-				t.Row(bufs, mode, load, res.Latency.Mean(), uint64(res.Makespan), res.GatherWaits)
+				cells = append(cells, cell{bufs, vct, jitter})
 			}
 		}
+	}
+	results := make([]workload.HotSpotResult, len(cells))
+	eachCell(len(cells), func(i int) {
+		c := cells[i]
+		results[i] = workload.RunHotSpot(workload.HotSpotConfig{
+			K: k, Scheme: grouping.MIMAEC, D: d, Writers: writers,
+			OverlapSharers: true, DistinctHomes: true, BusyJitter: c.jitter,
+			Tune: func(p *coherence.Params) {
+				p.Net.IAckBuffers = c.bufs
+				p.Net.VCTDeferred = c.vct
+			},
+		})
+	})
+	for i, c := range cells {
+		mode := "blocking"
+		if c.vct {
+			mode = "VCT-deferred"
+		}
+		load := "idle"
+		if c.jitter > 0 {
+			load = fmt.Sprintf("jitter<%d", c.jitter)
+		}
+		res := results[i]
+		t.Row(c.bufs, mode, load, res.Latency.Mean(), uint64(res.Makespan), res.GatherWaits)
 	}
 	return t
 }
@@ -175,11 +242,16 @@ func FigHotSpot(k, d int) *report.Table {
 	}
 	t := report.NewTable(
 		fmt.Sprintf("E10: makespan (cycles) of concurrent invalidation bursts, %dx%d mesh, d=%d", k, k, d), cols...)
-	for _, w := range HotSpotWriters {
+	results := make([]workload.HotSpotResult, len(HotSpotWriters)*len(CompareSchemes))
+	eachCell(len(results), func(i int) {
+		w := HotSpotWriters[i/len(CompareSchemes)]
+		s := CompareSchemes[i%len(CompareSchemes)]
+		results[i] = workload.RunHotSpot(workload.HotSpotConfig{K: k, Scheme: s, D: d, Writers: w})
+	})
+	for i, w := range HotSpotWriters {
 		row := []any{w}
-		for _, s := range CompareSchemes {
-			res := workload.RunHotSpot(workload.HotSpotConfig{K: k, Scheme: s, D: d, Writers: w})
-			row = append(row, uint64(res.Makespan))
+		for j := range CompareSchemes {
+			row = append(row, uint64(results[i*len(CompareSchemes)+j].Makespan))
 		}
 		t.Row(row...)
 	}
@@ -200,13 +272,21 @@ func AblationPlacement(k, d, trials int) *report.Table {
 	}
 	t := report.NewTable(
 		fmt.Sprintf("E11: placement sensitivity, %dx%d mesh, d=%d", k, k, d), cols...)
+	var pts []sweep.Point
 	for _, pat := range pats {
-		row := []any{pat.String()}
 		for _, s := range schemes {
-			res := workload.RunInval(workload.InvalConfig{
-				K: k, Scheme: s, D: d, Pattern: pat, Trials: trials,
+			pts = append(pts, sweep.Point{
+				Index: len(pts), K: k, Scheme: s, D: d, Pattern: pat, Trials: trials,
+				Seed: 1,
 			})
-			row = append(row, res.Latency.Mean(), res.Groups)
+		}
+	}
+	results := runSweep(pts)
+	for i, pat := range pats {
+		row := []any{pat.String()}
+		for j := range schemes {
+			m := results[i*len(schemes)+j].Measures
+			row = append(row, m.Latency.Mean(), m.Groups)
 		}
 		t.Row(row...)
 	}
@@ -221,8 +301,11 @@ func AblationConsumptionChannels(k, d, writers int) *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("E12: consumption channels ablation, %d concurrent MI-MA-ec invalidations, %dx%d mesh, d=%d", writers, k, k, d),
 		"consumption channels", "mean latency", "makespan")
-	for _, c := range []int{1, 2, 4, 8} {
-		res := workload.RunHotSpot(workload.HotSpotConfig{
+	chans := []int{1, 2, 4, 8}
+	results := make([]workload.HotSpotResult, len(chans))
+	eachCell(len(chans), func(i int) {
+		c := chans[i]
+		results[i] = workload.RunHotSpot(workload.HotSpotConfig{
 			K: k, Scheme: grouping.MIMAEC, D: d, Writers: writers,
 			OverlapSharers: true, DistinctHomes: true,
 			Tune: func(p *coherence.Params) {
@@ -232,7 +315,9 @@ func AblationConsumptionChannels(k, d, writers int) *report.Table {
 				p.Net.VCTDeferred = true
 			},
 		})
-		t.Row(c, res.Latency.Mean(), uint64(res.Makespan))
+	})
+	for i, c := range chans {
+		t.Row(c, results[i].Latency.Mean(), uint64(results[i].Makespan))
 	}
 	return t
 }
@@ -283,10 +368,15 @@ func Table6() *report.Table {
 	t := report.NewTable("Table 6: application characteristics (16 processors, UI-UA baseline)",
 		"application", "shared reads", "shared writes", "barriers",
 		"inval txns", "avg sharers", "max sharers", "exec cycles")
-	for _, w := range PaperApps() {
+	ws := PaperApps()
+	results := make([]apps.RunResult, len(ws))
+	eachCell(len(ws), func(i int) {
 		m := coherence.NewMachine(coherence.DefaultParams(4, grouping.UIUA))
-		res := apps.Run(m, w)
+		results[i] = apps.Run(m, ws[i])
+	})
+	for i, w := range ws {
 		st := w.Stats()
+		res := results[i]
 		t.Row(w.Name, st.Reads, st.Writes, st.Barriers/uint64(len(w.Programs)),
 			res.Invals, res.AvgSharers, res.MaxSharers, uint64(res.Time))
 	}
@@ -305,15 +395,20 @@ func FigApplications() *report.Table {
 	}
 	cols = append(cols, "UI-UA cycles")
 	t := report.NewTable("E9: normalized application execution time (16 processors, 4x4 mesh)", cols...)
-	for _, w := range PaperApps() {
-		var base sim.Time
+	ws := PaperApps()
+	results := make([]apps.RunResult, len(ws)*len(AppSchemes))
+	eachCell(len(results), func(i int) {
+		w := ws[i/len(AppSchemes)]
+		s := AppSchemes[i%len(AppSchemes)]
+		m := coherence.NewMachine(coherence.DefaultParams(4, s))
+		results[i] = apps.Run(m, w)
+	})
+	for i, w := range ws {
+		// AppSchemes[0] is the UI-UA baseline every cell normalizes to.
+		base := results[i*len(AppSchemes)].Time
 		row := []any{w.Name}
-		for i, s := range AppSchemes {
-			m := coherence.NewMachine(coherence.DefaultParams(4, s))
-			res := apps.Run(m, w)
-			if i == 0 {
-				base = res.Time
-			}
+		for j := range AppSchemes {
+			res := results[i*len(AppSchemes)+j]
 			row = append(row, report.Float3(float64(res.Time)/float64(base)))
 		}
 		row = append(row, uint64(base))
@@ -363,17 +458,23 @@ func FigVirtualChannels(k, d, writers int) *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("E14: makespan (cycles) of %d concurrent invalidations vs virtual channels, %dx%d mesh, d=%d",
 			writers, k, k, d), cols...)
-	for _, vcs := range []int{1, 2, 4} {
+	vcss := []int{1, 2, 4}
+	results := make([]workload.HotSpotResult, len(vcss)*len(schemes))
+	eachCell(len(results), func(i int) {
+		vcs := vcss[i/len(schemes)]
+		s := schemes[i%len(schemes)]
+		results[i] = workload.RunHotSpot(workload.HotSpotConfig{
+			K: k, Scheme: s, D: d, Writers: writers,
+			OverlapSharers: true, DistinctHomes: true,
+			Tune: func(p *coherence.Params) {
+				p.Net.VirtualChannels = vcs
+			},
+		})
+	})
+	for i, vcs := range vcss {
 		row := []any{vcs}
-		for _, s := range schemes {
-			res := workload.RunHotSpot(workload.HotSpotConfig{
-				K: k, Scheme: s, D: d, Writers: writers,
-				OverlapSharers: true, DistinctHomes: true,
-				Tune: func(p *coherence.Params) {
-					p.Net.VirtualChannels = vcs
-				},
-			})
-			row = append(row, uint64(res.Makespan))
+		for j := range schemes {
+			row = append(row, uint64(results[i*len(schemes)+j].Makespan))
 		}
 		t.Row(row...)
 	}
@@ -404,25 +505,30 @@ func FigLimitedDirectory(k int) *report.Table {
 		{"Dir4-CV(row)", 4, k},
 		{"Dir2-CV(row)", 2, k},
 	}
+	var pts []sweep.Point
 	for _, cfg := range configs {
 		cfg := cfg
-		row := []any{cfg.label, 0.0}
-		first := true
 		for _, s := range schemes {
-			res := workload.RunInval(workload.InvalConfig{
-				K: k, Scheme: s, D: 6, Trials: 5,
+			pts = append(pts, sweep.Point{
+				Index: len(pts), K: k, Scheme: s, D: 6, Trials: 5, Seed: 1,
 				Tune: func(p *coherence.Params) {
 					p.DirPointers = cfg.pointers
 					p.DirCoarseRegion = cfg.coarse
 				},
 			})
-			if first {
+		}
+	}
+	results := runSweep(pts)
+	for i, cfg := range configs {
+		row := []any{cfg.label, 0.0}
+		for j := range schemes {
+			m := results[i*len(schemes)+j].Measures
+			if j == 0 {
 				// Mean invalidation targets per transaction, derived from
 				// the UI-UA home message count (2 messages per target).
-				row[1] = res.HomeMsgs / 2
-				first = false
+				row[1] = m.HomeMsgs / 2
 			}
-			row = append(row, res.Latency.Mean(), res.HomeMsgs)
+			row = append(row, m.Latency.Mean(), m.HomeMsgs)
 		}
 		t.Row(row...)
 	}
@@ -575,13 +681,21 @@ func FigSoftwareTree(k, trials int) *report.Table {
 	}
 	t := report.NewTable(
 		fmt.Sprintf("E20: worms vs software tree multicast, %dx%d mesh, random placement", k, k), cols...)
+	var pts []sweep.Point
 	for _, d := range SharerCounts {
-		row := []any{d}
 		for _, s := range schemes {
-			res := workload.RunInval(workload.InvalConfig{
-				K: k, Scheme: s, D: d, Trials: trials, Seed: uint64(d) + 7,
+			pts = append(pts, sweep.Point{
+				Index: len(pts), K: k, Scheme: s, D: d, Trials: trials,
+				Seed: uint64(d) + 7,
 			})
-			row = append(row, res.Latency.Mean(), res.HomeMsgs)
+		}
+	}
+	results := runSweep(pts)
+	for i, d := range SharerCounts {
+		row := []any{d}
+		for j := range schemes {
+			m := results[i*len(schemes)+j].Measures
+			row = append(row, m.Latency.Mean(), m.HomeMsgs)
 		}
 		t.Row(row...)
 	}
@@ -600,19 +714,29 @@ func FigTorus(k, trials int) *report.Table {
 	}
 	t := report.NewTable(
 		fmt.Sprintf("E21: mesh vs torus, %dx%d, random placement", k, k), cols...)
-	for _, d := range []int{4, 8, 16, 32} {
+	ds := []int{4, 8, 16, 32}
+	var pts []sweep.Point
+	for _, d := range ds {
 		for _, torus := range []bool{false, true} {
-			name := "mesh"
-			if torus {
-				name = "torus"
-			}
-			row := []any{d, name}
+			torus := torus
 			for _, s := range schemes {
-				res := workload.RunInval(workload.InvalConfig{
-					K: k, Scheme: s, D: d, Trials: trials, Seed: uint64(d) + 7,
+				pts = append(pts, sweep.Point{
+					Index: len(pts), K: k, Scheme: s, D: d, Trials: trials,
+					Seed: uint64(d) + 7,
 					Tune: func(p *coherence.Params) { p.Torus = torus },
 				})
-				row = append(row, res.Latency.Mean(), res.Groups)
+			}
+		}
+	}
+	results := runSweep(pts)
+	i := 0
+	for _, d := range ds {
+		for _, name := range []string{"mesh", "torus"} {
+			row := []any{d, name}
+			for range schemes {
+				m := results[i].Measures
+				row = append(row, m.Latency.Mean(), m.Groups)
+				i++
 			}
 			t.Row(row...)
 		}

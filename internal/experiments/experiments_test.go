@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/grouping"
 	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
 // cell parses a numeric table cell.
@@ -211,5 +212,31 @@ func TestCongestionMatchesPaperClaim(t *testing.T) {
 	}
 	if repRatio := cell(t, tab, 1, 3); repRatio < 3 {
 		t.Fatalf("reply Y-link home-column ratio = %v, want >> 1", repRatio)
+	}
+}
+
+// TestFiguresParallelInvariant renders representative figures — one
+// sweep-engine figure, one eachCell fan-out figure and the torus figure
+// with its per-cell Tune closures — at 1 and 8 workers and requires
+// byte-identical tables. GOMAXPROCS may be 1 on the test runner, so this
+// forces a genuinely concurrent configuration regardless of hardware.
+func TestFiguresParallelInvariant(t *testing.T) {
+	saved := Sweep
+	defer func() { Sweep = saved }()
+
+	figures := map[string]func() string{
+		"latency": func() string { return FigLatencyVsSharers(8, 2).String() },
+		"hotspot": func() string { return FigHotSpot(4, 3).String() },
+		"torus":   func() string { return FigTorus(8, 2).String() },
+		"limdir":  func() string { return FigLimitedDirectory(4).String() },
+	}
+	for name, render := range figures {
+		Sweep = sweep.Options{Parallel: 1}
+		seq := render()
+		Sweep = sweep.Options{Parallel: 8}
+		par := render()
+		if seq != par {
+			t.Errorf("%s: table differs between 1 and 8 workers:\n%s\nvs\n%s", name, seq, par)
+		}
 	}
 }

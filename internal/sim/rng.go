@@ -17,6 +17,31 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// SplitMix64 is the splitmix64 finalizer: a bijective mixing function whose
+// outputs pass statistical tests even on sequential inputs. It is the seed
+// deriver of choice (Vigna) for spawning independent streams.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed derives the RNG seed of the index-th point of a sweep from the
+// sweep's base seed. Two splitmix rounds decorrelate (base, index) pairs, so
+// every point of every sweep gets an independent stream while the mapping
+// stays a pure function of its inputs — a parallel sweep that assigns points
+// to arbitrary workers reproduces the sequential run bit for bit.
+func DeriveSeed(base, index uint64) uint64 {
+	s := SplitMix64(SplitMix64(base) + index)
+	if s == 0 {
+		// Avoid the xorshift fixed point remap so that distinct (base, index)
+		// pairs keep distinct effective seeds.
+		s = 0x9E3779B97F4A7C15
+	}
+	return s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

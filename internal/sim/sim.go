@@ -67,8 +67,8 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events waiting in the queue (including
-// cancelled events that have not yet been popped).
+// Pending returns the number of live events waiting in the queue. Cancelled
+// events are removed from the queue eagerly, so they never count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t less
@@ -95,13 +95,22 @@ func (e *Engine) After(d Time, fn func()) *Event {
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
 // already fired or been cancelled is a no-op.
+//
+// The event is removed from the queue eagerly. Leaving it in place until
+// popped (the previous behavior) kept a stale heap index on the event and
+// made Pending() overcount after mass cancellation — under chaos schedules
+// the miscount depended on pop order, so tools polling Pending() as an
+// idleness signal saw schedule-dependent values. O(log n) per cancel is
+// noise at our queue sizes.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.fired || ev.cancel {
 		return
 	}
 	ev.cancel = true
-	// The event stays in the heap and is discarded when popped; removing it
-	// eagerly would cost O(log n) for no benefit at our queue sizes.
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
 }
 
 // Halt stops Run/RunUntil after the event currently executing returns.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -495,5 +496,153 @@ func TestChaosPreservesTimeOrder(t *testing.T) {
 		if times[i] < times[i-1] {
 			t.Fatal("chaos violated time ordering")
 		}
+	}
+}
+
+// TestEngineCancelRemovesFromPending is the regression test for the
+// cancel/heap interaction: cancelled events must leave the queue
+// immediately, so Pending never counts dead events and a mass-cancelled
+// queue reports empty.
+func TestEngineCancelRemovesFromPending(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.At(Time(i+1), func() { t.Fatal("cancelled event fired") }))
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	for _, ev := range evs {
+		e.Cancel(ev)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after mass cancel = %d, want 0", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d after running all-cancelled queue, want 0", e.Fired())
+	}
+}
+
+// TestEngineCancelInterleaved cancels every other event (including from
+// the middle of the heap) and checks the survivors still fire in order
+// and the pending count tracks live events exactly.
+func TestEngineCancelInterleaved(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 50; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i+1), func() { fired = append(fired, i) }))
+	}
+	for i := 0; i < 50; i += 2 {
+		e.Cancel(evs[i])
+		// Double-cancel must stay a no-op.
+		e.Cancel(evs[i])
+	}
+	if e.Pending() != 25 {
+		t.Fatalf("Pending = %d, want 25", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 25 {
+		t.Fatalf("fired %d events, want 25", len(fired))
+	}
+	for j, i := range fired {
+		if i != 2*j+1 {
+			t.Fatalf("fired[%d] = %d, want %d", j, i, 2*j+1)
+		}
+	}
+}
+
+// TestSplitMix64KnownValues pins the splitmix64 finalizer against the
+// reference outputs from Steele et al.'s published stream for seed 0.
+func TestSplitMix64KnownValues(t *testing.T) {
+	const gamma = 0x9E3779B97F4A7C15
+	want := []uint64{
+		0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F,
+	}
+	var state uint64
+	for i, w := range want {
+		if got := SplitMix64(state); got != w {
+			t.Fatalf("SplitMix64 stream step %d = %#x, want %#x", i, got, w)
+		}
+		state += gamma
+	}
+}
+
+// TestDeriveSeedProperties checks the seed-derivation contract the sweep
+// engine relies on: deterministic, index-sensitive, base-sensitive and
+// never zero (xorshift64* cannot hold a zero state).
+func TestDeriveSeedProperties(t *testing.T) {
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for idx := uint64(0); idx < 256; idx++ {
+			s := DeriveSeed(base, idx)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(%d,%d) = 0", base, idx)
+			}
+			if seen[s] {
+				t.Fatalf("DeriveSeed(%d,%d) collides within a small grid", base, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestSampleMerge checks that merging two samples is equivalent to
+// observing both value streams in one sample.
+func TestSampleMerge(t *testing.T) {
+	var a, b, all Sample
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i))
+		all.Add(float64(i))
+	}
+	for i := 10; i <= 12; i++ {
+		b.Add(float64(i))
+		all.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || a.Mean() != all.Mean() ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged sample (n=%d mean=%v) != combined (n=%d mean=%v)",
+			a.N(), a.Mean(), all.N(), all.Mean())
+	}
+	a.Merge(nil) // must be a no-op
+	if a.N() != all.N() {
+		t.Fatal("Merge(nil) changed the sample")
+	}
+}
+
+// TestSampleJSONRoundTrip checks the marshal/unmarshal pair the sweep
+// checkpoint format depends on: values survive a round trip exactly and
+// an empty sample stays empty.
+func TestSampleJSONRoundTrip(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Add(v)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sample
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != s.N() || back.Mean() != s.Mean() ||
+		back.Min() != s.Min() || back.Max() != s.Max() ||
+		back.Percentile(50) != s.Percentile(50) {
+		t.Fatalf("round trip changed sample: %+v vs %+v", back.Values(), s.Values())
+	}
+	var empty Sample
+	b, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Fatalf("empty sample marshals to %s, want []", b)
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -29,6 +30,47 @@ func (s *Sample) Add(v float64) {
 
 // AddTime records a Time observation.
 func (s *Sample) AddTime(t Time) { s.Add(float64(t)) }
+
+// Merge appends every observation of other, in other's insertion order.
+// Merging partial samples in a fixed order reproduces the sample a single
+// sequential run would have built, which is what lets a parallel sweep
+// aggregate per-shard samples deterministically.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil {
+		return
+	}
+	for _, v := range other.values {
+		s.Add(v)
+	}
+}
+
+// Values returns the observations in insertion order. The slice is a copy.
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// MarshalJSON encodes the sample as its raw observation array, which is the
+// full state: sum, min and max are derived on decode. Used by the sweep
+// checkpoint format.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	if s.values == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.values)
+}
+
+// UnmarshalJSON decodes an observation array produced by MarshalJSON.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	var values []float64
+	if err := json.Unmarshal(data, &values); err != nil {
+		return err
+	}
+	*s = Sample{}
+	for _, v := range values {
+		s.Add(v)
+	}
+	return nil
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointVersion is bumped whenever the on-disk format changes
+// incompatibly.
+const checkpointVersion = 1
+
+// savedResult is one completed point as stored on disk. Partial results are
+// stored for inspection but never resumed from: a partial point re-runs.
+type savedResult struct {
+	Index    int      `json:"index"`
+	Measures Measures `json:"measures"`
+	Partial  bool     `json:"partial,omitempty"`
+}
+
+// checkpointFile is the JSON document written to Options.CheckpointPath.
+type checkpointFile struct {
+	Version int `json:"version"`
+	// Fingerprint hashes the point grid (serialized without Tune); resume
+	// refuses a file recorded for a different grid.
+	Fingerprint uint64        `json:"fingerprint"`
+	Total       int           `json:"total"`
+	Done        []savedResult `json:"done"`
+}
+
+// checkpoint tracks completed points and persists them atomically
+// (write-temp-then-rename) after each completion. All methods are called
+// from the single aggregation goroutine, so no locking is needed.
+type checkpoint struct {
+	path  string
+	fp    uint64
+	total int
+	done  map[int]savedResult
+}
+
+func newCheckpoint(path string, points []Point) *checkpoint {
+	return &checkpoint{
+		path:  path,
+		fp:    fingerprint(points),
+		total: len(points),
+		done:  make(map[int]savedResult),
+	}
+}
+
+// fingerprint hashes the JSON form of the grid. Tune functions are excluded
+// by their json:"-" tag; everything that selects the computation (scheme,
+// mesh, sharers, pattern, trials, seeds, indices) is included.
+func fingerprint(points []Point) uint64 {
+	b, err := json.Marshal(points)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: points not serializable: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// load reads the checkpoint file and returns the completed (non-partial)
+// results keyed by point index. A missing file is a fresh start, not an
+// error; a file for a different grid or format version is an error.
+func (c *checkpoint) load() (map[int]savedResult, error) {
+	data, err := os.ReadFile(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[int]savedResult{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", c.path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("sweep: checkpoint %s has version %d, want %d", c.path, f.Version, checkpointVersion)
+	}
+	if f.Fingerprint != c.fp || f.Total != c.total {
+		return nil, fmt.Errorf("sweep: checkpoint %s was recorded for a different sweep (fingerprint %x/%d points, want %x/%d)",
+			c.path, f.Fingerprint, f.Total, c.fp, c.total)
+	}
+	out := make(map[int]savedResult, len(f.Done))
+	for _, sr := range f.Done {
+		if sr.Index < 0 || sr.Index >= c.total {
+			return nil, fmt.Errorf("sweep: checkpoint %s has out-of-range point index %d", c.path, sr.Index)
+		}
+		if !sr.Partial {
+			out[sr.Index] = sr
+		}
+	}
+	return out, nil
+}
+
+// record registers a completed result for the next save.
+func (c *checkpoint) record(r Result) {
+	c.done[r.Point.Index] = savedResult{
+		Index:    r.Point.Index,
+		Measures: r.Measures,
+		Partial:  r.Partial,
+	}
+}
+
+// save writes the checkpoint atomically: marshal, write a temp file in the
+// same directory, rename over the target. A crash mid-save leaves the
+// previous checkpoint intact.
+func (c *checkpoint) save() error {
+	f := checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: c.fp,
+		Total:       c.total,
+	}
+	for _, sr := range c.done {
+		f.Done = append(f.Done, sr)
+	}
+	sort.Slice(f.Done, func(i, j int) bool { return f.Done[i].Index < f.Done[j].Index })
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".sweep-checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

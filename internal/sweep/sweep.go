@@ -1,0 +1,327 @@
+// Package sweep is the parallel experiment-sweep engine: it fans a grid of
+// invalidation-experiment points (scheme x mesh size x sharer distribution
+// x seed) out across a pool of worker goroutines, each running a fully
+// isolated sim.Engine + coherence.Machine, and merges the results through a
+// single aggregation channel into point order.
+//
+// Determinism: every point carries its own RNG seed (derived with splitmix
+// from a base seed and the point index, see sim.DeriveSeed), every point
+// runs on a private machine, and aggregation is by point index rather than
+// completion order — so the output of a parallel sweep is bit-for-bit
+// identical to the sequential run, just N-cores faster. The determinism
+// regression test in determinism_test.go pins this property, including
+// under chaos event ordering.
+//
+// Robustness: Run honors context cancellation, supports a wall-clock
+// per-point timeout that marks a point's result partial instead of failing
+// the sweep, and can checkpoint completed points to a JSON file so a killed
+// sweep resumes at the first unfinished point (see checkpoint.go).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Point is one cell of a sweep grid. Index must equal the point's position
+// in the slice passed to Run; it keys checkpoint entries and seed
+// derivation, so it must be stable across resumed runs.
+type Point struct {
+	Index   int              `json:"index"`
+	K       int              `json:"k"`
+	Scheme  grouping.Scheme  `json:"scheme"`
+	D       int              `json:"d"`
+	Pattern workload.Pattern `json:"pattern"`
+	Trials  int              `json:"trials"`
+	Seed    uint64           `json:"seed"`
+	// ChaosSeed, when nonzero, runs the point's machine under chaos
+	// (seeded-random same-time) event ordering.
+	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
+	// Tune adjusts machine parameters before construction. It is not part
+	// of the checkpoint fingerprint (functions cannot be serialized):
+	// resuming a sweep whose Tune behavior changed is the caller's bug.
+	Tune func(*coherence.Params) `json:"-"`
+}
+
+// Measures is the serializable outcome of one point — the per-transaction
+// means the paper's tables are built from, plus the full latency sample.
+type Measures struct {
+	Latency   sim.Sample `json:"latency"`
+	HomeMsgs  float64    `json:"home_msgs"`
+	Groups    float64    `json:"groups"`
+	FlitHops  float64    `json:"flit_hops"`
+	Messages  float64    `json:"messages"`
+	Completed int        `json:"completed"`
+}
+
+// MeasuresOf extracts the serializable measures from an InvalResult.
+func MeasuresOf(r workload.InvalResult) Measures {
+	return Measures{
+		Latency:   r.Latency,
+		HomeMsgs:  r.HomeMsgs,
+		Groups:    r.Groups,
+		FlitHops:  r.FlitHops,
+		Messages:  r.Messages,
+		Completed: r.Completed,
+	}
+}
+
+// Result is one point's outcome.
+type Result struct {
+	Point    Point    `json:"point"`
+	Measures Measures `json:"measures"`
+	// Partial marks a point stopped early by cancellation or the per-point
+	// timeout: Measures covers only Measures.Completed of Point.Trials
+	// trials. Partial points are re-run on resume.
+	Partial bool `json:"partial,omitempty"`
+	// Resumed marks a result loaded from a checkpoint rather than run.
+	Resumed bool `json:"-"`
+	// Elapsed is the wall-clock run time of the point. It is deliberately
+	// excluded from serialization: it is the one nondeterministic field.
+	Elapsed time.Duration `json:"-"`
+	// Ran reports whether the point executed (or was resumed) at all;
+	// false means the sweep was cancelled before the point started.
+	Ran bool `json:"-"`
+}
+
+// Options configures Run. The zero value runs with GOMAXPROCS workers, no
+// timeout, no progress reporting and no checkpointing.
+type Options struct {
+	// Parallel is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	Parallel int
+	// PointTimeout, when positive, bounds each point's wall-clock run time.
+	// A point that exceeds it stops at the next trial boundary and its
+	// result is marked Partial — the sweep itself keeps going. Timeouts are
+	// wall-clock and therefore nondeterministic; leave zero for
+	// reproducibility-critical runs.
+	PointTimeout time.Duration
+	// OnProgress, when set, receives a Progress update after every
+	// completed point. It is called from a single goroutine.
+	OnProgress func(Progress)
+	// CheckpointPath, when nonempty, persists completed points to this JSON
+	// file after each point, so a killed sweep can be resumed.
+	CheckpointPath string
+	// Resume loads CheckpointPath (if it exists) and skips the points it
+	// records as complete. The checkpoint's point-grid fingerprint must
+	// match, otherwise Run fails rather than mixing incompatible sweeps.
+	Resume bool
+	// runPoint substitutes the point runner (tests only).
+	runPoint func(ctx context.Context, p Point) (Measures, *metrics.Collector)
+}
+
+// Summary is the outcome of a sweep.
+type Summary struct {
+	// Results holds one entry per point, in point order regardless of
+	// completion order.
+	Results []Result
+	// Agg is the merge, in point order, of the per-point machines'
+	// metrics.Collector state — for freshly run points only (checkpoints
+	// store Measures, not raw collectors).
+	Agg *metrics.Collector
+	// Elapsed is the sweep's wall-clock duration.
+	Elapsed time.Duration
+	// Completed counts points with a result (fresh or resumed); Partial
+	// counts results marked partial; Resumed counts checkpoint hits.
+	Completed, Partial, Resumed int
+}
+
+// runInvalPoint is the production point runner: one isolated machine per
+// point via workload.RunInval.
+func runInvalPoint(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+	res := workload.RunInval(workload.InvalConfig{
+		K: p.K, Scheme: p.Scheme, D: p.D, Pattern: p.Pattern,
+		Trials: p.Trials, Seed: p.Seed, ChaosSeed: p.ChaosSeed, Tune: p.Tune,
+		Interrupt: func() bool { return ctx.Err() != nil },
+	})
+	return MeasuresOf(res), res.Metrics
+}
+
+// Run executes every point and returns the merged summary. It returns early
+// (with the results gathered so far and ctx.Err) when ctx is cancelled:
+// queued points are abandoned, in-flight points stop at their next trial
+// boundary and are marked Partial.
+func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
+	for i := range points {
+		if points[i].Index != i {
+			return nil, fmt.Errorf("sweep: point %d has Index %d (must equal position)", i, points[i].Index)
+		}
+		if points[i].Trials < 1 {
+			return nil, fmt.Errorf("sweep: point %d has Trials %d (must be >= 1)", i, points[i].Trials)
+		}
+	}
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(points) {
+		parallel = len(points)
+	}
+	run := opts.runPoint
+	if run == nil {
+		run = runInvalPoint
+	}
+
+	var ck *checkpoint
+	resumed := map[int]savedResult{}
+	if opts.CheckpointPath != "" {
+		ck = newCheckpoint(opts.CheckpointPath, points)
+		if opts.Resume {
+			var err error
+			if resumed, err = ck.load(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	start := time.Now()
+	sum := &Summary{
+		Results: make([]Result, len(points)),
+		Agg:     metrics.NewCollector(0),
+	}
+	for i, p := range points {
+		sum.Results[i] = Result{Point: p}
+		if sr, ok := resumed[i]; ok {
+			sum.Results[i] = Result{Point: p, Measures: sr.Measures, Resumed: true, Ran: true}
+			sum.Resumed++
+			sum.Completed++
+			if ck != nil {
+				ck.record(sum.Results[i])
+			}
+		}
+	}
+
+	type outcome struct {
+		res  Result
+		coll *metrics.Collector
+	}
+	jobs := make(chan int)
+	results := make(chan outcome) // the single aggregation channel
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := points[i]
+				pctx := ctx
+				cancel := func() {}
+				if opts.PointTimeout > 0 {
+					pctx, cancel = context.WithTimeout(ctx, opts.PointTimeout)
+				}
+				t0 := time.Now()
+				meas, coll := run(pctx, p)
+				cancel()
+				results <- outcome{
+					res: Result{
+						Point:    p,
+						Measures: meas,
+						Partial:  meas.Completed < p.Trials,
+						Elapsed:  time.Since(t0),
+						Ran:      true,
+					},
+					coll: coll,
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range points {
+			if _, ok := resumed[i]; ok {
+				continue
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	collectors := make([]*metrics.Collector, len(points))
+	for out := range results {
+		i := out.res.Point.Index
+		sum.Results[i] = out.res
+		collectors[i] = out.coll
+		sum.Completed++
+		if out.res.Partial {
+			sum.Partial++
+		}
+		if ck != nil && !out.res.Partial {
+			ck.record(out.res)
+			if err := ck.save(); err != nil {
+				return sum, fmt.Errorf("sweep: checkpoint save: %w", err)
+			}
+		}
+		if opts.OnProgress != nil {
+			elapsed := time.Since(start)
+			opts.OnProgress(Progress{
+				Done:         sum.Completed,
+				Total:        len(points),
+				Partial:      sum.Partial,
+				Resumed:      sum.Resumed,
+				Last:         out.res.Point,
+				Elapsed:      elapsed,
+				PointsPerSec: float64(sum.Completed-sum.Resumed) / elapsed.Seconds(),
+			})
+		}
+	}
+	// Merge per-point collectors in point order: the aggregate is then
+	// independent of completion order.
+	for _, c := range collectors {
+		sum.Agg.Merge(c)
+	}
+	sum.Elapsed = time.Since(start)
+	return sum, ctx.Err()
+}
+
+// Each runs fn(0) .. fn(n-1) on min(parallel, n) worker goroutines and
+// returns when all have finished. It is the unordered fan-out primitive for
+// experiment cells that do not fit the Point grid (application runs,
+// hot-spot bursts): fn must write its result only to its own index's slot,
+// and determinism then follows from indexing rather than scheduling order.
+// parallel <= 0 means runtime.GOMAXPROCS(0).
+func Each(parallel, n int, fn func(i int)) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

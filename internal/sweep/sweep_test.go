@@ -1,0 +1,288 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+)
+
+// testPoints builds n trivial 4x4 UI-UA points.
+func testPoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Index: i, K: 4, Scheme: grouping.UIUA, D: 2, Trials: 2, Seed: uint64(i) + 1}
+	}
+	return pts
+}
+
+func TestRunValidatesPoints(t *testing.T) {
+	bad := testPoints(2)
+	bad[1].Index = 5
+	if _, err := Run(context.Background(), bad, Options{}); err == nil {
+		t.Fatal("misnumbered point accepted")
+	}
+	bad = testPoints(1)
+	bad[0].Trials = 0
+	if _, err := Run(context.Background(), bad, Options{}); err == nil {
+		t.Fatal("zero-trial point accepted")
+	}
+}
+
+func TestRunAllPointsOnce(t *testing.T) {
+	pts := testPoints(7)
+	var calls atomic.Int64
+	sum, err := Run(context.Background(), pts, Options{
+		Parallel: 3,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			calls.Add(1)
+			m := Measures{HomeMsgs: float64(p.Index), Completed: p.Trials}
+			return m, metrics.NewCollector(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 7 || sum.Completed != 7 || sum.Partial != 0 {
+		t.Fatalf("calls=%d completed=%d partial=%d", calls.Load(), sum.Completed, sum.Partial)
+	}
+	for i, r := range sum.Results {
+		if !r.Ran || r.Point.Index != i || r.Measures.HomeMsgs != float64(i) {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestRunRealPointsMatchSequential(t *testing.T) {
+	pts := Grid(GridConfig{
+		Ks: []int{4}, Schemes: []grouping.Scheme{grouping.UIUA, grouping.MIMAEC},
+		Ds: []int{2, 4}, Trials: 2, BaseSeed: 42,
+	})
+	seq, err := Run(context.Background(), pts, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), pts, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		a, b := seq.Results[i].Measures, par.Results[i].Measures
+		if a.Latency.Mean() != b.Latency.Mean() || a.HomeMsgs != b.HomeMsgs {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// The merged collectors must agree too: same transactions, same order.
+	if len(seq.Agg.Invals) == 0 || len(seq.Agg.Invals) != len(par.Agg.Invals) {
+		t.Fatalf("agg inval counts differ: %d vs %d", len(seq.Agg.Invals), len(par.Agg.Invals))
+	}
+	for i := range seq.Agg.Invals {
+		if seq.Agg.Invals[i] != par.Agg.Invals[i] {
+			t.Fatalf("agg inval %d differs", i)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	pts := testPoints(50)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	sum, err := Run(ctx, pts, Options{
+		Parallel: 2,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+			if ctx.Err() != nil {
+				// Model a point interrupted mid-run: fewer trials than asked.
+				return Measures{Completed: p.Trials - 1}, nil
+			}
+			return Measures{Completed: p.Trials}, nil
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum.Completed >= len(pts) {
+		t.Fatalf("cancellation did not skip any points (completed %d)", sum.Completed)
+	}
+	for _, r := range sum.Results {
+		if r.Ran && r.Measures.Completed < r.Point.Trials && !r.Partial {
+			t.Fatalf("interrupted point not marked partial: %+v", r)
+		}
+	}
+}
+
+func TestRunPointTimeoutMarksPartial(t *testing.T) {
+	pts := testPoints(3)
+	sum, err := Run(context.Background(), pts, Options{
+		Parallel:     1,
+		PointTimeout: 10 * time.Millisecond,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			if p.Index == 1 {
+				// A slow point: observes its deadline and stops early.
+				<-ctx.Done()
+				return Measures{Completed: 1}, nil
+			}
+			return Measures{Completed: p.Trials}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Partial != 1 || !sum.Results[1].Partial {
+		t.Fatalf("timeout not marked partial: %+v", sum.Results[1])
+	}
+	// The slow point must not have poisoned its neighbors.
+	if sum.Results[0].Partial || sum.Results[2].Partial || sum.Completed != 3 {
+		t.Fatalf("timeout leaked into other points: %+v", sum)
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	pts := testPoints(6)
+
+	// First run: cancel after 3 points have completed.
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	var mu sync.Mutex
+	ran1 := map[int]bool{}
+	_, err := Run(ctx, pts, Options{
+		Parallel:       1,
+		CheckpointPath: path,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			mu.Lock()
+			ran1[p.Index] = true
+			mu.Unlock()
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+			return Measures{HomeMsgs: 100 + float64(p.Index), Completed: p.Trials}, nil
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("first run err = %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Second run resumes: completed points are served from the file.
+	ran2 := map[int]bool{}
+	sum, err := Run(context.Background(), pts, Options{
+		Parallel:       1,
+		CheckpointPath: path,
+		Resume:         true,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			mu.Lock()
+			ran2[p.Index] = true
+			mu.Unlock()
+			return Measures{HomeMsgs: 100 + float64(p.Index), Completed: p.Trials}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resumed == 0 || sum.Completed != len(pts) {
+		t.Fatalf("resumed=%d completed=%d", sum.Resumed, sum.Completed)
+	}
+	for i := range pts {
+		if ran1[i] && ran2[i] {
+			t.Fatalf("point %d re-ran despite checkpoint", i)
+		}
+		if sum.Results[i].Measures.HomeMsgs != 100+float64(i) {
+			t.Fatalf("point %d measures wrong after resume: %+v", i, sum.Results[i].Measures)
+		}
+	}
+
+	// A grid mismatch must refuse to resume.
+	other := testPoints(6)
+	other[0].Seed = 999
+	if _, err := Run(context.Background(), other, Options{CheckpointPath: path, Resume: true}); err == nil {
+		t.Fatal("resumed a checkpoint for a different grid")
+	}
+}
+
+func TestCheckpointRoundTripsMeasures(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	pts := Grid(GridConfig{
+		Ks: []int{4}, Schemes: []grouping.Scheme{grouping.MIMAEC}, Ds: []int{3},
+		Trials: 3, BaseSeed: 7,
+	})
+	fresh, err := Run(context.Background(), pts, Options{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(context.Background(), pts, Options{
+		CheckpointPath: path, Resume: true,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			t.Fatalf("point %d re-ran despite full checkpoint", p.Index)
+			return Measures{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fresh.Results[0].Measures, resumed.Results[0].Measures
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.N() != b.Latency.N() ||
+		a.Latency.Min() != b.Latency.Min() || a.Latency.Max() != b.Latency.Max() ||
+		a.HomeMsgs != b.HomeMsgs || a.FlitHops != b.FlitHops ||
+		a.Groups != b.Groups || a.Messages != b.Messages || a.Completed != b.Completed {
+		t.Fatalf("measures did not survive the checkpoint round trip:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestGridDerivesDistinctSeeds(t *testing.T) {
+	pts := Grid(GridConfig{
+		Ks: []int{4, 8}, Schemes: grouping.AllSchemes, Ds: []int{1, 2, 4},
+		Trials: 1, BaseSeed: 3, Chaos: true,
+	})
+	if len(pts) != 2*len(grouping.AllSchemes)*3 {
+		t.Fatalf("grid size %d", len(pts))
+	}
+	seeds := map[uint64]bool{}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d misnumbered", i)
+		}
+		if seeds[p.Seed] {
+			t.Fatalf("duplicate derived seed at %d", i)
+		}
+		if p.ChaosSeed == 0 || p.ChaosSeed == p.Seed {
+			t.Fatalf("chaos seed not independently derived at %d", i)
+		}
+		seeds[p.Seed] = true
+	}
+	// Derivation is a pure function: the same grid derives the same seeds.
+	again := Grid(GridConfig{
+		Ks: []int{4, 8}, Schemes: grouping.AllSchemes, Ds: []int{1, 2, 4},
+		Trials: 1, BaseSeed: 3, Chaos: true,
+	})
+	for i := range pts {
+		if pts[i].Seed != again[i].Seed || pts[i].ChaosSeed != again[i].ChaosSeed {
+			t.Fatalf("seed derivation not stable at %d", i)
+		}
+	}
+}
+
+func TestEachCoversAllIndices(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		hits := make([]atomic.Int64, 100)
+		Each(par, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("parallel=%d: index %d hit %d times", par, i, hits[i].Load())
+			}
+		}
+	}
+	Each(4, 0, func(int) { t.Fatal("fn called for empty range") })
+}

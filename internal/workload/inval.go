@@ -12,6 +12,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/directory"
 	"repro/internal/grouping"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -59,8 +60,17 @@ type InvalConfig struct {
 	Trials int
 	// Seed makes placement reproducible (default 1).
 	Seed uint64
+	// ChaosSeed, when nonzero, runs the machine with chaos event ordering
+	// (sim.Engine.Chaos): same-time events fire in seeded random order
+	// instead of schedule order. Per-seed runs stay deterministic.
+	ChaosSeed uint64
 	// Tune, when set, adjusts the machine parameters before construction.
 	Tune func(*coherence.Params)
+	// Interrupt, when set, is polled before each trial; returning true stops
+	// the experiment early. The result then covers only the completed trials
+	// (Completed < Trials) — the sweep engine's per-point timeout and
+	// cancellation hook.
+	Interrupt func() bool
 }
 
 // InvalResult aggregates an invalidation-pattern experiment.
@@ -79,6 +89,12 @@ type InvalResult struct {
 	// Messages is the mean total protocol messages per transaction
 	// (invalidation worms plus acknowledgments).
 	Messages float64
+	// Completed is the number of trials that actually ran (equals
+	// Config.Trials unless Interrupt stopped the experiment early).
+	Completed int
+	// Metrics is the machine's full collector, for callers that aggregate
+	// across experiments (the sweep engine merges these).
+	Metrics *metrics.Collector
 }
 
 // RunInval executes the experiment: for each trial it installs D sharers of
@@ -99,12 +115,19 @@ func RunInval(cfg InvalConfig) InvalResult {
 		cfg.Tune(&p)
 	}
 	m := coherence.NewMachine(p)
+	if cfg.ChaosSeed != 0 {
+		m.Engine.Chaos(cfg.ChaosSeed)
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	home := m.Mesh.ID(topology.Coord{X: cfg.K / 2, Y: cfg.K / 2})
 
 	res := InvalResult{Config: cfg}
 	var homeMsgs, groups, flitHops, messages float64
 	for trial := 0; trial < cfg.Trials; trial++ {
+		if cfg.Interrupt != nil && cfg.Interrupt() {
+			break
+		}
+		res.Completed = trial + 1
 		block := directory.BlockID(uint64(home) + uint64(trial+1)*uint64(m.Mesh.Nodes()))
 		if m.Home(block) != home {
 			panic("workload: block homing arithmetic broken")
@@ -132,11 +155,13 @@ func RunInval(cfg InvalConfig) InvalResult {
 		// pair, leaving the invalidation traffic.
 		flitHops += float64(after.FlitHops - before.FlitHops)
 	}
-	n := float64(cfg.Trials)
-	res.HomeMsgs = homeMsgs / n
-	res.Groups = groups / n
-	res.FlitHops = flitHops / n
-	res.Messages = messages / n
+	if n := float64(res.Completed); n > 0 {
+		res.HomeMsgs = homeMsgs / n
+		res.Groups = groups / n
+		res.FlitHops = flitHops / n
+		res.Messages = messages / n
+	}
+	res.Metrics = m.Metrics
 	return res
 }
 
