@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench sweep
+.PHONY: all build test race vet lint check bench sweep
 
 all: check
 
@@ -19,7 +19,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race
+# simcheck is the repository's own static-analysis suite (see README
+# "Static analysis"): four code-layer rules — determinism, maporder,
+# exhaustive, nogoroutine — over the whole module, plus the
+# channel-dependency-graph verification of routing deadlock freedom at the
+# paper's full 8x8 mesh size.
+lint:
+	$(GO) run ./cmd/simcheck ./...
+	$(GO) run ./cmd/simcheck -cdg -mesh 8
+
+check: vet lint build test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .

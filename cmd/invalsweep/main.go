@@ -72,6 +72,7 @@ func main() {
 		"buffers":     func() *report.Table { return experiments.FigIAckBuffers(*k, *d, 4) },
 		"hotspot":     func() *report.Table { return experiments.FigHotSpot(*k, *d) },
 		"placement":   func() *report.Table { return experiments.AblationPlacement(*k, *d, *trials) },
+		"homes":       func() *report.Table { return experiments.FigHomePlacement(*k, *d, *trials) },
 		"cons":        func() *report.Table { return experiments.AblationConsumptionChannels(*k, *d, 4) },
 		"table4":      experiments.Table4,
 		"table5":      experiments.Table5,
@@ -90,7 +91,7 @@ func main() {
 		"threehop":    experiments.FigThreeHop,
 	}
 	order := []string{"table4", "table5", "latency", "occupancy", "traffic",
-		"meshsize", "buffers", "hotspot", "placement", "cons", "vcs", "limdir",
+		"meshsize", "buffers", "hotspot", "placement", "homes", "cons", "vcs", "limdir",
 		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop"}
 
 	emit := func(t *report.Table) {

@@ -1,0 +1,172 @@
+// Package analysis implements simcheck, the repository's static-analysis
+// suite. It certifies by machine the two conventions the simulator's
+// reproducibility story rests on:
+//
+//   - Determinism by construction: simulator-core packages never read wall
+//     clocks, environment variables or math/rand (all randomness flows
+//     through internal/sim's seeded xorshift), never iterate maps into
+//     ordered output, and never spawn goroutines (concurrency lives only in
+//     internal/sweep's worker pool).
+//   - Exhaustive enum handling: every switch over an iota-enumerated type
+//     either covers all of the type's constants or carries a panicking
+//     default, so a new message type or port can never be silently dropped.
+//
+// Four analyzers implement the code layer: determinism, maporder,
+// exhaustive and nogoroutine. The design layer — the channel-dependency-
+// graph proof of routing deadlock freedom — lives in the cdg subpackage.
+//
+// A finding can be suppressed by an escape comment on the same line or the
+// line directly above it:
+//
+//	//simcheck:allow determinism -- progress reporting is wall-clock by design
+//
+// Findings print as "file:line: rule: message", one per line, and any
+// finding makes simcheck exit nonzero, so the suite is CI-enforceable.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the canonical file:line: rule: message form.
+// The file path is printed as given (the loader stores module-relative
+// paths).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one simcheck rule.
+type Analyzer interface {
+	// Name returns the rule name used in diagnostics and allow comments.
+	Name() string
+	// Check analyzes one package and returns its findings.
+	Check(pkg *Package) []Diagnostic
+}
+
+// simCorePackages are the module packages whose code must be deterministic
+// and goroutine-free: everything that contributes to simulation results.
+var simCorePackages = map[string]bool{
+	"repro/internal/sim":         true,
+	"repro/internal/coherence":   true,
+	"repro/internal/network":     true,
+	"repro/internal/routing":     true,
+	"repro/internal/topology":    true,
+	"repro/internal/directory":   true,
+	"repro/internal/workload":    true,
+	"repro/internal/metrics":     true,
+	"repro/internal/experiments": true,
+	"repro/internal/cache":       true,
+	"repro/internal/grouping":    true,
+	"repro/internal/apps":        true,
+}
+
+// DefaultSimCore reports whether an import path is a simulator-core package
+// under the determinism discipline.
+func DefaultSimCore(path string) bool { return simCorePackages[path] }
+
+// DefaultAnalyzers returns the full production rule set.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		&Determinism{SimCore: determinismScope},
+		&MapOrder{},
+		&Exhaustive{},
+		&NoGoroutine{SimCore: DefaultSimCore},
+	}
+}
+
+// determinismScope extends the sim-core set with internal/sweep: the sweep
+// engine is allowed concurrency but not unannotated wall-clock reads (its
+// few legitimate uses carry //simcheck:allow comments).
+func determinismScope(path string) bool {
+	return DefaultSimCore(path) || path == "repro/internal/sweep"
+}
+
+// Run applies every analyzer to every package, drops findings covered by
+// allow comments, and returns the remainder sorted by file, line and rule.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			for _, d := range a.Check(pkg) {
+				if allows.covers(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// allowSet records, per file and line, the rule names an //simcheck:allow
+// comment suppresses.
+type allowSet map[string]map[int][]string
+
+const allowPrefix = "//simcheck:allow"
+
+// collectAllows scans every comment in the package for allow directives.
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				// The rule list is the first field; anything after it (an
+				// optional "-- reason") is commentary.
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], rules...)
+			}
+		}
+	}
+	return set
+}
+
+// covers reports whether d is suppressed by an allow comment on its line or
+// the line directly above.
+func (s allowSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == d.Rule || rule == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

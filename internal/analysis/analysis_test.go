@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package. Fixture import paths live
+// under the synthetic "fixture/" module so the exhaustive analyzer's default
+// module-prefix derivation treats their enums as module-declared.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/src/"+name, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// fixtureAnalyzers is the production rule set with the sim-core gate opened
+// so the fixtures (which are not repro/internal packages) fall in scope.
+func fixtureAnalyzers() []Analyzer {
+	anyPackage := func(string) bool { return true }
+	return []Analyzer{
+		&Determinism{SimCore: anyPackage},
+		&MapOrder{},
+		&Exhaustive{},
+		&NoGoroutine{SimCore: anyPackage},
+	}
+}
+
+func diagLocs(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Rule)
+	}
+	return out
+}
+
+// TestFixtureDiagnostics pins the exact file:line: rule of every finding on
+// the violating fixtures, and that the clean and allow fixtures produce none.
+// Running the full rule set over each fixture also guards against cross-rule
+// false positives.
+func TestFixtureDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		want []string
+	}{
+		{"clean", nil},
+		{"allow", nil},
+		{"determinism_bad", []string{
+			"testdata/src/determinism_bad/bad.go:6: determinism",
+			"testdata/src/determinism_bad/bad.go:13: determinism",
+			"testdata/src/determinism_bad/bad.go:15: determinism",
+			"testdata/src/determinism_bad/bad.go:17: determinism",
+		}},
+		{"maporder_bad", []string{
+			"testdata/src/maporder_bad/bad.go:9: maporder",
+			"testdata/src/maporder_bad/bad.go:16: maporder",
+		}},
+		{"exhaustive_bad", []string{
+			"testdata/src/exhaustive_bad/bad.go:14: exhaustive",
+			"testdata/src/exhaustive_bad/bad.go:24: exhaustive",
+		}},
+		{"nogoroutine_bad", []string{
+			"testdata/src/nogoroutine_bad/bad.go:5: nogoroutine",
+			"testdata/src/nogoroutine_bad/bad.go:9: nogoroutine",
+			"testdata/src/nogoroutine_bad/bad.go:12: nogoroutine",
+			"testdata/src/nogoroutine_bad/bad.go:14: nogoroutine",
+			"testdata/src/nogoroutine_bad/bad.go:20: nogoroutine",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.name)
+			got := diagLocs(Run([]*Package{pkg}, fixtureAnalyzers()))
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d findings %v, want %d %v", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("finding %d = %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDiagnosticMessages spot-checks the message text of one finding per
+// rule, including the canonical String rendering.
+func TestDiagnosticMessages(t *testing.T) {
+	checks := []struct {
+		fixture, substr string
+	}{
+		{"determinism_bad", "import of math/rand"},
+		{"determinism_bad", "time.Now is nondeterministic"},
+		{"maporder_bad", "ordered output (append); sort the keys first"},
+		{"exhaustive_bad", "switch over state misses done and has no panicking default"},
+		{"exhaustive_bad", "switch over state misses busy, done and its default does not panic"},
+		{"nogoroutine_bad", "go statement in sim-core package"},
+	}
+	for _, c := range checks {
+		pkg := loadFixture(t, c.fixture)
+		diags := Run([]*Package{pkg}, fixtureAnalyzers())
+		found := false
+		for _, d := range diags {
+			s := d.String()
+			if strings.Contains(s, c.substr) {
+				found = true
+				if !strings.Contains(s, ": ") || !strings.HasPrefix(s, "testdata/src/") {
+					t.Errorf("diagnostic %q not in file:line: rule: message form", s)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no finding containing %q in %v", c.fixture, c.substr, diags)
+		}
+	}
+}
+
+// TestAllowWithoutComment establishes the allow fixture's suppressions are
+// load-bearing: the same package analyzed without allow filtering (calling
+// the analyzer directly rather than through Run) reports both wall-clock
+// reads.
+func TestAllowWithoutComment(t *testing.T) {
+	pkg := loadFixture(t, "allow")
+	det := &Determinism{SimCore: func(string) bool { return true }}
+	diags := det.Check(pkg)
+	if len(diags) != 2 {
+		t.Fatalf("raw determinism check on allow fixture = %d findings %v, want 2", len(diags), diags)
+	}
+}
+
+// TestModuleClean runs the production configuration over the whole module:
+// the tree the repository ships must carry zero findings, which is exactly
+// what `go run ./cmd/simcheck ./...` enforces in CI.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadModule found only %d packages", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

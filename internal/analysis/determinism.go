@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism forbids nondeterminism sources in simulator-core packages:
+// wall-clock reads, process environment reads, and any use of math/rand
+// (sim code must draw randomness from internal/sim's seeded xorshift so
+// identical seeds replay identical runs at any sweep parallelism).
+type Determinism struct {
+	// SimCore selects the packages under the rule; nil means DefaultSimCore
+	// plus internal/sweep.
+	SimCore func(path string) bool
+}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// bannedImports are packages sim-core code may not import at all.
+var bannedImports = map[string]string{
+	"math/rand":    "use internal/sim's seeded xorshift RNG instead",
+	"math/rand/v2": "use internal/sim's seeded xorshift RNG instead",
+	"crypto/rand":  "use internal/sim's seeded xorshift RNG instead",
+}
+
+// bannedCalls maps an import path to the functions of it that read
+// process-external state.
+var bannedCalls = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+		"Getpid": true, "Hostname": true,
+	},
+}
+
+// Check implements Analyzer.
+func (a *Determinism) Check(pkg *Package) []Diagnostic {
+	inScope := a.SimCore
+	if inScope == nil {
+		inScope = determinismScope
+	}
+	if !inScope(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		// names maps the local identifier of each import to its path, so
+		// aliased imports ("r \"math/rand\"") are still caught.
+		names := map[string]string{}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := bannedImports[path]; bad {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.Fset.Position(imp.Pos()),
+					Rule:    a.Name(),
+					Message: "import of " + path + " in sim-core package; " + why,
+				})
+			}
+			name := importName(imp, path)
+			if name == "." {
+				// A dot import of a package with banned functions makes its
+				// calls unattributable; forbid it outright.
+				if _, risky := bannedCalls[path]; risky {
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(imp.Pos()),
+						Rule:    a.Name(),
+						Message: "dot import of " + path + " in sim-core package hides nondeterministic calls",
+					})
+				}
+				continue
+			}
+			names[name] = path
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, isImport := names[id.Name]
+			if !isImport {
+				return true
+			}
+			// Only treat the identifier as the package when it is not
+			// shadowed by a local object.
+			if obj, known := pkg.Info.Uses[id]; known {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			if fns, ok := bannedCalls[path]; ok && fns[sel.Sel.Name] {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.Fset.Position(sel.Pos()),
+					Rule:    a.Name(),
+					Message: path + "." + sel.Sel.Name + " is nondeterministic; sim-core code must be replayable from its seed",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// importName returns the local name an import binds: the explicit alias, or
+// the path's last element.
+func importName(imp *ast.ImportSpec, path string) string {
+	if imp.Name != nil {
+		return imp.Name.Name
+	}
+	if i := lastSlash(path); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

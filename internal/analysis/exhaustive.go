@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks switches over iota-enumerated types: every such switch
+// must either cover all of the enum's constants or carry a default clause
+// that panics. A silent fall-through is how a newly added message type or
+// port gets dropped without a trace; a panicking default turns that bug
+// into a loud failure at the first simulated cycle that hits it.
+//
+// An enum is a named integer type declared in this module with at least two
+// package-level constants of that exact type. Constants whose names start
+// with "Num"/"num" are counting sentinels (NumPorts, numVNs) and are not
+// required to be covered.
+type Exhaustive struct {
+	// ModulePrefix limits enum detection to types declared in packages with
+	// this import-path prefix; "" means the package under analysis and its
+	// module siblings (derived from the package path's first element).
+	ModulePrefix string
+}
+
+// Name implements Analyzer.
+func (*Exhaustive) Name() string { return "exhaustive" }
+
+// Check implements Analyzer.
+func (a *Exhaustive) Check(pkg *Package) []Diagnostic {
+	prefix := a.ModulePrefix
+	if prefix == "" {
+		prefix = pkg.Path
+		if i := strings.IndexByte(prefix, '/'); i >= 0 {
+			prefix = prefix[:i]
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			enum := enumFor(tv.Type, prefix)
+			if enum == nil {
+				return true
+			}
+			if d := a.checkSwitch(pkg, sw, enum); d != nil {
+				diags = append(diags, *d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// enumInfo describes one iota-enumerated named type.
+type enumInfo struct {
+	name string
+	// members maps each required constant value (as an exact string) to one
+	// of its names.
+	members map[string]string
+}
+
+// enumFor identifies tag's type as a module-declared enum, or returns nil.
+func enumFor(t types.Type, modulePrefix string) *enumInfo {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	path := obj.Pkg().Path()
+	if path != modulePrefix && !strings.HasPrefix(path, modulePrefix+"/") {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	members := map[string]string{}
+	total := 0
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		total++
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue // counting sentinel, not a real member
+		}
+		key := c.Val().ExactString()
+		if _, dup := members[key]; !dup {
+			members[key] = name
+		}
+	}
+	if total < 2 {
+		return nil // one constant of a type is not an enumeration
+	}
+	return &enumInfo{name: obj.Name(), members: members}
+}
+
+// checkSwitch validates one switch against its enum.
+func (a *Exhaustive) checkSwitch(pkg *Package, sw *ast.SwitchStmt, enum *enumInfo) *Diagnostic {
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			etv, ok := pkg.Info.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case label makes coverage undecidable;
+				// require a panicking default instead.
+				continue
+			}
+			if etv.Value.Kind() == constant.Int {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range enum.members {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if defaultClause != nil && clausePanics(defaultClause) {
+		return nil
+	}
+	sort.Strings(missing)
+	msg := "switch over " + enum.name + " misses " + strings.Join(missing, ", ")
+	if defaultClause != nil {
+		msg += " and its default does not panic"
+	} else {
+		msg += " and has no panicking default"
+	}
+	return &Diagnostic{
+		Pos:     pkg.Fset.Position(sw.Pos()),
+		Rule:    a.Name(),
+		Message: msg,
+	}
+}
+
+// clausePanics reports whether a case clause's body contains a call to the
+// panic builtin.
+func clausePanics(cc *ast.CaseClause) bool {
+	panics := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if panics {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				panics = true
+			}
+			return true
+		})
+	}
+	return panics
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps whose bodies produce ordered
+// output — appending to slices, emitting rows or text, accumulating into
+// samples, or sending on channels — unless the enclosing function sorts
+// (either the keys before iterating or the collected results after).
+// Go randomizes map iteration order per run, so any such loop makes output
+// depend on the iteration seed and breaks byte-identical replay.
+//
+// The sort exemption is deliberately syntactic: a function that both ranges
+// over a map and calls sort.* / slices.Sort* is taken to be using the
+// collect-then-sort idiom. The analyzer certifies the discipline, not
+// arbitrary dataflow.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (*MapOrder) Name() string { return "maporder" }
+
+// orderedSinks are method names whose calls inside a map-range body are
+// treated as order-sensitive accumulation: table rows, sample observations,
+// writer/builder emission and FIFO insertion.
+var orderedSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Row": true, "Add": true, "AddTime": true, "Merge": true, "Push": true,
+}
+
+// emitFuncs are fmt functions that write output directly.
+var emitFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// Check implements Analyzer.
+func (a *MapOrder) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if functionSorts(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink := orderedSink(rng.Body); sink != "" {
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(rng.Pos()),
+						Rule:    a.Name(),
+						Message: "map iteration order feeds ordered output (" + sink + "); sort the keys first",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// orderedSink returns a description of the first order-sensitive operation
+// in a range body, or "" when the body is order-insensitive.
+func orderedSink(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = "channel send"
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					found = "append"
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok && id.Name == "fmt" && emitFuncs[fun.Sel.Name] {
+					found = "fmt." + fun.Sel.Name
+				} else if orderedSinks[fun.Sel.Name] {
+					found = "." + fun.Sel.Name + " call"
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// functionSorts reports whether fn calls into sort or slices anywhere,
+// the signature of the collect-then-sort idiom.
+func functionSorts(fn *ast.FuncDecl) bool {
+	sorts := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorts {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if id.Name == "sort" || (id.Name == "slices" && len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort") {
+				sorts = true
+			}
+		}
+		return true
+	})
+	return sorts
+}

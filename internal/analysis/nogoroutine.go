@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// NoGoroutine forbids concurrency constructs in simulator-core packages:
+// go statements, channel operations, select statements and imports of sync.
+// The simulator is a single-threaded discrete-event machine; the only
+// concurrency in the module is internal/sweep's worker pool, which runs
+// whole independent simulations and merges their results in point order.
+type NoGoroutine struct {
+	// SimCore selects the packages under the rule; nil means DefaultSimCore.
+	SimCore func(path string) bool
+}
+
+// Name implements Analyzer.
+func (*NoGoroutine) Name() string { return "nogoroutine" }
+
+// Check implements Analyzer.
+func (a *NoGoroutine) Check(pkg *Package) []Diagnostic {
+	inScope := a.SimCore
+	if inScope == nil {
+		inScope = DefaultSimCore
+	}
+	if !inScope(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	flag := func(pos token.Pos, what string) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    a.Name(),
+			Message: what + " in sim-core package; concurrency lives only in internal/sweep",
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || strings.HasPrefix(path, "sync/") {
+				flag(imp.Pos(), "import of "+path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				flag(n.Pos(), "go statement")
+			case *ast.SendStmt:
+				flag(n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					flag(n.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				flag(n.Pos(), "select statement")
+			case *ast.ChanType:
+				flag(n.Pos(), "channel type")
+			}
+			return true
+		})
+	}
+	return diags
+}

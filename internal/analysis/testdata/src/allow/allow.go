@@ -1,0 +1,15 @@
+// Package allow exercises //simcheck:allow escape comments: every violation
+// carries a suppression (same line or the line above), so the package
+// analyzes clean.
+package allow
+
+import "time"
+
+func wallClock() int64 {
+	//simcheck:allow determinism -- fixture: progress display is wall-clock
+	return time.Now().UnixNano()
+}
+
+func sameLine() int64 {
+	return time.Now().UnixNano() //simcheck:allow determinism
+}

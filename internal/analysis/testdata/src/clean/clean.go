@@ -1,0 +1,40 @@
+// Package clean is a fixture with no findings: map output is sorted before
+// emission and the enum switch covers every member.
+package clean
+
+import "sort"
+
+type color int
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+func name(c color) string {
+	switch c {
+	case red:
+		return "red"
+	case green:
+		return "green"
+	case blue:
+		return "blue"
+	}
+	panic("clean: color out of range")
+}
+
+// sortedValues demonstrates the collect-then-sort idiom the maporder rule
+// exempts: the function ranges over a map but also calls sort.
+func sortedValues(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

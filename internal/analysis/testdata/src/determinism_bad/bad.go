@@ -1,0 +1,17 @@
+// Package determinism_bad violates the determinism rule: it imports
+// math/rand and reads the wall clock and the process environment.
+package determinism_bad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func jitter() int { return rand.Intn(10) }
+
+func now() int64 { return time.Now().UnixNano() }
+
+func wait() { time.Sleep(1) }
+
+func env() string { return os.Getenv("HOME") }

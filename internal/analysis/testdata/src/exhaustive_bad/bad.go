@@ -1,0 +1,30 @@
+// Package exhaustive_bad violates the exhaustive rule: switches over an
+// iota enum miss members without a panicking default.
+package exhaustive_bad
+
+type state int
+
+const (
+	idle state = iota
+	busy
+	done
+)
+
+func describe(s state) string {
+	switch s {
+	case idle:
+		return "idle"
+	case busy:
+		return "busy"
+	}
+	return "?"
+}
+
+func class(s state) string {
+	switch s {
+	case idle:
+		return "idle"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,19 @@
+// Package maporder_bad violates the maporder rule: slices and output are
+// produced straight out of map ranges without sorting.
+package maporder_bad
+
+import "fmt"
+
+func flatten(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

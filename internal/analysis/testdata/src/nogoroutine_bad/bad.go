@@ -1,0 +1,23 @@
+// Package nogoroutine_bad violates the nogoroutine rule: it imports sync,
+// spawns goroutines and communicates over channels.
+package nogoroutine_bad
+
+import "sync"
+
+func fanOut(work []int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, len(work))
+	for _, w := range work {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results <- w * w
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for range work {
+		total += <-results
+	}
+	return total
+}

@@ -269,8 +269,11 @@ func vnFor(t msgType) network.VN {
 		return network.Reply
 	case fwdData:
 		return network.Request
+	default:
+		// barrier worms are injected directly (injectBarrierWorm), never
+		// routed through vnFor.
+		panic(fmt.Sprintf("coherence: no VN for %v", t))
 	}
-	panic(fmt.Sprintf("coherence: no VN for %v", t))
 }
 
 // queueFor returns (creating if needed) the per-block home transaction

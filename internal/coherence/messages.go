@@ -60,8 +60,11 @@ func (t msgType) carriesData() bool {
 	switch t {
 	case fetchReply, readReply, writeReply, writeback, fwdData:
 		return true
+	case readReq, writeReq, inval, invalAck, gatherAck, fetchReq, fetchInval, fwdAck, barrier:
+		return false
+	default:
+		panic("coherence: carriesData on unknown message type " + t.String())
 	}
-	return false
 }
 
 // msg is the protocol payload attached to a worm (Worm.Tag).

@@ -7,6 +7,7 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/topology"
 )
@@ -138,10 +139,18 @@ func (d *Directory) Lookup(block BlockID) *Entry {
 // Blocks returns the number of entries materialized so far.
 func (d *Directory) Blocks() int { return len(d.entries) }
 
-// ForEach visits every materialized entry in unspecified order.
+// ForEach visits every materialized entry in ascending BlockID order.
+// The order is fixed so that anything built from a traversal — invariant
+// failure reports, dumps — is deterministic rather than dependent on Go's
+// randomized map iteration.
 func (d *Directory) ForEach(fn func(BlockID, *Entry)) {
-	for b, e := range d.entries {
-		fn(b, e)
+	ids := make([]BlockID, 0, len(d.entries))
+	for b := range d.entries {
+		ids = append(ids, b)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, b := range ids {
+		fn(b, d.entries[b])
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/directory"
 	"repro/internal/grouping"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -254,6 +255,44 @@ func FigHotSpot(k, d int) *report.Table {
 			row = append(row, uint64(results[i*len(CompareSchemes)+j].Makespan))
 		}
 		t.Row(row...)
+	}
+	return t
+}
+
+// FigHomePlacement renders the per-home-node breakdown of invalidation
+// latency and home-message load: the same d-sharer transaction rerun with
+// the block homed at every node of the mesh diagonal. Corner homes pay
+// longer worm paths than central homes — the placement effect E11
+// aggregates, shown per node here. The rows come out of map-keyed
+// collectors (metrics.InvalLatencyByHome) rendered in ascending home order
+// via report.SortedKeys, the discipline the maporder analyzer enforces.
+func FigHomePlacement(k, d, trials int) *report.Table {
+	mesh := topology.NewSquareMesh(k)
+	homes := make([]topology.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		homes = append(homes, mesh.ID(topology.Coord{X: i, Y: i}))
+	}
+	results := make([]workload.InvalResult, len(homes))
+	eachCell(len(results), func(i int) {
+		h := homes[i]
+		results[i] = workload.RunInval(workload.InvalConfig{
+			K: k, Scheme: grouping.MIMAEC, D: d,
+			Pattern: workload.RandomPlacement, Trials: trials, Home: &h,
+		})
+	})
+	agg := &metrics.Collector{}
+	for i := range results {
+		agg.Merge(results[i].Metrics)
+	}
+	byLat := agg.InvalLatencyByHome()
+	byMsgs := agg.HomeMsgsByHome()
+	t := report.NewTable(
+		fmt.Sprintf("E11b: per-home invalidation latency, diagonal homes, %dx%d mesh, d=%d (MI-MA e-cube)", k, k, d),
+		"home", "x", "y", "txns", "mean lat", "home msgs")
+	for _, h := range report.SortedKeys(byLat) {
+		s := byLat[h]
+		c := mesh.Coord(h)
+		t.Row(h, c.X, c.Y, s.N(), s.Mean(), byMsgs[h])
 	}
 	return t
 }

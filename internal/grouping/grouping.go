@@ -87,8 +87,11 @@ func (s Scheme) Base() routing.Base {
 		// ADAPT presumes a router flexible enough for every candidate's
 		// turns; its unicast traffic uses minimal adaptive paths.
 		return routing.PlanarAdaptive
+	case UIUA, UMC, BR, MIUAEC, MIMAEC, MIMAECRC:
+		return routing.ECube
+	default:
+		panic("grouping: no base routing for scheme " + s.String())
 	}
-	return routing.ECube
 }
 
 // MultidestRequest reports whether invalidations travel as multidestination

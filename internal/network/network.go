@@ -492,6 +492,8 @@ func (n *Network) Diagnose() string {
 // describeWait names the resource a worm is blocked on.
 func (n *Network) describeWait(w *Worm) string {
 	switch w.state {
+	case wormDone:
+		return "done (not blocked)"
 	case wormQueued, wormInjecting:
 		return "waiting for its injection channel"
 	case wormMoving:

@@ -4,7 +4,9 @@
 package report
 
 import (
+	"cmp"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -107,6 +109,30 @@ func (t *Table) Rows() int { return len(t.rows) }
 
 // Cell returns the formatted cell at (row, col), for tests.
 func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// SortedKeys returns m's keys in ascending order: the disciplined way to
+// turn a map-keyed measure into rows. Go randomizes map iteration order per
+// run, so emitting rows straight out of a range statement would make every
+// table differ between replays of the same seed (which is also what the
+// maporder analyzer rejects).
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// MapTable renders a two-column table from a map, rows in ascending key
+// order, so map-keyed measures print identically on every run.
+func MapTable[K cmp.Ordered, V any](title, keyCol, valCol string, m map[K]V) *Table {
+	t := NewTable(title, keyCol, valCol)
+	for _, k := range SortedKeys(m) {
+		t.Row(k, m[k])
+	}
+	return t
+}
 
 // Heatmap renders a W x H grid of values as an ASCII intensity map
 // (row-major input, row 0 printed at the bottom like the mesh drawings).

@@ -127,3 +127,45 @@ func TestHeatmapSizeMismatchPanics(t *testing.T) {
 	}()
 	Heatmap("", []float64{1}, 2, 2)
 }
+
+func TestSortedKeysAscending(t *testing.T) {
+	m := map[int]string{}
+	for _, k := range []int{7, 0, 63, 9, 36, 18, 54, 27, 45} {
+		m[k] = "x"
+	}
+	keys := SortedKeys(m)
+	want := []int{0, 7, 9, 18, 27, 36, 45, 54, 63}
+	if len(keys) != len(want) {
+		t.Fatalf("SortedKeys returned %d keys, want %d", len(keys), len(want))
+	}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Fatalf("SortedKeys[%d] = %d, want %d", i, k, want[i])
+		}
+	}
+}
+
+// TestMapTableDeterministicOrder locks the rendered row order of map-keyed
+// tables: rows must come out in ascending key order, byte-identical on
+// every run, regardless of Go's randomized map iteration order.
+func TestMapTableDeterministicOrder(t *testing.T) {
+	m := map[string]int{"gamma": 3, "alpha": 1, "delta": 4, "beta": 2}
+	want := MapTable("T", "k", "v", m).String()
+	wantRows := []string{"alpha", "beta", "delta", "gamma"}
+	for run := 0; run < 20; run++ {
+		// Rebuild the map each run so its internal seed differs.
+		fresh := map[string]int{}
+		for k, v := range m {
+			fresh[k] = v
+		}
+		tab := MapTable("T", "k", "v", fresh)
+		if got := tab.String(); got != want {
+			t.Fatalf("run %d: MapTable output differs:\n%s\nvs\n%s", run, got, want)
+		}
+		for i, k := range wantRows {
+			if tab.Cell(i, 0) != k {
+				t.Fatalf("run %d: row %d key = %q, want %q", run, i, tab.Cell(i, 0), k)
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package routing
+
+import "repro/internal/topology"
+
+// DFA exposes a base routing's conformance automaton to analysis tooling
+// (the channel-dependency-graph verifier in internal/analysis/cdg). The
+// automaton accepts exactly the hop-direction sequences Conforms accepts:
+// every state is accepting and a sequence conforms iff it never transitions
+// to the failure state.
+type DFA struct{ b Base }
+
+// DFA returns the base routing's conformance automaton.
+func (b Base) DFA() DFA { return DFA{b: b} }
+
+// States returns the number of non-failure states. States are numbered
+// 0..States()-1; Start() is always a valid state.
+func (d DFA) States() int { return d.b.stateCount() }
+
+// Start returns the automaton's initial state.
+func (d DFA) Start() int { return int(dfaStart) }
+
+// Step advances the automaton by one hop direction. ok is false when the
+// move is not conformable from s (the failure state); the returned state is
+// then meaningless.
+func (d DFA) Step(s int, mv topology.Port) (next int, ok bool) {
+	ns := d.b.step(dfaState(s), mv)
+	if ns == dfaFail {
+		return 0, false
+	}
+	return int(ns), true
+}

@@ -199,11 +199,14 @@ func (b Base) step(s dfaState, mv topology.Port) dfaState {
 				return dfaFail
 			}
 			y = 2
+		case topology.Local:
+			return dfaFail // not a network hop
 		default:
 			return dfaFail
 		}
 		return dfaState(x*3 + y)
 	case ECube:
+		//simcheck:allow exhaustive -- dfaFail is rejected at function entry
 		switch s {
 		case dfaStart:
 			return dirState(mv)
@@ -219,9 +222,17 @@ func (b Base) step(s dfaState, mv topology.Port) dfaState {
 		}
 		return dfaFail
 	case WestFirst:
+		//simcheck:allow exhaustive -- dfaFail is rejected at function entry
 		switch s {
-		case dfaStart, dfaWest:
-			return dirState(mv) // any first/continuing move is legal
+		case dfaStart:
+			return dirState(mv) // any first move is legal
+		case dfaWest:
+			// Still in the westward phase: continue west or turn off it —
+			// but never reverse 180 degrees into an eastward hop, which no
+			// base west-first route produces.
+			if mv != topology.East {
+				return dirState(mv)
+			}
 		case dfaEast:
 			if mv != topology.West {
 				return dirState(mv)
@@ -250,6 +261,8 @@ func dirState(mv topology.Port) dfaState {
 		return dfaNorth
 	case topology.South:
 		return dfaSouth
+	case topology.Local:
+		return dfaFail // not a direction
 	}
 	return dfaFail
 }

@@ -111,9 +111,11 @@ func TestConformsWestFirst(t *testing.T) {
 		want  bool
 	}{
 		{nil, true},
-		{[]topology.Port{W, W, E, N, E, S}, true}, // west first then snake
+		{[]topology.Port{W, W, N, E, S, E}, true}, // west first then snake
 		{[]topology.Port{N, E, S, E, N}, true},    // staircase east
 		{[]topology.Port{E, W}, false},            // west after east
+		{[]topology.Port{W, E}, false},            // 180 reversal off the west phase
+		{[]topology.Port{W, W, E, N}, false},      // ditto, mid-path
 		{[]topology.Port{N, W}, false},            // west after north
 		{[]topology.Port{N, S}, false},            // 180 reversal
 		{[]topology.Port{S, N}, false},            // 180 reversal

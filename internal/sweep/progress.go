@@ -54,7 +54,7 @@ func Reporter(w io.Writer, interval time.Duration) func(Progress) {
 	return func(p Progress) {
 		mu.Lock()
 		defer mu.Unlock()
-		now := time.Now()
+		now := time.Now() //simcheck:allow determinism -- operator-facing progress throttle, not simulation state
 		if p.Done < p.Total && now.Sub(last) < interval {
 			return
 		}

@@ -182,7 +182,7 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //simcheck:allow determinism -- wall-clock ETA reporting, not simulation state
 	sum := &Summary{
 		Results: make([]Result, len(points)),
 		Agg:     metrics.NewCollector(0),
@@ -218,7 +218,7 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 				if opts.PointTimeout > 0 {
 					pctx, cancel = context.WithTimeout(ctx, opts.PointTimeout)
 				}
-				t0 := time.Now()
+				t0 := time.Now() //simcheck:allow determinism -- per-point wall-clock timing for reports
 				meas, coll := run(pctx, p)
 				cancel()
 				results <- outcome{
@@ -226,7 +226,7 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 						Point:    p,
 						Measures: meas,
 						Partial:  meas.Completed < p.Trials,
-						Elapsed:  time.Since(t0),
+						Elapsed:  time.Since(t0), //simcheck:allow determinism -- wall-clock elapsed, reporting only
 						Ran:      true,
 					},
 					coll: coll,
@@ -268,7 +268,7 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 			}
 		}
 		if opts.OnProgress != nil {
-			elapsed := time.Since(start)
+			elapsed := time.Since(start) //simcheck:allow determinism -- wall-clock elapsed, reporting only
 			opts.OnProgress(Progress{
 				Done:         sum.Completed,
 				Total:        len(points),
@@ -285,7 +285,7 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 	for _, c := range collectors {
 		sum.Agg.Merge(c)
 	}
-	sum.Elapsed = time.Since(start)
+	sum.Elapsed = time.Since(start) //simcheck:allow determinism -- wall-clock elapsed, reporting only
 	return sum, ctx.Err()
 }
 

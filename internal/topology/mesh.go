@@ -52,8 +52,9 @@ func (p Port) Opposite() Port {
 		return South
 	case South:
 		return North
+	default:
+		panic("topology: Opposite of non-network port " + p.String())
 	}
-	panic("topology: Opposite of non-network port " + p.String())
 }
 
 // Mesh is a W x H 2-D mesh, optionally with wraparound links in both
@@ -150,8 +151,11 @@ func (m *Mesh) Neighbor(id NodeID, p Port) (NodeID, bool) {
 		c.Y++
 	case South:
 		c.Y--
-	default:
+	case Local:
+		// The local port faces the node itself, not a neighbor.
 		return 0, false
+	default:
+		panic("topology: Neighbor through invalid port " + p.String())
 	}
 	if !m.Contains(c) {
 		if !m.wrap {

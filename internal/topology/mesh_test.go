@@ -230,3 +230,21 @@ func TestCoordString(t *testing.T) {
 		t.Errorf("Coord String = %q", Coord{3, 4}.String())
 	}
 }
+
+func TestPortPanicsOutsideNetwork(t *testing.T) {
+	check := func(what string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		fn()
+	}
+	check("Opposite(Local)", func() { Local.Opposite() })
+	check("Opposite(NumPorts)", func() { NumPorts.Opposite() })
+	m := NewSquareMesh(4)
+	check("Neighbor(invalid port)", func() { m.Neighbor(0, Port(9)) })
+	if _, ok := m.Neighbor(0, Local); ok {
+		t.Fatal("Neighbor(Local) reported a neighbor")
+	}
+}

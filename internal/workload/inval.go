@@ -60,6 +60,9 @@ type InvalConfig struct {
 	Trials int
 	// Seed makes placement reproducible (default 1).
 	Seed uint64
+	// Home, when non-nil, homes every trial's block at this node instead of
+	// the mesh center — the per-home placement studies use it.
+	Home *topology.NodeID
 	// ChaosSeed, when nonzero, runs the machine with chaos event ordering
 	// (sim.Engine.Chaos): same-time events fire in seeded random order
 	// instead of schedule order. Per-seed runs stay deterministic.
@@ -120,6 +123,9 @@ func RunInval(cfg InvalConfig) InvalResult {
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	home := m.Mesh.ID(topology.Coord{X: cfg.K / 2, Y: cfg.K / 2})
+	if cfg.Home != nil {
+		home = *cfg.Home
+	}
 
 	res := InvalResult{Config: cfg}
 	var homeMsgs, groups, flitHops, messages float64
