@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"repro/internal/experiments"
@@ -31,6 +33,11 @@ func main() {
 	)
 	flag.Parse()
 	experiments.Sweep.Parallel = *parallel
+	// First ctrl-C skips the cells not yet started and emits what finished
+	// (zero cells are flagged on stderr); a second one kills as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	experiments.SweepContext = ctx
 
 	emit := func(t *report.Table) {
 		if *csv {
@@ -40,7 +47,12 @@ func main() {
 		}
 	}
 	emit(experiments.Table6())
-	if !*table6Only {
-		emit(experiments.FigApplications())
+	if *table6Only {
+		return
 	}
+	if ctx.Err() != nil {
+		log.Print("interrupted; skipping framework comparison")
+		return
+	}
+	emit(experiments.FigApplications())
 }

@@ -9,20 +9,24 @@
 //	invalsweep -experiment all -csv
 //
 // Experiments: latency, occupancy, traffic, meshsize, buffers, hotspot,
-// placement, cons, table4, table5, all.
+// placement, cons, table4, table5, faults, all.
 //
 // Sweeps run on a worker pool (-parallel, default all cores); the tables
 // are byte-identical at any worker count. Long sweeps can checkpoint
 // completed points (-checkpoint sweep.json) and pick up where they left
 // off after a kill (-resume). Progress goes to stderr (-progress=false to
-// silence); stdout carries only the tables.
+// silence); stdout carries only the tables. An interrupt (ctrl-C) stops the
+// sweep at the next trial boundary, flushes the checkpoint, and emits the
+// partial table instead of dying mid-run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -63,6 +67,11 @@ func main() {
 	if *progress {
 		experiments.Sweep.OnProgress = sweep.Reporter(os.Stderr, time.Second)
 	}
+	// First ctrl-C cancels the sweep gracefully (checkpoint flushed, partial
+	// table emitted); a second one falls back to the default kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	experiments.SweepContext = ctx
 
 	runners := map[string]func() *report.Table{
 		"latency":     func() *report.Table { return experiments.FigLatencyVsSharers(*k, *trials) },
@@ -89,10 +98,11 @@ func main() {
 		"sharing":     experiments.FigSharingDependence,
 		"congestion":  func() *report.Table { return experiments.FigCongestion(*k, *d, 8) },
 		"threehop":    experiments.FigThreeHop,
+		"faults":      func() *report.Table { return experiments.FigFaultRecovery(*k, *d, *trials) },
 	}
 	order := []string{"table4", "table5", "latency", "occupancy", "traffic",
 		"meshsize", "buffers", "hotspot", "placement", "homes", "cons", "vcs", "limdir",
-		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop"}
+		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop", "faults"}
 
 	emit := func(t *report.Table) {
 		if *csv {
@@ -103,6 +113,10 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, name := range order {
+			if ctx.Err() != nil {
+				log.Printf("interrupted; skipping remaining experiments from %q on", name)
+				break
+			}
 			emit(runners[name]())
 		}
 		return

@@ -59,6 +59,7 @@ var simCorePackages = map[string]bool{
 	"repro/internal/sim":         true,
 	"repro/internal/coherence":   true,
 	"repro/internal/network":     true,
+	"repro/internal/faults":      true,
 	"repro/internal/routing":     true,
 	"repro/internal/topology":    true,
 	"repro/internal/directory":   true,

@@ -74,6 +74,25 @@ type invalTxn struct {
 	start    sim.Time
 	homeMsgs int
 	onDone   func()
+
+	// Recovery state, live only when rec is set (Params.Recovery.Enabled
+	// and the scheme supports home-driven retry — everything but UMC).
+	// Completion is then judged by the unacked set draining, not by
+	// pendingAcks counting: acknowledgment evidence is a set of confirmed
+	// sharers, which makes duplicate acks (a retried sharer acking twice,
+	// a pre-abort gather worm landing late) idempotent set deletions.
+	rec bool
+	// gen counts retry generations; in-flight messages stamped with an
+	// older gen must not launch follow-on traffic (see sharerInval).
+	gen     int
+	retries int
+	// unacked holds the remote sharers whose invalidation is unconfirmed.
+	unacked map[topology.NodeID]bool
+	// homePending marks the home's own copy as not yet invalidated; the
+	// local invalidation crosses no network and needs no retry.
+	homePending bool
+	completed   bool
+	deadline    *sim.Event
 }
 
 // startInval begins the invalidation transaction for block b at home. The
@@ -162,11 +181,24 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 		txn.pendingAcks = len(remote)
 		txn.homeMsgs = len(txn.groups) + txn.pendingAcks
 	}
+	if m.Params.Recovery.Enabled && m.Params.Scheme != grouping.UMC {
+		txn.rec = true
+		txn.unacked = make(map[topology.NodeID]bool, len(remote))
+		for _, s := range remote {
+			txn.unacked[s] = true
+		}
+		txn.homePending = homeCopy
+		m.armTxnDeadline(txn)
+	}
 	if homeCopy {
 		txn.pendingAcks++
 		m.server(home).do(m.Params.CacheInvalidate, func() {
 			if !txn.update {
 				m.caches[home].Invalidate(b)
+			}
+			if txn.rec {
+				txn.homeAcked(m)
+				return
 			}
 			txn.ackArrived(m)
 		})
@@ -178,6 +210,12 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 	for gi := range txn.groups {
 		gi := gi
 		m.server(home).do(m.Params.SendOccupancy, func() {
+			if txn.rec && (txn.gen != 0 || txn.completed) {
+				// The deadline fired before this first-generation send even
+				// left the controller; the retry already re-covers its
+				// sharers with unicast invals.
+				return
+			}
 			if m.Params.Scheme == grouping.UIUA {
 				m.sendUnicastInval(txn, gi, txn.groups[gi].Members[0])
 				return
@@ -203,6 +241,13 @@ func (t *invalTxn) ackArrived(m *Machine) {
 	if t.pendingAcks > 0 {
 		return
 	}
+	t.complete(m)
+}
+
+// complete records the transaction's metrics and runs onDone. Both the
+// counting path (ackArrived) and the recovery path (checkRecovered) end
+// here, exactly once per transaction.
+func (t *invalTxn) complete(m *Machine) {
 	m.trace(t.home, "txn.done", t.block, "txn %d: latency %d cycles", t.id, m.Engine.Now()-t.start)
 	m.Metrics.Invals = append(m.Metrics.Invals, metrics.InvalRecord{
 		Txn:       t.id,
@@ -213,6 +258,7 @@ func (t *invalTxn) ackArrived(m *Machine) {
 		Start:     t.start,
 		End:       m.Engine.Now(),
 		HomeMsgs:  t.homeMsgs,
+		Retries:   t.retries,
 	})
 	t.onDone()
 }

@@ -102,6 +102,7 @@ func NewMachine(p Params) *Machine {
 	}
 	m.Net = network.New(engine, mesh, p.Net)
 	m.Net.OnDeliver = m.deliver
+	m.Net.Fault = p.Fault
 	for i := 0; i < mesh.Nodes(); i++ {
 		m.caches = append(m.caches, cache.New(p.CacheLines))
 		m.dirs = append(m.dirs, directory.New(mesh.Nodes()))
@@ -153,8 +154,12 @@ func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
 		Path:         path,
 		Dest:         dests,
 		HeaderFlits:  m.Params.Net.HeaderFlits(1),
-		PayloadFlits: m.payloadFlits(t),
+		PayloadFlits: m.payloadFlitsFor(t, payload),
 		Tag:          payload,
+		// Invalidation-class traffic is expendable: the home's i-ack
+		// timeout re-covers a lost inval or ack. UMC tree messages are
+		// not — the software tree has no recovery path.
+		Expendable: payload.tree == nil && (t == inval || t == invalAck),
 	}
 	if payload.txn != nil {
 		w.TxnID = payload.txn.id
@@ -184,7 +189,8 @@ func (m *Machine) sendGroup(txn *invalTxn, gi int) {
 		HeaderFlits:  m.Params.Net.HeaderFlits(len(g.Members)),
 		PayloadFlits: payload,
 		TxnID:        txn.id,
-		Tag:          &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi},
+		Tag:          &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi, gen: txn.gen},
+		Expendable:   true,
 	}
 	m.Net.Inject(w)
 }
@@ -219,6 +225,7 @@ func (m *Machine) sendGather(txn *invalTxn, gi int) {
 		PayloadFlits: m.Params.controlFlits(),
 		TxnID:        txn.id,
 		Tag:          &msg{typ: gatherAck, block: txn.block, from: g.Last(), txn: txn, groupIdx: gi},
+		Expendable:   true,
 	}
 	m.Net.Inject(w)
 }
@@ -255,6 +262,17 @@ func (m *Machine) payloadFlits(t msgType) int {
 		return m.Params.dataFlits()
 	}
 	return m.Params.controlFlits()
+}
+
+// payloadFlitsFor sizes a message's payload with its content in view: a
+// recovery-fallback inval of a write-update transaction carries the data
+// the lost multidestination update worm carried. Everything else defers to
+// the type-only sizing.
+func (m *Machine) payloadFlitsFor(t msgType, pm *msg) int {
+	if pm != nil && pm.retry && pm.txn != nil && pm.txn.update {
+		return m.Params.dataFlits()
+	}
+	return m.payloadFlits(t)
 }
 
 // vnFor maps message types onto the two virtual networks. Requests flow on

@@ -90,4 +90,12 @@ type msg struct {
 	// cannot tell (silent evictions and declined forwards leave stale
 	// bits), so the requester states it explicitly.
 	hasCopy bool
+	// retry marks a recovery-fallback invalidation (home timeout fired):
+	// the sharer must answer with a unicast ack regardless of the scheme's
+	// normal acknowledgment framework.
+	retry bool
+	// gen is the transaction's retry generation at send time; handlers
+	// that would launch follow-on traffic (the i-gather worm) compare it
+	// against the transaction's current generation and drop stale work.
+	gen int
 }

@@ -121,6 +121,16 @@ type Params struct {
 	// handler for 1996 systems (measured software sends of the era ran
 	// 5-50 us).
 	TreeForwardOverhead sim.Time
+	// Recovery configures the home node's i-ack timeout watchdog: when
+	// enabled, an invalidation transaction whose acknowledgments do not
+	// all arrive within the (exponentially backed-off) deadline is aborted
+	// at the fabric level and retried with per-sharer unicast worms. The
+	// zero value disables recovery, leaving the fault-free simulator's
+	// behavior bit-for-bit untouched.
+	Recovery Recovery
+	// Fault is handed to the network as its fault injector (nil = a
+	// fault-free fabric).
+	Fault network.Injector
 	// ReplyForwarding makes dirty reads 3-hop (DASH-style): the owner
 	// sends the data directly to the requester and a sharing writeback to
 	// the home, instead of routing the data through the home (4-hop).
@@ -149,6 +159,32 @@ func DefaultParams(k int, scheme grouping.Scheme) Params {
 		ControlBytes:        8,
 		CacheLines:          0,
 	}
+}
+
+// Recovery configures the i-ack timeout/retry machinery of the home node.
+// Recovery covers every scheme except UMC: the unicast-tree comparator runs
+// its forwarding in software at intermediate nodes, so a home-driven retry
+// cannot reconstruct a partially-failed tree wave and the scheme is left
+// fault-intolerant (as real software trees of the era were).
+type Recovery struct {
+	// Enabled arms the per-transaction deadline.
+	Enabled bool
+	// Timeout is the base deadline in cycles from transaction start (and
+	// from each retry); retry r waits Timeout << min(r, 6), the
+	// exponential backoff.
+	Timeout sim.Time
+	// MaxRetries bounds the retry chain; 0 means unlimited. Exhausting it
+	// panics with the network diagnosis — the transaction failed cleanly
+	// and loudly rather than wedging the simulation.
+	MaxRetries int
+}
+
+// DefaultRecovery returns the recovery settings used by the fault-injection
+// experiments: a 4096-cycle (~20 us) base deadline, comfortably above the
+// worst fault-free invalidation latency at the paper's system sizes, with
+// an unlimited exponentially backed-off retry chain.
+func DefaultRecovery() Recovery {
+	return Recovery{Enabled: true, Timeout: 4096}
 }
 
 // controlFlits returns the payload flit count of a data-less message.

@@ -210,9 +210,21 @@ func (m *Machine) deliver(d network.Delivery) {
 			m.recvTreeAck(d.Node, pm)
 			return
 		}
-		m.server(d.Node).do(m.Params.RecvOccupancy, func() { pm.txn.ackArrived(m) })
+		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
+			if pm.txn.rec {
+				pm.txn.sharerAcked(m, pm.from)
+				return
+			}
+			pm.txn.ackArrived(m)
+		})
 	case gatherAck:
-		m.server(d.Node).do(m.Params.RecvOccupancy, func() { pm.txn.ackArrived(m) })
+		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
+			if pm.txn.rec {
+				pm.txn.groupAcked(m, pm.groupIdx)
+				return
+			}
+			pm.txn.ackArrived(m)
+		})
 	case fetchReq, fetchInval:
 		m.ownerFetch(d.Node, pm)
 	case fetchReply:
@@ -366,22 +378,34 @@ func (m *Machine) sharerInval(n topology.NodeID, pm *msg, final bool) {
 		if !txn.update {
 			m.caches[n].Invalidate(pm.block)
 		}
-		if !m.Params.Scheme.GatherAck() {
+		if pm.retry || !m.Params.Scheme.GatherAck() {
+			// Unicast acknowledgment: the scheme's normal framework, or the
+			// recovery fallback — retried sharers always answer with a
+			// unicast ack so a degraded MI-MA transaction completes on the
+			// UI-UA machinery. Re-invalidating an already-invalid line and
+			// re-acking an already-confirmed sharer are both no-ops.
 			m.server(n).do(m.Params.SendOccupancy, func() {
 				m.send(invalAck, n, txn.home, &msg{typ: invalAck, block: pm.block, from: n, txn: txn})
 			})
 			return
 		}
 		if final {
-			// Last member of the group: launch the i-gather worm.
+			// Last member of the group: launch the i-gather worm — unless
+			// the home gave up on this generation while the inval was in
+			// flight; the retry's unicast invals re-cover the group and the
+			// purged i-ack entries make a stale gather unlaunchable.
 			m.server(n).do(m.Params.SendOccupancy, func() {
+				if txn.rec && (pm.gen != txn.gen || txn.completed) {
+					return
+				}
 				m.sendGather(txn, pm.groupIdx)
 			})
 			return
 		}
 		// Intermediate member: post the ack into the local i-ack buffer
 		// entry the reserve worm left behind; no outgoing message at all —
-		// the point of the MI-MA framework.
+		// the point of the MI-MA framework. (Posts for aborted transactions
+		// are absorbed by the network.)
 		m.Net.PostAck(n, txn.id)
 	})
 }

@@ -8,13 +8,16 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic" //simcheck:allow nogoroutine -- interrupt-skip tally for eachCell; reporting only, never simulation state
 
 	"repro/internal/apps"
 	"repro/internal/coherence"
 	"repro/internal/directory"
+	"repro/internal/faults"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
 	"repro/internal/network"
@@ -33,13 +36,24 @@ import (
 // results merge in point order (see internal/sweep).
 var Sweep = sweep.Options{Parallel: runtime.GOMAXPROCS(0)}
 
+// SweepContext cancels in-flight experiment sweeps; the CLIs wire it to
+// signal.NotifyContext so an interrupt (ctrl-C) stops the workers at their
+// next trial boundary, flushes the final checkpoint (sweep.Run checkpoints
+// after every completed point) and lets the caller render whatever points
+// finished — a partial report instead of a dead terminal.
+var SweepContext = context.Background()
+
 // runSweep executes points under the package sweep options. Experiment
-// grids are statically well-formed, so any error (a corrupt checkpoint, a
-// cancelled context) is surfaced as a panic rather than threaded through
-// every figure signature.
+// grids are statically well-formed, so any error other than interruption (a
+// corrupt resume target, say) is surfaced as a panic rather than threaded
+// through every figure signature. Interruption degrades to a partial table
+// with a stderr warning.
 func runSweep(points []sweep.Point) []sweep.Result {
-	sum, err := sweep.Run(context.Background(), points, Sweep)
-	if err != nil {
+	sum, err := sweep.Run(SweepContext, points, Sweep)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted: %d/%d points completed; the table covers only those (zeros elsewhere)\n",
+			sum.Completed, len(sum.Results))
+	} else if err != nil {
 		panic(fmt.Sprintf("experiments: sweep failed: %v", err))
 	}
 	if sum.Partial > 0 {
@@ -49,15 +63,31 @@ func runSweep(points []sweep.Point) []sweep.Result {
 		fmt.Fprintf(os.Stderr, "sweep: warning: %d/%d points hit the point timeout; their table cells cover only completed trials (0.0 if none)\n",
 			sum.Partial, len(sum.Results))
 	}
+	if sum.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: warning: %d points quarantined (timed out twice); inspect the checkpoint for their indices\n",
+			sum.Quarantined)
+	}
 	return sum.Results
 }
 
 // eachCell runs fn over [0, n) cells on the configured worker pool (for
 // experiment shapes that do not fit the Point grid: application runs,
 // hot-spot bursts). Each cell builds its own machine and writes only its
-// own result slot, so ordering is irrelevant to the output.
+// own result slot, so ordering is irrelevant to the output. Cells left
+// unstarted when SweepContext is cancelled are skipped with a warning —
+// their table cells render zero.
 func eachCell(n int, fn func(i int)) {
-	sweep.Each(Sweep.Parallel, n, fn)
+	var skipped atomic.Int64
+	sweep.Each(Sweep.Parallel, n, func(i int) {
+		if SweepContext.Err() != nil {
+			skipped.Add(1)
+			return
+		}
+		fn(i)
+	})
+	if s := skipped.Load(); s > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted: %d/%d cells skipped; their table cells are zero\n", s, n)
+	}
 }
 
 // CompareSchemes is the scheme set used by the figure sweeps, in
@@ -991,6 +1021,63 @@ func FigThreeHop() *report.Table {
 		}
 		t.Row(tc.rq.String(), tc.ow.String(), lat[0], lat[1],
 			report.Float3(lat[0]/lat[1]))
+	}
+	return t
+}
+
+// FaultRates is the injected worm-drop-rate axis of E26.
+var FaultRates = []float64{0, 0.05, 0.1, 0.2}
+
+// FaultSchemes is the framework set of the fault-recovery sweep: the
+// unicast baseline plus the two multidestination frameworks that degrade to
+// it under retry (UMC is excluded — the software tree has no home-driven
+// retry path).
+var FaultSchemes = []grouping.Scheme{grouping.UIUA, grouping.MIUAEC, grouping.MIMAEC}
+
+// FigFaultRecovery renders E26: invalidation latency and recovery retries
+// versus injected fault rate. Each non-zero rate drops that fraction of
+// invalidation-class worms mid-flight and loses half that fraction of i-ack
+// posts; the home's i-ack timeout then retries the unacknowledged sharers
+// with unicast invalidations (the MI→UI degradation). The latency columns
+// show what recovery costs — a dropped multidestination worm forfeits the
+// whole group and pays a timeout plus per-sharer unicasts, so MI-MA's
+// fault-free advantage erodes as the rate climbs — and the retry columns
+// show how hard the machinery worked. Fault schedules are seeded per point,
+// so the table is byte-identical at any -parallel.
+func FigFaultRecovery(k, d, trials int) *report.Table {
+	cols := []string{"drop rate"}
+	for _, s := range FaultSchemes {
+		cols = append(cols, s.String()+" lat", s.String()+" retries")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("E26: invalidation latency and recovery retries vs fault rate, %dx%d mesh, d=%d, random placement", k, k, d),
+		cols...)
+	var pts []sweep.Point
+	for _, rate := range FaultRates {
+		for _, s := range FaultSchemes {
+			idx := len(pts)
+			p := sweep.Point{
+				Index: idx, K: k, Scheme: s, D: d, Trials: trials,
+				Seed: uint64(d) + 7,
+			}
+			if rate > 0 {
+				p.Faults = &faults.Config{
+					Seed:        sim.DeriveSeed(0xFA171CE5, uint64(idx)),
+					DropRate:    rate,
+					AckLossRate: rate / 2,
+				}
+			}
+			pts = append(pts, p)
+		}
+	}
+	results := runSweep(pts)
+	for i, rate := range FaultRates {
+		row := []any{report.Float3(rate)}
+		for j := range FaultSchemes {
+			m := results[i*len(FaultSchemes)+j].Measures
+			row = append(row, m.Latency.Mean(), m.Retries)
+		}
+		t.Row(row...)
 	}
 	return t
 }

@@ -29,6 +29,9 @@ type InvalRecord struct {
 	// this transaction — the quantity home-node occupancy is proportional
 	// to [18].
 	HomeMsgs int
+	// Retries counts recovery retries the transaction needed (0 on a
+	// fault-free or lucky run).
+	Retries int
 }
 
 // Latency returns the transaction's invalidation latency in cycles.
@@ -54,6 +57,12 @@ type Collector struct {
 	// BarrierLatency samples worm-barrier episode latencies (first arrival
 	// to release launch).
 	BarrierLatency sim.Sample
+	// Retries counts invalidation-transaction recovery retries (i-ack
+	// timeouts that re-sent unacknowledged sharers); Fallbacks counts
+	// transactions degraded from multidestination to unicast invals
+	// (MI→UI); DupAcks counts duplicate acknowledgments absorbed by the
+	// idempotent recovery bookkeeping. All zero on fault-free runs.
+	Retries, Fallbacks, DupAcks uint64
 }
 
 // NewCollector returns a collector for a machine with n nodes.
@@ -83,6 +92,9 @@ func (c *Collector) Merge(other *Collector) {
 	c.WriteMiss.Merge(&other.WriteMiss)
 	c.BarrierLatency.Merge(&other.BarrierLatency)
 	c.Forwards += other.Forwards
+	c.Retries += other.Retries
+	c.Fallbacks += other.Fallbacks
+	c.DupAcks += other.DupAcks
 	if n := len(other.Occupancy); len(c.Occupancy) < n {
 		c.Occupancy = append(c.Occupancy, make([]sim.Time, n-len(c.Occupancy))...)
 		c.MsgsSent = append(c.MsgsSent, make([]uint64, n-len(c.MsgsSent))...)

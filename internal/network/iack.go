@@ -123,6 +123,20 @@ func (f *iackFile) releaseEntry(i int) {
 	}
 }
 
+// purge frees txn's entry regardless of its state — reserved, posted, or
+// holding a parked/waiting gather worm — discarding any deferred worm or
+// resume closure: the fabric-level transaction abort. It reports whether an
+// entry was found, so callers can loop until every entry for txn is gone.
+func (f *iackFile) purge(txn uint64) bool {
+	for i := range f.entries {
+		if f.entries[i].txn == txn {
+			f.releaseEntry(i)
+			return true
+		}
+	}
+	return false
+}
+
 func (f *iackFile) find(txn uint64) int {
 	if txn == noTxn {
 		panic("network: invalid txn id")

@@ -77,6 +77,15 @@ type Stats struct {
 	FlitHops   uint64 // sum over worms of flits x links traversed
 	VCTParks   uint64 // gather worms parked by deferred delivery
 	GatherWait uint64 // gather worms that found an ack not yet posted
+
+	// Fault-injection and recovery accounting; all zero on a fault-free
+	// fabric (nil Network.Fault, no AbortTxn calls).
+	Dropped          uint64 // expendable worms killed mid-flight by injected faults
+	Aborted          uint64 // in-flight worms killed by transaction aborts
+	LostAcks         uint64 // i-ack posts lost by injected faults
+	StaleAcks        uint64 // i-ack posts absorbed after their transaction aborted
+	LinkStallCycles  uint64 // total injected link-stall wait, in cycles
+	RouterSlowCycles uint64 // total injected router-slowdown delay, in cycles
 }
 
 // Network is the cycle-level wormhole mesh simulator. Deliveries are
@@ -88,6 +97,10 @@ type Network struct {
 	// OnDeliver receives every worm delivery: intermediate copies as the
 	// tail passes each destination, and the final consumption.
 	OnDeliver func(Delivery)
+	// Fault, when non-nil, is consulted on the hot paths for injected
+	// faults: worm drops, link stalls, router slowdowns, lost acks. Nil —
+	// the default — models a fault-free fabric with zero perturbation.
+	Fault Injector
 
 	// injection[vn][node] and links[vn][node][port] are the wormhole
 	// channel sets; cons[node] the consumption pools; iack[node] the
@@ -102,6 +115,13 @@ type Network struct {
 	stats       Stats
 	// inFlight tracks injected worms until completion, for Diagnose.
 	inFlight map[uint64]*Worm
+	// beacon counts forward-progress marks (header advances, channel
+	// releases, completions) for the liveness watchdog.
+	beacon sim.Beacon
+	wd     *watchdog
+	// abortedTxns records transactions cancelled via AbortTxn so that
+	// late i-ack posts for them are absorbed instead of panicking.
+	abortedTxns map[uint64]bool
 }
 
 // New constructs a network over mesh with the given parameters.
@@ -177,16 +197,24 @@ func (n *Network) Inject(w *Worm) {
 	n.stats.Injected++
 	n.inFlight[w.ID] = w
 	n.stats.FlitHops += uint64(w.Flits()) * uint64(w.Hops())
+	n.armWatchdog()
 
 	if len(w.Path) == 1 {
 		// Degenerate local delivery: no network resources used.
 		n.Engine.After(n.Cfg.InjectDelay+sim.Time(w.Flits())*n.Cfg.FlitCycles, func() {
+			if w.state == wormKilled {
+				return
+			}
 			n.finishWorm(w)
 		})
 		return
 	}
 	inj := n.injection[w.VN][w.Source()]
 	inj.acquire(n.Engine.Now(), func(lane *channel) {
+		if w.state == wormKilled {
+			inj.release(lane, n.Engine.Now())
+			return
+		}
 		w.held[0] = n.Engine.Now()
 		w.lanes[0] = lane
 		lane.flits.Add(uint64(w.Flits()))
@@ -197,14 +225,33 @@ func (n *Network) Inject(w *Worm) {
 // headerAt runs when w's header flit arrives at the router of Path[i]
 // (for i == 0, when it enters the source router from the interface).
 func (n *Network) headerAt(w *Worm, i int) {
+	if w.state == wormKilled {
+		return
+	}
 	w.state = wormMoving
 	w.hopIdx = i
-	n.Engine.After(n.Cfg.RouterDelay, func() { n.serviceNode(w, i) })
+	n.beacon.Mark()
+	delay := n.Cfg.RouterDelay
+	if n.Fault != nil {
+		if i > 0 && w.Expendable && n.Fault.DropWorm(w, i, n.Engine.Now()) {
+			n.stats.Dropped++
+			n.killWorm(w)
+			return
+		}
+		if extra := n.Fault.RouterPenalty(w, i, n.Engine.Now()); extra > 0 {
+			n.stats.RouterSlowCycles += uint64(extra)
+			delay += extra
+		}
+	}
+	n.Engine.After(delay, func() { n.serviceNode(w, i) })
 }
 
 // serviceNode performs destination duties at Path[i] (absorb / reserve /
 // collect) and then moves the header onward.
 func (n *Network) serviceNode(w *Worm, i int) {
+	if w.state == wormKilled {
+		return
+	}
 	last := len(w.Path) - 1
 	if !w.Dest[i] || i == last || i == 0 {
 		n.requestNext(w, i)
@@ -217,7 +264,16 @@ func (n *Network) serviceNode(w *Worm, i int) {
 		n.acquireCons(w, i, func() { n.requestNext(w, i) })
 	case Reserve:
 		n.acquireCons(w, i, func() {
-			n.iack[w.Path[i]].reserve(w.TxnID, func() { n.requestNext(w, i) })
+			file := n.iack[w.Path[i]]
+			file.reserve(w.TxnID, func() {
+				if w.state == wormKilled {
+					// The worm died while its reservation was queued on a
+					// full buffer file; free the freshly granted entry.
+					file.finish(w.TxnID)
+					return
+				}
+				n.requestNext(w, i)
+			})
 		})
 	case Gather:
 		n.gatherCollect(w, i)
@@ -230,6 +286,10 @@ func (n *Network) acquireCons(w *Worm, i int, onGrant func()) {
 	w.state = wormBlocked
 	pool := n.cons[w.Path[i]]
 	pool.acquire(func() {
+		if w.state == wormKilled {
+			pool.release()
+			return
+		}
 		w.consHeld[i] = pool
 		w.state = wormMoving
 		onGrant()
@@ -269,8 +329,19 @@ func (n *Network) gatherCollect(w *Worm, i int) {
 }
 
 // PostAck records node's invalidation acknowledgment for txn into the local
-// i-ack buffer entry and wakes any gather worm waiting for it.
+// i-ack buffer entry and wakes any gather worm waiting for it. Posts for
+// aborted transactions (whose entries were purged) are absorbed; posts may
+// also be lost outright by fault injection, leaving the entry unposted
+// until the home node's timeout recovers the transaction.
 func (n *Network) PostAck(node topology.NodeID, txn uint64) {
+	if n.abortedTxns[txn] {
+		n.stats.StaleAcks++
+		return
+	}
+	if n.Fault != nil && n.Fault.LoseAck(node, txn, n.Engine.Now()) {
+		n.stats.LostAcks++
+		return
+	}
 	deferred, resume := n.iack[node].post(txn)
 	switch {
 	case deferred != nil:
@@ -287,6 +358,10 @@ func (n *Network) reinjectGather(w *Worm) {
 	i := w.hopIdx
 	inj := n.injection[w.VN][w.Path[i]]
 	inj.acquire(n.Engine.Now(), func(lane *channel) {
+		if w.state == wormKilled {
+			inj.release(lane, n.Engine.Now())
+			return
+		}
 		w.held[i] = n.Engine.Now()
 		w.lanes[i] = lane
 		w.heldFrom = i
@@ -301,17 +376,50 @@ func (n *Network) reinjectGather(w *Worm) {
 // requestNext moves w's header from Path[i] toward Path[i+1], or begins the
 // final drain when i is the last hop.
 func (n *Network) requestNext(w *Worm, i int) {
+	if w.state == wormKilled {
+		return
+	}
 	last := len(w.Path) - 1
 	if i == last {
 		w.state = wormBlocked
 		pool := n.cons[w.Path[i]]
-		pool.acquire(func() { n.drain(w, pool) })
+		pool.acquire(func() {
+			if w.state == wormKilled {
+				pool.release()
+				return
+			}
+			n.drain(w, pool)
+		})
+		return
+	}
+	if n.Fault != nil {
+		// A transient link failure: the header waits out the stall before
+		// competing for the link's virtual channels. Consulted once per
+		// (worm, hop); acquireLink does not re-ask.
+		if stall := n.Fault.LinkStall(w, i, n.Engine.Now()); stall > 0 {
+			n.stats.LinkStallCycles += uint64(stall)
+			w.state = wormBlocked
+			n.Engine.After(stall, func() { n.acquireLink(w, i) })
+			return
+		}
+	}
+	n.acquireLink(w, i)
+}
+
+// acquireLink competes for the virtual-channel set from Path[i] to
+// Path[i+1] and advances the header on grant.
+func (n *Network) acquireLink(w *Worm, i int) {
+	if w.state == wormKilled {
 		return
 	}
 	set := n.linkSet(w, i)
 	w.state = wormBlocked
 	set.acquire(n.Engine.Now(), func(lane *channel) {
 		now := n.Engine.Now()
+		if w.state == wormKilled {
+			set.release(lane, now)
+			return
+		}
 		w.state = wormMoving
 		w.held[i+1] = now
 		w.lanes[i+1] = lane
@@ -366,6 +474,7 @@ func (n *Network) finishWorm(w *Worm) {
 	n.outstanding--
 	delete(n.inFlight, w.ID)
 	n.stats.Completed++
+	n.beacon.Mark()
 	n.OnDeliver(Delivery{Node: w.Final(), Worm: w, Final: true})
 }
 
@@ -378,6 +487,7 @@ func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
 		panic("network: out-of-order channel release")
 	}
 	w.heldFrom++
+	n.beacon.Mark()
 	if j == 0 || w.wasReinjectedAt(j) {
 		n.injection[w.VN][w.Path[j]].release(w.lanes[j], now)
 	} else {
@@ -494,6 +604,8 @@ func (n *Network) describeWait(w *Worm) string {
 	switch w.state {
 	case wormDone:
 		return "done (not blocked)"
+	case wormKilled:
+		return "killed (removed from the fabric)"
 	case wormQueued, wormInjecting:
 		return "waiting for its injection channel"
 	case wormMoving:

@@ -82,6 +82,7 @@ const (
 	wormDeferred // VCT-parked in an i-ack buffer awaiting the local ack
 	wormDraining // header reached final destination; body being consumed
 	wormDone
+	wormKilled // removed mid-flight by fault injection or transaction abort
 )
 
 // Worm is one message in flight. Construct with the network's Send helpers
@@ -106,6 +107,11 @@ type Worm struct {
 	// TxnID associates reserve and gather worms of one invalidation
 	// transaction for i-ack buffer matching.
 	TxnID uint64
+	// Expendable marks worms whose loss the protocol layer can recover
+	// from (invalidation-class traffic guarded by the i-ack timeout).
+	// Only expendable worms are eligible for fault-injected drops and
+	// transaction aborts; data-carrying request/reply worms never are.
+	Expendable bool
 	// Tag carries an opaque protocol payload delivered with the worm.
 	Tag any
 

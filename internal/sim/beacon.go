@@ -1,0 +1,18 @@
+package sim
+
+// Beacon is a monotonically increasing progress counter: a producer marks it
+// whenever it makes forward progress (a worm header advancing, a delivery
+// completing), and a liveness watchdog compares successive readings to
+// distinguish "slow but moving" from "wedged". It is deliberately a plain
+// counter rather than a timestamp so that it stays inside the simulation's
+// deterministic state — two runs of the same seed read identical tick
+// sequences at identical event counts.
+type Beacon struct {
+	ticks uint64
+}
+
+// Mark records one unit of forward progress.
+func (b *Beacon) Mark() { b.ticks++ }
+
+// Ticks returns the total progress marks recorded so far.
+func (b *Beacon) Ticks() uint64 { return b.ticks }

@@ -17,10 +17,12 @@ const checkpointVersion = 1
 
 // savedResult is one completed point as stored on disk. Partial results are
 // stored for inspection but never resumed from: a partial point re-runs.
+// Quarantined marks a partial point that also blew its doubled-budget retry.
 type savedResult struct {
-	Index    int      `json:"index"`
-	Measures Measures `json:"measures"`
-	Partial  bool     `json:"partial,omitempty"`
+	Index       int      `json:"index"`
+	Measures    Measures `json:"measures"`
+	Partial     bool     `json:"partial,omitempty"`
+	Quarantined bool     `json:"quarantined,omitempty"`
 }
 
 // checkpointFile is the JSON document written to Options.CheckpointPath.
@@ -67,7 +69,12 @@ func fingerprint(points []Point) uint64 {
 
 // load reads the checkpoint file and returns the completed (non-partial)
 // results keyed by point index. A missing file is a fresh start, not an
-// error; a file for a different grid or format version is an error.
+// error. A file that does not parse — truncated by a crash or a full disk,
+// since only the atomic-rename writer is supposed to touch it — is also
+// recoverable: load warns and restarts every point, which is always safe
+// because a checkpoint is a pure cache of deterministic results. A file for
+// a different grid or format version, by contrast, is an error: it parsed
+// fine and says the operator pointed a resume at the wrong sweep.
 func (c *checkpoint) load() (map[int]savedResult, error) {
 	data, err := os.ReadFile(c.path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -78,7 +85,8 @@ func (c *checkpoint) load() (map[int]savedResult, error) {
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", c.path, err)
+		fmt.Fprintf(os.Stderr, "sweep: checkpoint %s is corrupt (%v); restarting all points\n", c.path, err)
+		return map[int]savedResult{}, nil
 	}
 	if f.Version != checkpointVersion {
 		return nil, fmt.Errorf("sweep: checkpoint %s has version %d, want %d", c.path, f.Version, checkpointVersion)
@@ -102,9 +110,10 @@ func (c *checkpoint) load() (map[int]savedResult, error) {
 // record registers a completed result for the next save.
 func (c *checkpoint) record(r Result) {
 	c.done[r.Point.Index] = savedResult{
-		Index:    r.Point.Index,
-		Measures: r.Measures,
-		Partial:  r.Partial,
+		Index:       r.Point.Index,
+		Measures:    r.Measures,
+		Partial:     r.Partial,
+		Quarantined: r.Quarantined,
 	}
 }
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"repro/internal/coherence"
+	"repro/internal/faults"
 	"repro/internal/grouping"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -31,13 +32,22 @@ type GridConfig struct {
 	// ClampD clamps D to the mesh's capacity (k*k - 2) instead of letting
 	// oversized points panic — the E7-style mesh sweep behavior.
 	ClampD bool
+	// Faults, when non-nil and enabled, gives every point a copy of this
+	// fault mix with a per-point fault seed derived from (Faults.Seed,
+	// index) on its own splitmix stream — independent fault schedules per
+	// point, reproducible at any worker count.
+	Faults *faults.Config
 	// Tune adjusts every point's machine parameters.
 	Tune func(*coherence.Params)
 }
 
-// chaosStreamOffset separates the chaos-seed derivation stream from the
-// placement-seed stream of the same base seed.
-const chaosStreamOffset = 0x5EED0FCA05
+// chaosStreamOffset and faultStreamOffset separate the chaos- and
+// fault-seed derivation streams from the placement-seed stream of the same
+// base seed.
+const (
+	chaosStreamOffset = 0x5EED0FCA05
+	faultStreamOffset = 0xFA17 + 0x5EED0FCA05<<8
+)
 
 // Grid expands the cross product into runnable points, ordered K-major,
 // then scheme, then D, with seeds derived from (BaseSeed, index).
@@ -62,6 +72,11 @@ func Grid(cfg GridConfig) []Point {
 				}
 				if cfg.Chaos {
 					p.ChaosSeed = sim.DeriveSeed(cfg.BaseSeed+chaosStreamOffset, uint64(idx))
+				}
+				if cfg.Faults != nil && cfg.Faults.Enabled() {
+					fc := *cfg.Faults
+					fc.Seed = sim.DeriveSeed(fc.Seed+faultStreamOffset, uint64(idx))
+					p.Faults = &fc
 				}
 				pts = append(pts, p)
 			}

@@ -16,6 +16,9 @@ type Progress struct {
 	Partial int
 	// Resumed counts points satisfied from the checkpoint.
 	Resumed int
+	// Quarantined counts points that timed out even on their doubled-budget
+	// retry (a subset of Partial).
+	Quarantined int
 	// Last is the most recently completed point.
 	Last Point
 	// Elapsed is wall-clock time since Run started.
@@ -32,6 +35,9 @@ func (p Progress) String() string {
 	}
 	if p.Partial > 0 {
 		s += fmt.Sprintf(" (%d partial)", p.Partial)
+	}
+	if p.Quarantined > 0 {
+		s += fmt.Sprintf(" (%d quarantined)", p.Quarantined)
 	}
 	if p.PointsPerSec > 0 && p.PointsPerSec < 1e9 {
 		s += fmt.Sprintf(", %.1f points/s", p.PointsPerSec)

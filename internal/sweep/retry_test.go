@@ -1,0 +1,187 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestPointTimeoutRetriesOnce: a point that blows its budget on the first
+// attempt but completes on the doubled-budget retry ends up complete (not
+// partial), marked Retried, and the sweep stays clean.
+func TestPointTimeoutRetriesOnce(t *testing.T) {
+	pts := testPoints(3)
+	var attempts atomic.Int64
+	sum, err := Run(context.Background(), pts, Options{
+		Parallel:     1,
+		PointTimeout: 20 * time.Millisecond,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			if p.Index == 1 && attempts.Add(1) == 1 {
+				// First attempt: transiently slow, observes its deadline.
+				<-ctx.Done()
+				return Measures{Completed: 1}, nil
+			}
+			return Measures{Completed: p.Trials}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[1]
+	if !r.Retried || r.Partial || r.Quarantined {
+		t.Fatalf("retry outcome wrong: %+v", r)
+	}
+	if r.Measures.Completed != pts[1].Trials {
+		t.Fatalf("retry result not used: %+v", r.Measures)
+	}
+	if sum.Partial != 0 || sum.Quarantined != 0 || sum.Completed != 3 {
+		t.Fatalf("summary counts wrong: %+v", sum)
+	}
+	if sum.Results[0].Retried || sum.Results[2].Retried {
+		t.Fatal("healthy points were retried")
+	}
+}
+
+// TestPointTimeoutQuarantines: a point that blows the retry budget too is
+// quarantined — its partial result kept, the flag set, the summary counting
+// it — and a checkpoint records it distinctly without treating it as
+// resumable.
+func TestPointTimeoutQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	pts := testPoints(3)
+	var slowRuns atomic.Int64
+	opts := Options{
+		Parallel:       1,
+		PointTimeout:   10 * time.Millisecond,
+		CheckpointPath: path,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			if p.Index == 1 {
+				// Pathologically slow every time.
+				slowRuns.Add(1)
+				<-ctx.Done()
+				return Measures{Completed: 1}, nil
+			}
+			return Measures{Completed: p.Trials}, nil
+		},
+	}
+	sum, err := Run(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[1]
+	if !r.Retried || !r.Partial || !r.Quarantined {
+		t.Fatalf("quarantine outcome wrong: %+v", r)
+	}
+	if slowRuns.Load() != 2 {
+		t.Fatalf("slow point ran %d times, want exactly 2 (original + one retry)", slowRuns.Load())
+	}
+	if sum.Quarantined != 1 || sum.Partial != 1 {
+		t.Fatalf("summary counts wrong: quarantined=%d partial=%d", sum.Quarantined, sum.Partial)
+	}
+
+	// The checkpoint must mention the quarantined point (flagged) but a
+	// resumed run must re-attempt it rather than trust its partial result.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"quarantined": true`) {
+		t.Fatalf("checkpoint does not flag the quarantined point:\n%s", data)
+	}
+	opts.Resume = true
+	sum2, err := Run(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRuns.Load() != 4 {
+		t.Fatalf("resume did not re-attempt the quarantined point (slow runs %d)", slowRuns.Load())
+	}
+	if sum2.Resumed != 2 {
+		t.Fatalf("resume did not serve the healthy points from the checkpoint (resumed %d)", sum2.Resumed)
+	}
+}
+
+// TestQuarantineRendersInProgress: the operator-facing status line must call
+// out quarantined points.
+func TestQuarantineRendersInProgress(t *testing.T) {
+	p := Progress{Done: 4, Total: 9, Partial: 2, Quarantined: 1}
+	if s := p.String(); !strings.Contains(s, "1 quarantined") {
+		t.Fatalf("progress line omits quarantine: %q", s)
+	}
+	if s := (Progress{Done: 1, Total: 2}).String(); strings.Contains(s, "quarantined") {
+		t.Fatalf("clean progress line mentions quarantine: %q", s)
+	}
+}
+
+// TestCheckpointCorruptionRecovers: a truncated checkpoint file (crash or
+// full disk mid-write) must not kill a resume — the sweep warns, discards
+// the file, and re-runs every point.
+func TestCheckpointCorruptionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	pts := testPoints(4)
+
+	// Produce a valid checkpoint, then truncate it mid-document.
+	if _, err := Run(context.Background(), pts, Options{
+		CheckpointPath: path,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			return Measures{Completed: p.Trials}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	sum, err := Run(context.Background(), pts, Options{
+		CheckpointPath: path, Resume: true,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			calls.Add(1)
+			return Measures{Completed: p.Trials}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("corrupt checkpoint failed the sweep: %v", err)
+	}
+	if sum.Resumed != 0 || calls.Load() != int64(len(pts)) {
+		t.Fatalf("corrupt checkpoint partially trusted: resumed=%d calls=%d", sum.Resumed, calls.Load())
+	}
+	// The rerun must have rewritten a healthy checkpoint.
+	sum2, err := Run(context.Background(), pts, Options{
+		CheckpointPath: path, Resume: true,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			t.Fatalf("point %d re-ran despite repaired checkpoint", p.Index)
+			return Measures{}, nil
+		},
+	})
+	if err != nil || sum2.Resumed != len(pts) {
+		t.Fatalf("repaired checkpoint not usable: err=%v resumed=%d", err, sum2.Resumed)
+	}
+
+	// Garbage that is not even JSON recovers the same way.
+	if err := os.WriteFile(path, []byte("not json at all{{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum3, err := Run(context.Background(), pts, Options{
+		CheckpointPath: path, Resume: true,
+		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+			return Measures{Completed: p.Trials}, nil
+		},
+	})
+	if err != nil || sum3.Resumed != 0 || sum3.Completed != len(pts) {
+		t.Fatalf("garbage checkpoint not recovered: err=%v %+v", err, sum3)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/coherence"
+	"repro/internal/faults"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -46,6 +47,11 @@ type Point struct {
 	// ChaosSeed, when nonzero, runs the point's machine under chaos
 	// (seeded-random same-time) event ordering.
 	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
+	// Faults, when non-nil and enabled, injects deterministic faults into
+	// the point's fabric and arms the protocol recovery machinery (see
+	// internal/faults). It serializes into the checkpoint fingerprint, so a
+	// resumed sweep must use the same fault mix it was started with.
+	Faults *faults.Config `json:"faults,omitempty"`
 	// Tune adjusts machine parameters before construction. It is not part
 	// of the checkpoint fingerprint (functions cannot be serialized):
 	// resuming a sweep whose Tune behavior changed is the caller's bug.
@@ -61,6 +67,11 @@ type Measures struct {
 	FlitHops  float64    `json:"flit_hops"`
 	Messages  float64    `json:"messages"`
 	Completed int        `json:"completed"`
+	// Retries and Drops are the fault-recovery means (per transaction and
+	// per trial respectively); zero for fault-free points, so old
+	// checkpoints without the fields load unchanged.
+	Retries float64 `json:"retries,omitempty"`
+	Drops   float64 `json:"drops,omitempty"`
 }
 
 // MeasuresOf extracts the serializable measures from an InvalResult.
@@ -72,6 +83,8 @@ func MeasuresOf(r workload.InvalResult) Measures {
 		FlitHops:  r.FlitHops,
 		Messages:  r.Messages,
 		Completed: r.Completed,
+		Retries:   r.Retries,
+		Drops:     r.Drops,
 	}
 }
 
@@ -83,6 +96,14 @@ type Result struct {
 	// timeout: Measures covers only Measures.Completed of Point.Trials
 	// trials. Partial points are re-run on resume.
 	Partial bool `json:"partial,omitempty"`
+	// Retried marks a point that hit the per-point timeout on its first
+	// attempt and was re-run with a doubled budget.
+	Retried bool `json:"retried,omitempty"`
+	// Quarantined marks a point that timed out on the retry as well: its
+	// result stays partial, the sweep moves on, and the point is flagged in
+	// the checkpoint and progress output so the operator can investigate
+	// (typically a pathological configuration, not a transient).
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Resumed marks a result loaded from a checkpoint rather than run.
 	Resumed bool `json:"-"`
 	// Elapsed is the wall-clock run time of the point. It is deliberately
@@ -130,8 +151,10 @@ type Summary struct {
 	// Elapsed is the sweep's wall-clock duration.
 	Elapsed time.Duration
 	// Completed counts points with a result (fresh or resumed); Partial
-	// counts results marked partial; Resumed counts checkpoint hits.
-	Completed, Partial, Resumed int
+	// counts results marked partial; Resumed counts checkpoint hits;
+	// Quarantined counts points that timed out even on their doubled-budget
+	// retry.
+	Completed, Partial, Resumed, Quarantined int
 }
 
 // runInvalPoint is the production point runner: one isolated machine per
@@ -139,7 +162,8 @@ type Summary struct {
 func runInvalPoint(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 	res := workload.RunInval(workload.InvalConfig{
 		K: p.K, Scheme: p.Scheme, D: p.D, Pattern: p.Pattern,
-		Trials: p.Trials, Seed: p.Seed, ChaosSeed: p.ChaosSeed, Tune: p.Tune,
+		Trials: p.Trials, Seed: p.Seed, ChaosSeed: p.ChaosSeed,
+		Faults: p.Faults, Tune: p.Tune,
 		Interrupt: func() bool { return ctx.Err() != nil },
 	})
 	return MeasuresOf(res), res.Metrics
@@ -213,24 +237,34 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 			defer wg.Done()
 			for i := range jobs {
 				p := points[i]
-				pctx := ctx
-				cancel := func() {}
-				if opts.PointTimeout > 0 {
-					pctx, cancel = context.WithTimeout(ctx, opts.PointTimeout)
+				runOnce := func(budget time.Duration) (Measures, *metrics.Collector) {
+					pctx := ctx
+					cancel := func() {}
+					if budget > 0 {
+						pctx, cancel = context.WithTimeout(ctx, budget)
+					}
+					defer cancel()
+					return run(pctx, p)
 				}
 				t0 := time.Now() //simcheck:allow determinism -- per-point wall-clock timing for reports
-				meas, coll := run(pctx, p)
-				cancel()
-				results <- outcome{
-					res: Result{
-						Point:    p,
-						Measures: meas,
-						Partial:  meas.Completed < p.Trials,
-						Elapsed:  time.Since(t0), //simcheck:allow determinism -- wall-clock elapsed, reporting only
-						Ran:      true,
-					},
-					coll: coll,
+				meas, coll := runOnce(opts.PointTimeout)
+				res := Result{Point: p, Ran: true}
+				if meas.Completed < p.Trials && opts.PointTimeout > 0 && ctx.Err() == nil {
+					// The point hit its own timeout (the sweep itself was not
+					// cancelled): retry once from scratch with a doubled
+					// budget. Determinism is unharmed — the rerun replays the
+					// same seeds, and a completed retry's result is identical
+					// to what an untimed run would have produced.
+					res.Retried = true
+					meas, coll = runOnce(2 * opts.PointTimeout)
+					if meas.Completed < p.Trials && ctx.Err() == nil {
+						res.Quarantined = true
+					}
 				}
+				res.Measures = meas
+				res.Partial = meas.Completed < p.Trials
+				res.Elapsed = time.Since(t0) //simcheck:allow determinism -- wall-clock elapsed, reporting only
+				results <- outcome{res: res, coll: coll}
 			}
 		}()
 	}
@@ -261,7 +295,14 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 		if out.res.Partial {
 			sum.Partial++
 		}
-		if ck != nil && !out.res.Partial {
+		if out.res.Quarantined {
+			sum.Quarantined++
+		}
+		// Complete points checkpoint as resumable; quarantined points are
+		// recorded too — flagged, never resumed from — so a later `-resume`
+		// run re-attempts them and the operator can see which cells of the
+		// grid repeatedly blow their budget.
+		if ck != nil && (!out.res.Partial || out.res.Quarantined) {
 			ck.record(out.res)
 			if err := ck.save(); err != nil {
 				return sum, fmt.Errorf("sweep: checkpoint save: %w", err)
@@ -274,6 +315,7 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 				Total:        len(points),
 				Partial:      sum.Partial,
 				Resumed:      sum.Resumed,
+				Quarantined:  sum.Quarantined,
 				Last:         out.res.Point,
 				Elapsed:      elapsed,
 				PointsPerSec: float64(sum.Completed-sum.Resumed) / elapsed.Seconds(),

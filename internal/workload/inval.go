@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/directory"
+	"repro/internal/faults"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -67,6 +68,11 @@ type InvalConfig struct {
 	// (sim.Engine.Chaos): same-time events fire in seeded random order
 	// instead of schedule order. Per-seed runs stay deterministic.
 	ChaosSeed uint64
+	// Faults, when non-nil and enabled, injects deterministic faults into
+	// the fabric and arms the protocol recovery machinery (i-ack timeout
+	// retries with default settings) plus the liveness watchdog. Nil runs
+	// the fault-free simulator untouched.
+	Faults *faults.Config
 	// Tune, when set, adjusts the machine parameters before construction.
 	Tune func(*coherence.Params)
 	// Interrupt, when set, is polled before each trial; returning true stops
@@ -95,6 +101,11 @@ type InvalResult struct {
 	// Completed is the number of trials that actually ran (equals
 	// Config.Trials unless Interrupt stopped the experiment early).
 	Completed int
+	// Retries is the mean number of recovery retries per transaction and
+	// Drops the mean number of fault-killed worms per trial; both zero
+	// without fault injection.
+	Retries float64
+	Drops   float64
 	// Metrics is the machine's full collector, for callers that aggregate
 	// across experiments (the sweep engine merges these).
 	Metrics *metrics.Collector
@@ -114,12 +125,24 @@ func RunInval(cfg InvalConfig) InvalResult {
 		panic(fmt.Sprintf("workload: D=%d out of range for %dx%d mesh", cfg.D, cfg.K, cfg.K))
 	}
 	p := coherence.DefaultParams(cfg.K, cfg.Scheme)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		p.Recovery = coherence.DefaultRecovery()
+		p.Fault = faults.New(*cfg.Faults)
+	}
 	if cfg.Tune != nil {
 		cfg.Tune(&p)
 	}
 	m := coherence.NewMachine(p)
 	if cfg.ChaosSeed != 0 {
 		m.Engine.Chaos(cfg.ChaosSeed)
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		// The liveness watchdog backstops the recovery machinery: the
+		// interval sits far above the longest legitimate quiet stretch
+		// (the capped exponential backoff tops out at Timeout<<6 cycles),
+		// so a firing means a genuine wedge, reported with the full
+		// network diagnosis instead of a hang.
+		m.Net.StartWatchdog(p.Recovery.Timeout<<8, 3, nil)
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	home := m.Mesh.ID(topology.Coord{X: cfg.K / 2, Y: cfg.K / 2})
@@ -128,7 +151,7 @@ func RunInval(cfg InvalConfig) InvalResult {
 	}
 
 	res := InvalResult{Config: cfg}
-	var homeMsgs, groups, flitHops, messages float64
+	var homeMsgs, groups, flitHops, messages, retries, drops float64
 	for trial := 0; trial < cfg.Trials; trial++ {
 		if cfg.Interrupt != nil && cfg.Interrupt() {
 			break
@@ -157,6 +180,8 @@ func RunInval(cfg InvalConfig) InvalResult {
 		groups += float64(rec.Groups)
 		acks := rec.HomeMsgs - rec.Groups
 		messages += float64(rec.Groups + acks)
+		retries += float64(rec.Retries)
+		drops += float64(after.Dropped - before.Dropped)
 		// Total flit-hops during the write minus the writeReq/writeReply
 		// pair, leaving the invalidation traffic.
 		flitHops += float64(after.FlitHops - before.FlitHops)
@@ -166,6 +191,8 @@ func RunInval(cfg InvalConfig) InvalResult {
 		res.Groups = groups / n
 		res.FlitHops = flitHops / n
 		res.Messages = messages / n
+		res.Retries = retries / n
+		res.Drops = drops / n
 	}
 	res.Metrics = m.Metrics
 	return res
