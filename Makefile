@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench sweep
+.PHONY: all build test race vet lint check bench bench-json sweep
 
 all: check
 
@@ -30,7 +30,13 @@ lint:
 
 check: vet lint build test race
 
-bench:
+# bench-json writes BENCH_sim.json: simulated-cycles and trace-events per
+# wall-second over a calibrated invalidation run, plus the E1 miss
+# latencies as a correctness fingerprint. CI uploads it as an artifact.
+bench-json:
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
+
+bench: bench-json
 	$(GO) test -bench=. -benchtime=1x .
 
 sweep:

@@ -218,3 +218,19 @@ func BenchmarkFigCongestion(b *testing.B) {
 func BenchmarkFigThreeHop(b *testing.B) {
 	runTableBench(b, "e25", experiments.FigThreeHop)
 }
+
+// BenchmarkFigFaultRecovery regenerates the fault-injection recovery sweep
+// (E26).
+func BenchmarkFigFaultRecovery(b *testing.B) {
+	runTableBench(b, "e26", func() *report.Table {
+		return experiments.FigFaultRecovery(16, 16, 10)
+	})
+}
+
+// BenchmarkFigOccupancyProfile regenerates the trace-derived occupancy
+// profile of a hot-spot burst (E27).
+func BenchmarkFigOccupancyProfile(b *testing.B) {
+	runTableBench(b, "e27", func() *report.Table {
+		return experiments.FigOccupancyProfile(16, 16, 8)
+	})
+}

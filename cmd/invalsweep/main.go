@@ -8,8 +8,9 @@
 //	invalsweep -experiment latency -k 16 -trials 10
 //	invalsweep -experiment all -csv
 //
-// Experiments: latency, occupancy, traffic, meshsize, buffers, hotspot,
-// placement, cons, table4, table5, faults, all.
+// Experiments: latency, homemsgs (E5, home messages per transaction),
+// traffic, meshsize, buffers, hotspot, placement, cons, table4, table5,
+// faults, occupancy (E27, the trace-derived busy-time profile), all.
 //
 // Sweeps run on a worker pool (-parallel, default all cores); the tables
 // are byte-identical at any worker count. Long sweeps can checkpoint
@@ -75,7 +76,8 @@ func main() {
 
 	runners := map[string]func() *report.Table{
 		"latency":     func() *report.Table { return experiments.FigLatencyVsSharers(*k, *trials) },
-		"occupancy":   func() *report.Table { return experiments.FigOccupancyVsSharers(*k, *trials) },
+		"homemsgs":    func() *report.Table { return experiments.FigOccupancyVsSharers(*k, *trials) },
+		"occupancy":   func() *report.Table { return experiments.FigOccupancyProfile(*k, *d, 8) },
 		"traffic":     func() *report.Table { return experiments.FigTrafficVsSharers(*k, *trials) },
 		"meshsize":    func() *report.Table { return experiments.FigLatencyVsMeshSize(*d, *trials) },
 		"buffers":     func() *report.Table { return experiments.FigIAckBuffers(*k, *d, 4) },
@@ -100,9 +102,9 @@ func main() {
 		"threehop":    experiments.FigThreeHop,
 		"faults":      func() *report.Table { return experiments.FigFaultRecovery(*k, *d, *trials) },
 	}
-	order := []string{"table4", "table5", "latency", "occupancy", "traffic",
+	order := []string{"table4", "table5", "latency", "homemsgs", "traffic",
 		"meshsize", "buffers", "hotspot", "placement", "homes", "cons", "vcs", "limdir",
-		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop", "faults"}
+		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop", "faults", "occupancy"}
 
 	emit := func(t *report.Table) {
 		if *csv {

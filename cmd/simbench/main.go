@@ -1,0 +1,118 @@
+// Command simbench measures the simulator's own performance and writes a
+// machine-readable snapshot: simulated cycles and trace events per
+// wall-clock second over a calibrated invalidation workload, plus the E1
+// (Table 4) miss latencies as a correctness fingerprint — if a change
+// speeds the simulator up but shifts a latency, the snapshot says so.
+//
+// Usage:
+//
+//	simbench -o BENCH_sim.json
+//	make bench          # runs this first, then the table benchmarks
+//
+// CI runs it on every push and uploads BENCH_sim.json as an artifact, so
+// simulator throughput is trackable across commits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/grouping"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Run is one throughput measurement.
+type Run struct {
+	Name         string  `json:"name"`
+	SimCycles    uint64  `json:"simCycles"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wallSeconds"`
+	CyclesPerSec float64 `json:"cyclesPerSec"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+}
+
+// Snapshot is the BENCH_sim.json schema.
+type Snapshot struct {
+	Schema      int               `json:"schema"`
+	Generated   string            `json:"generated"`
+	GoVersion   string            `json:"goVersion"`
+	CPUs        int               `json:"cpus"`
+	Runs        []Run             `json:"runs"`
+	E1Latencies map[string]uint64 `json:"e1Latencies"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simbench: ")
+	var (
+		out    = flag.String("o", "BENCH_sim.json", "output file (- for stdout)")
+		k      = flag.Int("k", 16, "mesh dimension of the throughput workload")
+		d      = flag.Int("d", 16, "sharers per transaction")
+		trials = flag.Int("trials", 20, "transactions per throughput run")
+	)
+	flag.Parse()
+
+	snap := Snapshot{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+
+	// Throughput: the unicast baseline and the paper's headline scheme,
+	// traced so the snapshot also reports event throughput. Tracing is
+	// observational, so the simulated-cycle count matches an untraced run.
+	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
+		rec := trace.NewRecorder(1 << 20)
+		start := time.Now()
+		res := workload.RunInval(workload.InvalConfig{
+			K: *k, Scheme: s, D: *d, Trials: *trials, Seed: 1,
+			Pattern: workload.RandomPlacement, Recorder: rec,
+		})
+		wall := time.Since(start).Seconds()
+		events := rec.Dropped() + uint64(rec.Len())
+		var cycles uint64
+		if evs := rec.Events(); len(evs) > 0 {
+			cycles = uint64(evs[len(evs)-1].At)
+		}
+		snap.Runs = append(snap.Runs, Run{
+			Name: fmt.Sprintf("inval-%s-k%d-d%d-t%d (mean latency %.1f)",
+				s, *k, *d, res.Completed, res.Latency.Mean()),
+			SimCycles:    cycles,
+			Events:       events,
+			WallSeconds:  wall,
+			CyclesPerSec: float64(cycles) / wall,
+			EventsPerSec: float64(events) / wall,
+		})
+	}
+
+	// E1: the Table 4 miss latencies, the snapshot's correctness anchor.
+	snap.E1Latencies = map[string]uint64{}
+	p := workload.DefaultMicroParams(grouping.UIUA)
+	for _, kind := range workload.AllMissKinds {
+		snap.E1Latencies[kind.String()] = uint64(workload.MeasureMiss(p, kind))
+	}
+
+	enc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range snap.Runs {
+		fmt.Printf("%-50s %10.0f cycles/s %12.0f events/s\n", r.Name, r.CyclesPerSec, r.EventsPerSec)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,246 @@
+// Command wormtrace records a cycle-level event trace of a simulated
+// workload and analyzes it: top-k critical paths with Table-5-style
+// latency attribution, an occupancy profile, and Chrome/Perfetto timeline
+// export (load the output at https://ui.perfetto.dev).
+//
+// Usage:
+//
+//	wormtrace -workload inval -k 16 -d 16 -scheme MI-MA-ec -o run.trace.json
+//	wormtrace -workload miss -kind 2 -top 5
+//	wormtrace -workload hotspot -writers 8 -perfetto burst.json
+//	wormtrace -in run.trace.json -top 10 -occupancy
+//
+// Workloads: inval (the E5 invalidation-pattern experiment), hotspot (the
+// concurrent-invalidation burst), miss (one Table 4 miss scenario; -kind
+// selects the row, 0-7). With -in, no simulation runs: the recorded trace
+// file is re-analyzed instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/grouping"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wormtrace: ")
+	var (
+		wl       = flag.String("workload", "inval", "workload to record: inval|hotspot|miss")
+		k        = flag.Int("k", 16, "mesh dimension (k x k)")
+		d        = flag.Int("d", 8, "sharers to invalidate")
+		scheme   = flag.String("scheme", "MI-MA-ec", "invalidation scheme")
+		pattern  = flag.String("pattern", "random", "sharer placement: random|clustered|column|row|diagonal")
+		trials   = flag.Int("trials", 10, "trials (inval workload)")
+		writers  = flag.Int("writers", 8, "concurrent writers (hotspot workload)")
+		kind     = flag.Int("kind", 2, "miss scenario for -workload miss (Table 4 row, 0-7)")
+		seed     = flag.Uint64("seed", 1, "placement seed")
+		capacity = flag.Int("cap", 1<<20, "ring-buffer capacity in events (oldest overwritten beyond it)")
+		probe    = flag.Uint64("engine", 0, "sample the engine queue every N fired events (0 = off)")
+		out      = flag.String("o", "", "write the recording to this trace JSON file")
+		perfetto = flag.String("perfetto", "", "write a Chrome/Perfetto timeline to this file")
+		topK     = flag.Int("top", 3, "print the K highest-latency operations' critical paths (0 = none)")
+		occ      = flag.Bool("occupancy", false, "print the occupancy profile")
+		in       = flag.String("in", "", "analyze this recorded trace file instead of running a simulation")
+	)
+	flag.Parse()
+
+	var file *trace.File
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rerr error
+		file, rerr = trace.ReadFile(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatalf("%s: %v", *in, rerr)
+		}
+		fmt.Printf("loaded %s: %s/%s %dx%d d=%d, %d events (%d dropped at record time)\n",
+			*in, file.Workload, file.Scheme, file.Width, file.Height, file.D,
+			len(file.Events), file.Dropped)
+	} else {
+		file = record(*wl, *k, *d, *scheme, *pattern, *trials, *writers, *kind,
+			*seed, *capacity, *probe)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := file.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", len(file.Events), *out)
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WritePerfetto(f, file.Events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Perfetto timeline to %s\n", *perfetto)
+	}
+	if *topK > 0 {
+		printTop(file.Events, *topK)
+	}
+	if *occ {
+		printOccupancy(file.Events)
+	}
+}
+
+// record runs the selected workload with a recorder attached and packages
+// the recording.
+func record(wl string, k, d int, scheme, pattern string, trials, writers, kind int,
+	seed uint64, capacity int, probe uint64) *trace.File {
+	s, err := grouping.Parse(scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := trace.NewRecorder(capacity)
+	rec.ProbeEvery = probe
+	file := &trace.File{
+		Version: trace.FileVersion, Width: k, Height: k,
+		Scheme: s.String(), Workload: wl, D: d, Trials: trials, Seed: seed,
+	}
+	switch wl {
+	case "inval":
+		pat, err := parsePattern(pattern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := workload.RunInval(workload.InvalConfig{
+			K: k, Scheme: s, D: d, Pattern: pat, Trials: trials, Seed: seed,
+			Recorder: rec,
+		})
+		fmt.Printf("recorded %d invalidation trials: mean latency %.1f cycles\n",
+			res.Completed, res.Latency.Mean())
+	case "hotspot":
+		res := workload.RunHotSpot(workload.HotSpotConfig{
+			K: k, Scheme: s, D: d, Writers: writers, Seed: seed, Recorder: rec,
+		})
+		file.Trials = writers
+		fmt.Printf("recorded %d-writer hot-spot burst: makespan %d cycles\n",
+			writers, res.Makespan)
+	case "miss":
+		if kind < 0 || kind >= len(workload.AllMissKinds) {
+			log.Fatalf("-kind %d out of range [0,%d)", kind, len(workload.AllMissKinds))
+		}
+		mk := workload.AllMissKinds[kind]
+		p := workload.DefaultMicroParams(s)
+		lat := workload.MeasureMissTraced(p, mk, rec)
+		file.Width, file.Height = p.MeshSize, p.MeshSize
+		file.Trials = 1
+		fmt.Printf("recorded %q: %d cycles\n", mk, lat)
+	default:
+		log.Fatalf("unknown workload %q (want inval, hotspot or miss)", wl)
+	}
+	file.Dropped = rec.Dropped()
+	file.Events = rec.Events()
+	if file.Dropped > 0 {
+		fmt.Printf("warning: ring wrapped, %d oldest events dropped (raise -cap)\n", file.Dropped)
+	}
+	return file
+}
+
+// printTop prints the K highest-latency operations with their critical-path
+// attribution.
+func printTop(events []trace.Event, k int) {
+	a := trace.Analyze(events)
+	if len(a.Ops) == 0 {
+		fmt.Println("no completed operations in the recording")
+		return
+	}
+	fmt.Printf("\n%d operations, %d invalidation transactions analyzed; top %d by latency:\n",
+		len(a.Ops), len(a.Txns), k)
+	for _, op := range a.TopOps(k) {
+		kindStr := "read"
+		if op.Write {
+			kindStr = "write"
+		}
+		status := ""
+		if !op.Resolved {
+			status = "  [chain partially unresolved]"
+		}
+		fmt.Printf("\nop %d: %s node %d block %d: %d cycles (issue @%d)%s\n",
+			op.Tok, kindStr, op.Node, op.Block, op.Latency(), op.Issue, status)
+		for _, seg := range op.Segments {
+			fmt.Printf("  %-36s %6d cycles\n", seg.Component, seg.Cycles())
+		}
+		if op.Sum() != op.Latency() {
+			// Unreachable by construction; loud if it ever regresses.
+			fmt.Printf("  !! attribution sum %d != latency %d\n", op.Sum(), op.Latency())
+		}
+	}
+}
+
+// printOccupancy prints the profile: the busiest nodes and links.
+func printOccupancy(events []trace.Event) {
+	p := trace.Occupancy(events)
+	fmt.Printf("\noccupancy profile: horizon %d cycles, %d nodes, %d channels\n",
+		p.Horizon, len(p.Nodes), len(p.Links))
+	fmt.Println("busiest protocol controllers:")
+	shown := 0
+	for _, n := range topNodes(p) {
+		fmt.Printf("  node %-4d busy %7d cycles (%4.1f%%), %d tasks, max task %d\n",
+			n.Node, n.Busy, 100*p.NodeShare(n), n.Tasks, n.MaxTask)
+		shown++
+		if shown == 5 {
+			break
+		}
+	}
+	fmt.Println("busiest mesh links:")
+	shown = 0
+	for _, l := range topLinks(p) {
+		fmt.Printf("  %3d->%-3d vn%d busy %7d cycles (%4.1f%%), %d holds\n",
+			l.From, l.To, l.VN, l.Busy, 100*p.Util(l), l.Holds)
+		shown++
+		if shown == 5 {
+			break
+		}
+	}
+	if p.OpenHolds > 0 || p.Reopened > 0 {
+		fmt.Printf("  (%d holds never closed, %d reopened: ring wrap-around)\n",
+			p.OpenHolds, p.Reopened)
+	}
+}
+
+func topNodes(p *trace.Profile) []trace.NodeUse {
+	out := append([]trace.NodeUse(nil), p.Nodes...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
+	return out
+}
+
+func topLinks(p *trace.Profile) []trace.LinkUse {
+	out := append([]trace.LinkUse(nil), p.MeshLinks()...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
+	return out
+}
+
+func parsePattern(s string) (workload.Pattern, error) {
+	for _, p := range []workload.Pattern{
+		workload.RandomPlacement, workload.ClusteredPlacement,
+		workload.ColumnPlacement, workload.RowPlacement, workload.DiagonalPlacement,
+	} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}

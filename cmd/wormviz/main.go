@@ -16,11 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/grouping"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -35,8 +38,16 @@ func main() {
 		pattern = flag.String("pattern", "random", "placement: random|diagonal|column")
 		homeX   = flag.Int("hx", -1, "home x (default center)")
 		homeY   = flag.Int("hy", -1, "home y (default center)")
+		traced  = flag.String("trace", "", "overlay link occupancy from a recorded wormtrace file instead of drawing worm paths")
 	)
 	flag.Parse()
+
+	if *traced != "" {
+		if err := renderTraceOverlay(*traced); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	s, err := grouping.Parse(*scheme)
 	if err != nil {
@@ -115,6 +126,64 @@ func place(mesh *topology.Mesh, home topology.NodeID, d int, pattern string, see
 		log.Fatalf("unknown pattern %q", pattern)
 	}
 	return out
+}
+
+// renderTraceOverlay loads a recorded trace file, folds it through the
+// occupancy profiler, and renders the mesh with each node shaded by the
+// busy time of its outgoing links (0-9 intensity, '.' for idle), plus the
+// five hottest links — where the fabric actually spent its channel time,
+// as opposed to the static worm paths the default rendering shows.
+func renderTraceOverlay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tf, err := trace.ReadFile(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	mesh := topology.NewMesh(tf.Width, tf.Height)
+	prof := trace.Occupancy(tf.Events)
+
+	outBusy := make([]sim.Time, mesh.Nodes())
+	var peak sim.Time
+	for _, l := range prof.MeshLinks() {
+		outBusy[l.From] += l.Busy
+		if outBusy[l.From] > peak {
+			peak = outBusy[l.From]
+		}
+	}
+	fmt.Printf("%s/%s on a %dx%d mesh: outgoing-link occupancy per node (trace horizon %d cycles)\n\n",
+		tf.Workload, tf.Scheme, tf.Width, tf.Height, prof.Horizon)
+	var b strings.Builder
+	for y := mesh.Height() - 1; y >= 0; y-- {
+		for x := 0; x < mesh.Width(); x++ {
+			n := mesh.ID(topology.Coord{X: x, Y: y})
+			ch := byte('.')
+			if busy := outBusy[n]; busy > 0 && peak > 0 {
+				ch = byte('0' + (9*busy+peak-1)/peak)
+				if ch > '9' {
+					ch = '9'
+				}
+			}
+			b.WriteByte(ch)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+	links := prof.MeshLinks()
+	sort.SliceStable(links, func(i, j int) bool { return links[i].Busy > links[j].Busy })
+	fmt.Println("\nhottest links:")
+	for i, l := range links {
+		if i == 5 {
+			break
+		}
+		fc, tc := mesh.Coord(topology.NodeID(l.From)), mesh.Coord(topology.NodeID(l.To))
+		fmt.Printf("  %s -> %s vn%d: busy %d cycles (%d holds)\n", fc, tc, l.VN, l.Busy, l.Holds)
+	}
+	return nil
 }
 
 // draw renders the mesh with a worm path overlaid.

@@ -68,6 +68,7 @@ var simCorePackages = map[string]bool{
 	"repro/internal/experiments": true,
 	"repro/internal/cache":       true,
 	"repro/internal/grouping":    true,
+	"repro/internal/trace":       true,
 	"repro/internal/apps":        true,
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // simTime converts the raw tick stored in pendingOp back to sim.Time.
@@ -164,6 +165,9 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 	}
 	m.trace(home, "txn.start", b, "txn %d: %d sharers, %d groups (update=%v broadcast=%v)",
 		txn.id, txn.sharers, len(txn.groups), txn.update, txn.broadcast)
+	if m.Rec != nil {
+		m.recTxn(trace.KindTxnStart, txn, uint64(txn.sharers), uint64(len(txn.groups)))
+	}
 	if m.Params.Protocol == WriteInvalidate {
 		m.recordForwardList(b, remote)
 	}
@@ -249,6 +253,9 @@ func (t *invalTxn) ackArrived(m *Machine) {
 // here, exactly once per transaction.
 func (t *invalTxn) complete(m *Machine) {
 	m.trace(t.home, "txn.done", t.block, "txn %d: latency %d cycles", t.id, m.Engine.Now()-t.start)
+	if m.Rec != nil {
+		m.recTxn(trace.KindTxnDone, t, uint64(t.retries), 0)
+	}
 	m.Metrics.Invals = append(m.Metrics.Invals, metrics.InvalRecord{
 		Txn:       t.id,
 		Home:      t.home,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Machine is a k x k wormhole-routed DSM: one processor + cache + directory
@@ -38,6 +39,11 @@ type Machine struct {
 	fwdLists map[directory.BlockID][]topology.NodeID
 	// tracer, when set, receives protocol TraceEvents.
 	tracer func(TraceEvent)
+	// Rec, when non-nil, receives cycle-stamped protocol events (op, msg,
+	// directory, and transaction milestones). Install with AttachTrace.
+	Rec *trace.Recorder
+	// nextOpTok numbers traced operations; advanced only while recording.
+	nextOpTok uint64
 	// treeTable holds per-transaction unicast-tree contexts (UMC).
 	treeTable map[uint64]map[int]*treeCtx
 	// wormBar holds the worm-barrier state (lazily created).
@@ -61,6 +67,9 @@ type server struct {
 	engine    *sim.Engine
 	busyUntil sim.Time
 	busyTotal *sim.Time
+	// rec/node mirror Machine.Rec for the occupancy hook (AttachTrace).
+	rec  *trace.Recorder
+	node int32
 }
 
 // do schedules fn to run after the server has finished earlier work plus
@@ -69,6 +78,10 @@ func (s *server) do(cost sim.Time, fn func()) {
 	start := s.engine.Now()
 	if s.busyUntil > start {
 		start = s.busyUntil
+	}
+	if s.rec != nil {
+		s.rec.Emit(trace.Event{At: s.engine.Now(), Kind: trace.KindServerBusy,
+			Node: s.node, A: uint64(start), B: uint64(start + cost)})
 	}
 	s.busyUntil = start + cost
 	*s.busyTotal += cost
@@ -165,6 +178,9 @@ func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
 		w.TxnID = payload.txn.id
 	}
 	m.Net.Inject(w)
+	if m.Rec != nil {
+		m.recMsg(trace.KindMsgSend, 0, src, w.ID, payload, uint64(dst))
+	}
 }
 
 // sendGroup injects a multidestination invalidation worm (multicast or
@@ -193,6 +209,9 @@ func (m *Machine) sendGroup(txn *invalTxn, gi int) {
 		Expendable:   true,
 	}
 	m.Net.Inject(w)
+	if m.Rec != nil {
+		m.recMsg(trace.KindMsgSend, 0, txn.home, w.ID, w.Tag.(*msg), uint64(gi))
+	}
 }
 
 // sendGather injects the i-gather worm for group gi, launched by the
@@ -228,6 +247,9 @@ func (m *Machine) sendGather(txn *invalTxn, gi int) {
 		Expendable:   true,
 	}
 	m.Net.Inject(w)
+	if m.Rec != nil {
+		m.recMsg(trace.KindMsgSend, 0, g.Last(), w.ID, w.Tag.(*msg), uint64(gi))
+	}
 }
 
 // destFlags marks each member's occurrence on the path in visit order (the

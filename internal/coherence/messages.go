@@ -98,4 +98,8 @@ type msg struct {
 	// that would launch follow-on traffic (the i-gather worm) compare it
 	// against the transaction's current generation and drop stale work.
 	gen int
+	// tok is the issuing operation's trace token, carried on requests so
+	// the home-side trace events (directory lookup, reply) can be tied
+	// back to the operation. Zero when tracing is off or not applicable.
+	tok uint64
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/network"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // pendingOp tracks one processor's outstanding memory operation. Under
@@ -17,6 +18,8 @@ type pendingOp struct {
 	write bool
 	issue uint64 // sim.Time, kept raw to avoid import loop in tests
 	done  func()
+	// tok is the operation's trace token; zero when tracing is off.
+	tok uint64
 	// afterFill holds protocol work that raced ahead of the reply (e.g. a
 	// fetchInval overtaking the writeReply on the other virtual network)
 	// and must wait until the fill lands — the "window of vulnerability"
@@ -65,9 +68,17 @@ func (m *Machine) removeOp(n topology.NodeID, b directory.BlockID) {
 func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 	issue := m.Engine.Now()
 	m.trace(n, "op.issue", b, "read")
+	var tok uint64
+	if m.Rec != nil {
+		tok = m.newOpTok()
+		m.recOp(trace.KindOpIssue, 0, n, tok, b)
+	}
 	m.server(n).do(m.Params.CacheAccess, func() {
 		if m.caches[n].Lookup(b, false) {
 			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
+			if m.Rec != nil {
+				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
+			}
 			done()
 			return
 		}
@@ -75,12 +86,18 @@ func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 			// Store-buffer forwarding: our own pending write holds the
 			// value.
 			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
+			if m.Rec != nil {
+				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
+			}
 			done()
 			return
 		}
-		m.addOp(n, &pendingOp{block: b, write: false, issue: uint64(issue), done: done})
+		if m.Rec != nil {
+			m.recOp(trace.KindOpMiss, 0, n, tok, b)
+		}
+		m.addOp(n, &pendingOp{block: b, write: false, issue: uint64(issue), done: done, tok: tok})
 		m.server(n).do(m.Params.SendOccupancy, func() {
-			m.send(readReq, n, m.Home(b), &msg{typ: readReq, block: b, from: n})
+			m.send(readReq, n, m.Home(b), &msg{typ: readReq, block: b, from: n, tok: tok})
 		})
 	})
 }
@@ -91,16 +108,27 @@ func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 func (m *Machine) Write(n topology.NodeID, b directory.BlockID, done func()) {
 	issue := m.Engine.Now()
 	m.trace(n, "op.issue", b, "write")
+	var tok uint64
+	if m.Rec != nil {
+		tok = m.newOpTok()
+		m.recOp(trace.KindOpIssue, trace.FlagWrite, n, tok, b)
+	}
 	m.server(n).do(m.Params.CacheAccess, func() {
 		if m.caches[n].Lookup(b, true) {
 			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
+			if m.Rec != nil {
+				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
+			}
 			done()
 			return
 		}
+		if m.Rec != nil {
+			m.recOp(trace.KindOpMiss, trace.FlagWrite, n, tok, b)
+		}
 		hasCopy := m.caches[n].State(b) == cache.SharedLine
-		m.addOp(n, &pendingOp{block: b, write: true, issue: uint64(issue), done: done})
+		m.addOp(n, &pendingOp{block: b, write: true, issue: uint64(issue), done: done, tok: tok})
 		m.server(n).do(m.Params.SendOccupancy, func() {
-			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy})
+			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy, tok: tok})
 		})
 	})
 }
@@ -115,12 +143,20 @@ func (m *Machine) WriteAsync(n topology.NodeID, b directory.BlockID, issued func
 		panic("coherence: WriteAsync requires ReleaseConsistency")
 	}
 	issue := m.Engine.Now()
+	var tok uint64
+	if m.Rec != nil {
+		tok = m.newOpTok()
+		m.recOp(trace.KindOpIssue, trace.FlagWrite, n, tok, b)
+	}
 	// The write enters the store buffer at issue time, so a Fence posted in
 	// the same cycle already covers it.
 	m.pendingWrites(n).count++
 	m.server(n).do(m.Params.CacheAccess, func() {
 		if m.caches[n].Lookup(b, true) {
 			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
+			if m.Rec != nil {
+				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
+			}
 			m.retireBufferedWrite(n)
 			issued()
 			return
@@ -128,16 +164,22 @@ func (m *Machine) WriteAsync(n topology.NodeID, b directory.BlockID, issued func
 		if op := m.op(n, b); op != nil && op.write {
 			// Write coalesces into the already-buffered write to the block.
 			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
+			if m.Rec != nil {
+				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
+			}
 			m.retireBufferedWrite(n)
 			issued()
 			return
 		}
+		if m.Rec != nil {
+			m.recOp(trace.KindOpMiss, trace.FlagWrite, n, tok, b)
+		}
 		hasCopy := m.caches[n].State(b) == cache.SharedLine
 		m.addOp(n, &pendingOp{block: b, write: true, issue: uint64(issue), done: func() {
 			m.retireBufferedWrite(n)
-		}})
+		}, tok: tok})
 		m.server(n).do(m.Params.SendOccupancy, func() {
-			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy})
+			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy, tok: tok})
 		})
 		issued()
 	})
@@ -194,6 +236,13 @@ func (m *Machine) deliver(d network.Delivery) {
 	pm := d.Worm.Tag.(*msg)
 	m.Metrics.MsgsRecv[d.Node]++
 	m.trace(d.Node, "msg.recv", pm.block, "%v from node %d (final=%v)", pm.typ, d.Worm.Source(), d.Final)
+	if m.Rec != nil {
+		flag := trace.FlagNone
+		if d.Final {
+			flag = trace.FlagFinal
+		}
+		m.recMsg(trace.KindMsgRecv, flag, d.Node, d.Worm.ID, pm, 0)
+	}
 	switch pm.typ {
 	case readReq, writeReq:
 		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
@@ -250,6 +299,9 @@ func (m *Machine) deliver(d network.Delivery) {
 func (m *Machine) homeHandle(home topology.NodeID, pm *msg) {
 	m.server(home).do(m.Params.DirLookup, func() {
 		e := m.dirs[home].Lookup(pm.block)
+		if m.Rec != nil {
+			m.recMsg(trace.KindDirDone, 0, home, 0, pm, 0)
+		}
 		if pm.typ == readReq {
 			m.homeRead(home, e, pm)
 		} else {
@@ -506,6 +558,13 @@ func (m *Machine) requesterReply(n topology.NodeID, pm *msg) {
 		}
 		now := m.Engine.Now()
 		m.trace(n, "op.done", pm.block, "%v after %d cycles", pm.typ, now-simTime(op.issue))
+		if m.Rec != nil {
+			flag := trace.FlagNone
+			if pm.typ == writeReply {
+				flag = trace.FlagWrite
+			}
+			m.recOp(trace.KindOpDone, flag, n, op.tok, pm.block)
+		}
 		if pm.typ == writeReply {
 			m.Metrics.WriteLatency.AddTime(now - simTime(op.issue))
 			m.Metrics.WriteMiss.AddTime(now - simTime(op.issue))

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // This file implements the home node's i-ack timeout watchdog: the
@@ -64,6 +65,9 @@ func (m *Machine) txnDeadline(t *invalTxn) {
 	m.trace(t.home, "txn.retry", t.block,
 		"txn %d retry %d (gen %d): %d worms aborted, %d sharers unacked",
 		t.id, t.retries, t.gen, killed, len(targets))
+	if m.Rec != nil {
+		m.recTxn(trace.KindTxnRetry, t, uint64(t.retries), uint64(killed))
+	}
 	for _, s := range targets {
 		s := s
 		m.server(t.home).do(m.Params.SendOccupancy, func() {

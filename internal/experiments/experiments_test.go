@@ -198,6 +198,29 @@ func TestAllExperimentsRender(t *testing.T) {
 	}
 }
 
+func TestOccupancyProfileShape(t *testing.T) {
+	tab := FigOccupancyProfile(8, 8, 4)
+	if tab.Rows() != len(CompareSchemes) {
+		t.Fatalf("rows = %d, want %d", tab.Rows(), len(CompareSchemes))
+	}
+	// Rows follow CompareSchemes order: UI-UA is row 0, MI-MA-ec row 2.
+	// Column 2 is the home controller's trace-derived busy time; the
+	// paper's claim is that multidestination gathers relieve the home, so
+	// MI-MA must sit strictly below UI-UA.
+	uiBusy, mimaBusy := cell(t, tab, 0, 2), cell(t, tab, 2, 2)
+	if mimaBusy >= uiBusy {
+		t.Fatalf("MI-MA home busy %v not below UI-UA %v", mimaBusy, uiBusy)
+	}
+	for r := 0; r < tab.Rows(); r++ {
+		if mk := cell(t, tab, r, 1); mk <= 0 {
+			t.Fatalf("row %d: zero makespan", r)
+		}
+		if share := cell(t, tab, r, 3); share <= 0 || share > 1 {
+			t.Fatalf("row %d: home share %v outside (0, 1]", r, share)
+		}
+	}
+}
+
 func TestCongestionMatchesPaperClaim(t *testing.T) {
 	// "In the request phase, the X-dimension links along the row containing
 	// the home node are congested. While in the acknowledging phase, the
@@ -225,10 +248,11 @@ func TestFiguresParallelInvariant(t *testing.T) {
 	defer func() { Sweep = saved }()
 
 	figures := map[string]func() string{
-		"latency": func() string { return FigLatencyVsSharers(8, 2).String() },
-		"hotspot": func() string { return FigHotSpot(4, 3).String() },
-		"torus":   func() string { return FigTorus(8, 2).String() },
-		"limdir":  func() string { return FigLimitedDirectory(4).String() },
+		"latency":   func() string { return FigLatencyVsSharers(8, 2).String() },
+		"hotspot":   func() string { return FigHotSpot(4, 3).String() },
+		"torus":     func() string { return FigTorus(8, 2).String() },
+		"limdir":    func() string { return FigLimitedDirectory(4).String() },
+		"occupancy": func() string { return FigOccupancyProfile(8, 6, 3).String() },
 	}
 	for name, render := range figures {
 		Sweep = sweep.Options{Parallel: 1}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Injector is the fault-injection hook the network consults on its hot
@@ -45,6 +46,9 @@ func (n *Network) killWorm(w *Worm) {
 	}
 	now := n.Engine.Now()
 	w.state = wormKilled
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormKill, 0, w, w.Path[w.hopIdx], uint64(w.hopIdx), 0, "")
+	}
 	for j := w.heldFrom; j < len(w.Path); j++ {
 		if w.lanes[j] == nil {
 			continue

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Config holds the network timing and resource parameters. All times are in
@@ -101,6 +102,11 @@ type Network struct {
 	// faults: worm drops, link stalls, router slowdowns, lost acks. Nil —
 	// the default — models a fault-free fabric with zero perturbation.
 	Fault Injector
+	// Rec, when non-nil, receives cycle-stamped worm-lifecycle events
+	// (inject/route/block/hold/drain/deliver and fault decisions). Nil —
+	// the default — costs one pointer comparison per hook site; recording
+	// never perturbs the schedule either way.
+	Rec *trace.Recorder
 
 	// injection[vn][node] and links[vn][node][port] are the wormhole
 	// channel sets; cons[node] the consumption pools; iack[node] the
@@ -198,6 +204,9 @@ func (n *Network) Inject(w *Worm) {
 	n.inFlight[w.ID] = w
 	n.stats.FlitHops += uint64(w.Flits()) * uint64(w.Hops())
 	n.armWatchdog()
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormInject, uint8(w.VN), w, w.Source(), uint64(w.Flits()), uint64(w.Hops()), w.Kind.String())
+	}
 
 	if len(w.Path) == 1 {
 		// Degenerate local delivery: no network resources used.
@@ -210,10 +219,21 @@ func (n *Network) Inject(w *Worm) {
 		return
 	}
 	inj := n.injection[w.VN][w.Source()]
+	blocked := false
+	if n.Rec != nil && !inj.hasFree() {
+		blocked = true
+		n.traceWorm(trace.KindWormBlock, trace.BlockInjection, w, w.Source(), 0, 0, "")
+	}
 	inj.acquire(n.Engine.Now(), func(lane *channel) {
 		if w.state == wormKilled {
 			inj.release(lane, n.Engine.Now())
 			return
+		}
+		if n.Rec != nil {
+			if blocked {
+				n.traceWorm(trace.KindWormGrant, trace.BlockInjection, w, w.Source(), 0, 0, "")
+			}
+			n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Source(), 0, uint64(w.Source()), "")
 		}
 		w.held[0] = n.Engine.Now()
 		w.lanes[0] = lane
@@ -231,15 +251,24 @@ func (n *Network) headerAt(w *Worm, i int) {
 	w.state = wormMoving
 	w.hopIdx = i
 	n.beacon.Mark()
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormHead, uint8(w.VN), w, w.Path[i], uint64(i), 0, "")
+	}
 	delay := n.Cfg.RouterDelay
 	if n.Fault != nil {
 		if i > 0 && w.Expendable && n.Fault.DropWorm(w, i, n.Engine.Now()) {
 			n.stats.Dropped++
+			if n.Rec != nil {
+				n.traceWorm(trace.KindFaultDrop, 0, w, w.Path[i], uint64(i), 0, "")
+			}
 			n.killWorm(w)
 			return
 		}
 		if extra := n.Fault.RouterPenalty(w, i, n.Engine.Now()); extra > 0 {
 			n.stats.RouterSlowCycles += uint64(extra)
+			if n.Rec != nil {
+				n.traceWorm(trace.KindFaultSlow, 0, w, w.Path[i], uint64(i), uint64(extra), "")
+			}
 			delay += extra
 		}
 	}
@@ -265,12 +294,20 @@ func (n *Network) serviceNode(w *Worm, i int) {
 	case Reserve:
 		n.acquireCons(w, i, func() {
 			file := n.iack[w.Path[i]]
+			blocked := false
+			if n.Rec != nil && file.free == 0 {
+				blocked = true
+				n.traceWorm(trace.KindWormBlock, trace.BlockIAck, w, w.Path[i], uint64(i), 0, "")
+			}
 			file.reserve(w.TxnID, func() {
 				if w.state == wormKilled {
 					// The worm died while its reservation was queued on a
 					// full buffer file; free the freshly granted entry.
 					file.finish(w.TxnID)
 					return
+				}
+				if blocked && n.Rec != nil {
+					n.traceWorm(trace.KindWormGrant, trace.BlockIAck, w, w.Path[i], uint64(i), 0, "")
 				}
 				n.requestNext(w, i)
 			})
@@ -285,10 +322,18 @@ func (n *Network) serviceNode(w *Worm, i int) {
 func (n *Network) acquireCons(w *Worm, i int, onGrant func()) {
 	w.state = wormBlocked
 	pool := n.cons[w.Path[i]]
+	blocked := false
+	if n.Rec != nil && !pool.hasFree() {
+		blocked = true
+		n.traceWorm(trace.KindWormBlock, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+	}
 	pool.acquire(func() {
 		if w.state == wormKilled {
 			pool.release()
 			return
+		}
+		if blocked && n.Rec != nil {
+			n.traceWorm(trace.KindWormGrant, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
 		}
 		w.consHeld[i] = pool
 		w.state = wormMoving
@@ -307,12 +352,18 @@ func (n *Network) gatherCollect(w *Worm, i int) {
 		return
 	}
 	n.stats.GatherWait++
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormBlock, trace.BlockGather, w, w.Path[i], uint64(i), 0, "")
+	}
 	if n.Cfg.VCTDeferred {
 		// Park: the worm is absorbed into the buffer entry, releasing every
 		// channel it holds, and re-injected at this router when the local
 		// ack posts.
 		n.stats.VCTParks++
 		w.state = wormDeferred
+		if n.Rec != nil {
+			n.traceWorm(trace.KindWormPark, 0, w, w.Path[i], uint64(i), 0, "")
+		}
 		now := n.Engine.Now()
 		for w.heldFrom <= i {
 			n.releaseIndex(w, w.heldFrom, now)
@@ -323,6 +374,9 @@ func (n *Network) gatherCollect(w *Worm, i int) {
 	w.state = wormBlocked
 	file.await(w.TxnID, nil, func() {
 		file.finish(w.TxnID)
+		if n.Rec != nil {
+			n.traceWorm(trace.KindWormGrant, trace.BlockGather, w, w.Path[i], uint64(i), 0, "")
+		}
 		w.state = wormMoving
 		n.requestNext(w, i)
 	})
@@ -340,7 +394,13 @@ func (n *Network) PostAck(node topology.NodeID, txn uint64) {
 	}
 	if n.Fault != nil && n.Fault.LoseAck(node, txn, n.Engine.Now()) {
 		n.stats.LostAcks++
+		if n.Rec != nil {
+			n.Rec.Emit(trace.Event{At: n.Engine.Now(), Kind: trace.KindFaultAckLoss, Node: int32(node), Txn: txn})
+		}
 		return
+	}
+	if n.Rec != nil {
+		n.Rec.Emit(trace.Event{At: n.Engine.Now(), Kind: trace.KindAckPost, Node: int32(node), Txn: txn})
 	}
 	deferred, resume := n.iack[node].post(txn)
 	switch {
@@ -361,6 +421,10 @@ func (n *Network) reinjectGather(w *Worm) {
 		if w.state == wormKilled {
 			inj.release(lane, n.Engine.Now())
 			return
+		}
+		if n.Rec != nil {
+			n.traceWorm(trace.KindWormResume, 0, w, w.Path[i], uint64(i), 0, "")
+			n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Path[i], uint64(i), uint64(w.Path[i]), "")
 		}
 		w.held[i] = n.Engine.Now()
 		w.lanes[i] = lane
@@ -383,10 +447,18 @@ func (n *Network) requestNext(w *Worm, i int) {
 	if i == last {
 		w.state = wormBlocked
 		pool := n.cons[w.Path[i]]
+		blocked := false
+		if n.Rec != nil && !pool.hasFree() {
+			blocked = true
+			n.traceWorm(trace.KindWormBlock, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+		}
 		pool.acquire(func() {
 			if w.state == wormKilled {
 				pool.release()
 				return
+			}
+			if blocked && n.Rec != nil {
+				n.traceWorm(trace.KindWormGrant, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
 			}
 			n.drain(w, pool)
 		})
@@ -398,6 +470,9 @@ func (n *Network) requestNext(w *Worm, i int) {
 		// (worm, hop); acquireLink does not re-ask.
 		if stall := n.Fault.LinkStall(w, i, n.Engine.Now()); stall > 0 {
 			n.stats.LinkStallCycles += uint64(stall)
+			if n.Rec != nil {
+				n.traceWorm(trace.KindFaultStall, trace.BlockStall, w, w.Path[i], uint64(i), uint64(stall), "")
+			}
 			w.state = wormBlocked
 			n.Engine.After(stall, func() { n.acquireLink(w, i) })
 			return
@@ -414,11 +489,22 @@ func (n *Network) acquireLink(w *Worm, i int) {
 	}
 	set := n.linkSet(w, i)
 	w.state = wormBlocked
+	blocked := false
+	if n.Rec != nil && !set.hasFree() {
+		blocked = true
+		n.traceWorm(trace.KindWormBlock, trace.BlockLink, w, w.Path[i], uint64(i), 0, "")
+	}
 	set.acquire(n.Engine.Now(), func(lane *channel) {
 		now := n.Engine.Now()
 		if w.state == wormKilled {
 			set.release(lane, now)
 			return
+		}
+		if n.Rec != nil {
+			if blocked {
+				n.traceWorm(trace.KindWormGrant, trace.BlockLink, w, w.Path[i], uint64(i), 0, "")
+			}
+			n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Path[i+1], uint64(i+1), uint64(w.Path[i]), "")
 		}
 		w.state = wormMoving
 		w.held[i+1] = now
@@ -438,6 +524,9 @@ func (n *Network) acquireLink(w *Worm, i int) {
 // order.
 func (n *Network) drain(w *Worm, pool *consumptionPool) {
 	w.state = wormDraining
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormDrain, 0, w, w.Final(), uint64(len(w.Path)-1), 0, "")
+	}
 	start := n.Engine.Now()
 	hops := sim.Time(w.Hops())
 	flits := sim.Time(w.Flits())
@@ -475,6 +564,9 @@ func (n *Network) finishWorm(w *Worm) {
 	delete(n.inFlight, w.ID)
 	n.stats.Completed++
 	n.beacon.Mark()
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormDone, trace.FlagFinal, w, w.Final(), uint64(len(w.Path)-1), 0, "")
+	}
 	n.OnDeliver(Delivery{Node: w.Final(), Worm: w, Final: true})
 }
 
@@ -488,10 +580,18 @@ func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
 	}
 	w.heldFrom++
 	n.beacon.Mark()
-	if j == 0 || w.wasReinjectedAt(j) {
+	injectionLane := j == 0 || w.wasReinjectedAt(j)
+	if injectionLane {
 		n.injection[w.VN][w.Path[j]].release(w.lanes[j], now)
 	} else {
 		n.linkSet(w, j-1).release(w.lanes[j], now)
+	}
+	if n.Rec != nil {
+		from := w.Path[j]
+		if !injectionLane {
+			from = w.Path[j-1]
+		}
+		n.traceWorm(trace.KindWormRelease, uint8(w.VN), w, w.Path[j], uint64(j), uint64(from), "")
 	}
 	w.lanes[j] = nil
 	if j > 0 && j < len(w.Path)-1 && w.Dest[j] {
@@ -499,6 +599,9 @@ func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
 			delete(w.consHeld, j)
 			pool.release()
 			n.stats.Copies++
+			if n.Rec != nil {
+				n.traceWorm(trace.KindWormDeliver, 0, w, w.Path[j], uint64(j), 0, "")
+			}
 			n.OnDeliver(Delivery{Node: w.Path[j], Worm: w, Final: false})
 		}
 	}

@@ -1,0 +1,39 @@
+package network
+
+import (
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// traceWorm records one worm-lifecycle event. Callers guard with
+// `n.Rec != nil` at the call site so the disabled path stays a single
+// pointer comparison with no call and no allocation; label must be an
+// interned constant string (Kind names, message names) for the same
+// reason.
+func (n *Network) traceWorm(kind trace.Kind, flag uint8, w *Worm, node topology.NodeID, a, b uint64, label string) {
+	n.Rec.Emit(trace.Event{
+		At:    n.Engine.Now(),
+		Kind:  kind,
+		Flag:  flag,
+		Node:  int32(node),
+		Worm:  w.ID,
+		Txn:   w.TxnID,
+		A:     a,
+		B:     b,
+		Label: label,
+	})
+}
+
+// hasFree reports whether an acquire would be granted immediately; used
+// only by the tracing hooks to decide whether to record a block/grant
+// pair.
+func (s *vcSet) hasFree() bool {
+	for _, c := range s.chans {
+		if !c.busy {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *consumptionPool) hasFree() bool { return p.inUse < p.total }

@@ -50,6 +50,10 @@ type Engine struct {
 	// a schedule-perturbation tester in the spirit of protocol
 	// verification: models must not depend on tie-breaking.
 	chaos *RNG
+	// probe, when set, observes every fired event (after the clock
+	// advances, before the callback runs). Observational only: a probe
+	// must not schedule events, so probed runs replay identically.
+	probe func(at Time, fired uint64, pending int)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -116,6 +120,14 @@ func (e *Engine) Cancel(ev *Event) {
 // Halt stops Run/RunUntil after the event currently executing returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// SetProbe installs fn as the engine's event observer: it is called once
+// per fired event with the fire time, the running fired count, and the
+// queue depth, before the event's callback executes. A nil fn (the
+// default) disables probing at the cost of one pointer comparison per
+// event. Probes are for tracing and profiling only — they must never
+// schedule or cancel events.
+func (e *Engine) SetProbe(fn func(at Time, fired uint64, pending int)) { e.probe = fn }
+
 // Step executes the single earliest pending event. It returns false when the
 // queue is empty.
 func (e *Engine) Step() bool {
@@ -130,6 +142,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		ev.fired = true
 		e.fired++
+		if e.probe != nil {
+			e.probe(e.now, e.fired, len(e.queue))
+		}
 		ev.fn()
 		return true
 	}

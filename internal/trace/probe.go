@@ -1,0 +1,26 @@
+package trace
+
+import "repro/internal/sim"
+
+// EngineProbe returns a probe function for sim.Engine.SetProbe that
+// records a KindEngineQueue sample (A = pending events, B = events fired
+// so far) every `every` fired events. The samples render as a counter
+// track in the Perfetto export, showing simulation event-queue pressure
+// over virtual time.
+//
+// Like every hook, the probe only records: it cannot perturb the engine's
+// schedule, so probed and unprobed runs are cycle-identical.
+func (r *Recorder) EngineProbe(every uint64) func(at sim.Time, fired uint64, pending int) {
+	if every == 0 {
+		every = 1
+	}
+	var countdown uint64
+	return func(at sim.Time, fired uint64, pending int) {
+		if countdown > 0 {
+			countdown--
+			return
+		}
+		countdown = every - 1
+		r.Emit(Event{At: at, Kind: KindEngineQueue, Node: -1, A: uint64(pending), B: fired})
+	}
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestKindNamesCoverAllKinds(t *testing.T) {
+	if len(kindNames) != int(numKinds) {
+		t.Fatalf("kindNames has %d entries, %d kinds defined", len(kindNames), int(numKinds))
+	}
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		n := k.String()
+		if n == "" || n == "kind(?)" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate kind name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBlockReasonNames(t *testing.T) {
+	for _, f := range []uint8{BlockInjection, BlockLink, BlockCons, BlockIAck, BlockGather, BlockStall} {
+		if BlockReason(f) == "?" {
+			t.Fatalf("flag %d unnamed", f)
+		}
+	}
+	if BlockReason(FlagHit) != "?" {
+		t.Fatal("non-block flag got a block name")
+	}
+}
+
+func TestRecorderCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1024}, {1, 1024}, {1024, 1024}, {1025, 2048}, {5000, 8192},
+	} {
+		if got := NewRecorder(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRecorder(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRecorderWrapAround(t *testing.T) {
+	r := NewRecorder(1024)
+	for i := 0; i < 1536; i++ {
+		r.Emit(Event{At: sim.Time(i), Kind: KindOpIssue, Txn: uint64(i)})
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("Len = %d, want 1024", r.Len())
+	}
+	if r.Dropped() != 512 {
+		t.Fatalf("Dropped = %d, want 512", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 1024 {
+		t.Fatalf("Events returned %d, want 1024", len(evs))
+	}
+	// Oldest retained event is #512; order must be emission order.
+	for i, ev := range evs {
+		if ev.Txn != uint64(512+i) {
+			t.Fatalf("event %d has txn %d, want %d", i, ev.Txn, 512+i)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(1024)
+	ev := Event{At: 7, Kind: KindMsgSend, Node: 3, Worm: 9, Label: LabelReadReq}
+	if allocs := testing.AllocsPerRun(1000, func() { r.Emit(ev) }); allocs != 0 {
+		t.Fatalf("Emit allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := &File{
+		Version: FileVersion, Width: 8, Height: 8, Scheme: "MI-MA-ec",
+		Workload: "inval", D: 4, Trials: 2, Seed: 1, Dropped: 3,
+		Events: []Event{
+			{At: 1, Kind: KindOpIssue, Node: 2, Txn: 1, Block: 72},
+			{At: 9, Kind: KindMsgSend, Node: 2, Worm: 1, B: 1, Label: LabelReadReq},
+			{At: 40, Kind: KindOpDone, Node: 2, Txn: 1, Block: 72},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != f.Scheme || got.D != f.D || got.Dropped != f.Dropped ||
+		len(got.Events) != len(f.Events) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range f.Events {
+		if got.Events[i] != f.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], f.Events[i])
+		}
+	}
+}
+
+func TestFileRejectsUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&File{Version: 99}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(&buf); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+}
+
+func TestOccupancyPairsHoldsAndKills(t *testing.T) {
+	events := []Event{
+		// Worm 1 holds link 0->1 vn0 for [10, 30], then 1->2 for [20, 36].
+		{At: 10, Kind: KindWormHold, Node: 1, Worm: 1, A: 1, B: 0},
+		{At: 20, Kind: KindWormHold, Node: 2, Worm: 1, A: 2, B: 1},
+		{At: 30, Kind: KindWormRelease, Node: 1, Worm: 1, A: 1, B: 0},
+		{At: 36, Kind: KindWormRelease, Node: 2, Worm: 1, A: 2, B: 1},
+		// Worm 2 holds 0->1 from 40 and is killed at 50: charged 10.
+		{At: 40, Kind: KindWormHold, Node: 1, Worm: 2, A: 1, B: 0},
+		{At: 50, Kind: KindWormKill, Node: 1, Worm: 2, A: 1},
+		// Server busy [0, 24] on node 0.
+		{At: 0, Kind: KindServerBusy, Node: 0, A: 0, B: 24},
+	}
+	p := Occupancy(events)
+	if p.Horizon != 50 {
+		t.Fatalf("horizon = %d, want 50", p.Horizon)
+	}
+	if len(p.Links) != 2 {
+		t.Fatalf("links = %d, want 2: %+v", len(p.Links), p.Links)
+	}
+	l01 := p.Links[0]
+	if l01.From != 0 || l01.To != 1 || l01.Busy != 30 || l01.Holds != 2 {
+		t.Fatalf("link 0->1: %+v, want busy 30 over 2 holds", l01)
+	}
+	l12 := p.Links[1]
+	if l12.From != 1 || l12.To != 2 || l12.Busy != 16 || l12.Holds != 1 {
+		t.Fatalf("link 1->2: %+v, want busy 16 over 1 hold", l12)
+	}
+	if len(p.Nodes) != 1 || p.Nodes[0].Busy != 24 || p.Nodes[0].Tasks != 1 {
+		t.Fatalf("nodes: %+v", p.Nodes)
+	}
+	if p.OpenHolds != 0 {
+		t.Fatalf("open holds = %d, want 0 (kill closes)", p.OpenHolds)
+	}
+}
+
+func TestOccupancyChargesDanglingHoldsToHorizon(t *testing.T) {
+	events := []Event{
+		{At: 10, Kind: KindWormHold, Node: 1, Worm: 1, A: 1, B: 0},
+		{At: 100, Kind: KindEngineQueue, Node: -1, A: 5, B: 7},
+	}
+	p := Occupancy(events)
+	if p.OpenHolds != 1 {
+		t.Fatalf("open holds = %d, want 1", p.OpenHolds)
+	}
+	if len(p.Links) != 1 || p.Links[0].Busy != 90 {
+		t.Fatalf("dangling hold charged %+v, want busy 90", p.Links)
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	for _, tc := range []struct {
+		cost sim.Time
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {32, 5}, {1 << 20, HistBuckets - 1}} {
+		if got := histBucket(tc.cost); got != tc.want {
+			t.Errorf("histBucket(%d) = %d, want %d", tc.cost, got, tc.want)
+		}
+	}
+}
+
+func TestAnalyzeEmptyAndGarbage(t *testing.T) {
+	if a := Analyze(nil); len(a.Ops) != 0 || len(a.Txns) != 0 {
+		t.Fatal("empty recording produced reports")
+	}
+	// An op whose chain events were overwritten must still sum exactly via
+	// the unresolved tail.
+	events := []Event{
+		{At: 100, Kind: KindOpIssue, Node: 3, Txn: 42, Block: 7},
+		{At: 110, Kind: KindOpMiss, Node: 3, Txn: 42, Block: 7},
+		{At: 400, Kind: KindOpDone, Node: 3, Txn: 42, Block: 7},
+	}
+	a := Analyze(events)
+	if len(a.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(a.Ops))
+	}
+	op := a.Ops[0]
+	if op.Resolved {
+		t.Fatal("truncated chain reported as resolved")
+	}
+	if op.Sum() != op.Latency() || op.Latency() != 300 {
+		t.Fatalf("sum %d, latency %d: want both 300", op.Sum(), op.Latency())
+	}
+}
+
+func TestEngineProbeCountdown(t *testing.T) {
+	r := NewRecorder(1024)
+	probe := r.EngineProbe(3)
+	for i := 1; i <= 10; i++ {
+		probe(sim.Time(i), uint64(i), i*2)
+	}
+	// Samples on the first fire, then every third: fires 1, 4, 7, 10.
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("probe emitted %d samples over 10 fires at every=3, want 4", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind != KindEngineQueue || ev.Node != -1 {
+			t.Fatalf("bad probe event: %+v", ev)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/grouping"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // HotSpotConfig configures the concurrent-invalidation experiment: several
@@ -41,6 +42,9 @@ type HotSpotConfig struct {
 	BusyJitter sim.Time
 	// Seed controls placement (default 1).
 	Seed uint64
+	// Recorder, when non-nil, attaches cycle-level event tracing to the
+	// machine; results are identical to an untraced run.
+	Recorder *trace.Recorder
 	// Tune adjusts machine parameters before construction.
 	Tune func(*coherence.Params)
 }
@@ -73,6 +77,9 @@ func RunHotSpot(cfg HotSpotConfig) HotSpotResult {
 		cfg.Tune(&p)
 	}
 	m := coherence.NewMachine(p)
+	if cfg.Recorder != nil {
+		m.AttachTrace(cfg.Recorder)
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	center := m.Mesh.ID(topology.Coord{X: cfg.K / 2, Y: cfg.K / 2})
 
@@ -128,7 +135,13 @@ func RunHotSpot(cfg HotSpotConfig) HotSpotResult {
 		}
 	}
 
-	// Burst phase: all writers issue at the same cycle.
+	// Burst phase: all writers issue at the same cycle. A recording covers
+	// only the burst — the cold phase is setup, not measurement — so drop
+	// the warm-up events; the fabric is quiesced here, so no hold or span
+	// is cut mid-flight.
+	if cfg.Recorder != nil {
+		cfg.Recorder.Reset()
+	}
 	if cfg.BusyJitter > 0 {
 		busy := map[topology.NodeID]bool{}
 		all := common

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Pattern selects how sharers are placed around the home node.
@@ -73,6 +74,10 @@ type InvalConfig struct {
 	// retries with default settings) plus the liveness watchdog. Nil runs
 	// the fault-free simulator untouched.
 	Faults *faults.Config
+	// Recorder, when non-nil, attaches cycle-level event tracing to the
+	// machine. Recording is observational only: a traced run produces
+	// results identical to an untraced one.
+	Recorder *trace.Recorder
 	// Tune, when set, adjusts the machine parameters before construction.
 	Tune func(*coherence.Params)
 	// Interrupt, when set, is polled before each trial; returning true stops
@@ -133,6 +138,9 @@ func RunInval(cfg InvalConfig) InvalResult {
 		cfg.Tune(&p)
 	}
 	m := coherence.NewMachine(p)
+	if cfg.Recorder != nil {
+		m.AttachTrace(cfg.Recorder)
+	}
 	if cfg.ChaosSeed != 0 {
 		m.Engine.Chaos(cfg.ChaosSeed)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/grouping"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // MissKind enumerates the memory operation latencies of the paper's
@@ -62,7 +63,18 @@ var AllMissKinds = []MissKind{
 // MeasureMiss builds a fresh machine, arranges the scenario for kind, and
 // returns the measured processor-visible latency in cycles.
 func MeasureMiss(p coherence.Params, kind MissKind) sim.Time {
+	return MeasureMissTraced(p, kind, nil)
+}
+
+// MeasureMissTraced is MeasureMiss with cycle-level event tracing attached
+// (rec may be nil). The recording covers the scenario's warm-up operations
+// as well as the measured one; the measured op is always the last retired
+// operation in the trace. Tracing never perturbs the measurement.
+func MeasureMissTraced(p coherence.Params, kind MissKind, rec *trace.Recorder) sim.Time {
 	m := coherence.NewMachine(p)
+	if rec != nil {
+		m.AttachTrace(rec)
+	}
 	k := p.MeshSize
 	requester := m.Mesh.ID(topology.Coord{X: 1, Y: 1})
 	// Block homed at node 0 = (0,0); adjust per scenario.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/grouping"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func TestRunInvalBasic(t *testing.T) {
@@ -150,6 +151,40 @@ func TestReadMissBreakdownSumsToMeasured(t *testing.T) {
 	measured := MeasureMiss(p, ReadMissNeighborClean)
 	if total != measured {
 		t.Fatalf("breakdown sum %d != measured %d", total, measured)
+	}
+
+	// Golden cross-check: the trace-derived critical path of the same miss
+	// must reproduce the hand-derived Table 5 components cycle-for-cycle —
+	// the analyzer walking real recorded events has to land on exactly the
+	// numbers the analytic model predicts, component by component.
+	rec := trace.NewRecorder(4096)
+	traced := MeasureMissTraced(p, ReadMissNeighborClean, rec)
+	if traced != measured {
+		t.Fatalf("traced run measured %d cycles, untraced %d", traced, measured)
+	}
+	a := trace.Analyze(rec.Events())
+	if len(a.Ops) != 1 {
+		t.Fatalf("analyzer found %d ops, want 1", len(a.Ops))
+	}
+	op := a.Ops[0]
+	if !op.Resolved {
+		t.Fatalf("critical path unresolved: %+v", op.Segments)
+	}
+	if op.Latency() != measured {
+		t.Fatalf("trace latency %d != measured %d", op.Latency(), measured)
+	}
+	if len(op.Segments) != len(rows) {
+		t.Fatalf("trace segments = %d, hand-derived rows = %d (%+v)",
+			len(op.Segments), len(rows), op.Segments)
+	}
+	for i, row := range rows {
+		if got := op.Segments[i].Cycles(); got != row.Cycles {
+			t.Errorf("component %d: trace %q = %d cycles, hand-derived %q = %d",
+				i, op.Segments[i].Component, got, row.Component, row.Cycles)
+		}
+	}
+	if op.Sum() != op.Latency() {
+		t.Fatalf("attribution sum %d != latency %d", op.Sum(), op.Latency())
 	}
 }
 
