@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-json sweep
+# Per-target budget for the native fuzzing smoke pass (see `fuzz` below).
+FUZZTIME ?= 10s
+
+# Coverage-ratchet floors (percent of statements) for the protocol core and
+# its correctness oracle. Raise a floor when coverage improves; lowering one
+# needs a written justification in the PR.
+COV_FLOOR_COHERENCE := 85
+COV_FLOOR_ORACLE := 85
+
+.PHONY: all build test race vet lint check bench bench-json sweep oracle fuzz cover
 
 all: check
 
@@ -28,7 +37,39 @@ lint:
 	$(GO) run ./cmd/simcheck ./...
 	$(GO) run ./cmd/simcheck -cdg -mesh 8
 
-check: vet lint build test race
+# oracle runs the protocol-correctness oracles end to end: the exhaustive
+# model checker over every scheme at the 2x2/2-block configuration, then a
+# seeded-mutation run (dropped ack dedup) that MUST print a counterexample
+# and exit nonzero — proving the checker still has teeth.
+oracle:
+	$(GO) run ./cmd/oracle -model -scheme all
+	@echo "oracle: checking the seeded mutation is still caught..."
+	@if $(GO) run ./cmd/oracle -model -scheme UI-UA -timeouts 1 -mutate count-acks > /dev/null 2>&1; then \
+		echo "oracle: seeded count-acks mutation was NOT caught" >&2; exit 1; \
+	else echo "oracle: seeded mutation caught (counterexample produced)"; fi
+
+# fuzz gives each native fuzz target a FUZZTIME budget of coverage-guided
+# exploration on top of the checked-in seed corpus (which plain `go test`
+# already replays on every run).
+fuzz:
+	$(GO) test ./internal/oracle -run='^$$' -fuzz='^FuzzProtocol$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/oracle -run='^$$' -fuzz='^FuzzProtocolFaults$$' -fuzztime=$(FUZZTIME)
+
+# cover enforces the coverage ratchet on the protocol core and the oracle.
+cover:
+	$(GO) test -coverprofile=cover_coherence.out ./internal/coherence/
+	$(GO) test -coverprofile=cover_oracle.out ./internal/oracle/
+	@for pkg in coherence:$(COV_FLOOR_COHERENCE) oracle:$(COV_FLOOR_ORACLE); do \
+		name=$${pkg%%:*}; floor=$${pkg##*:}; \
+		pct=$$($(GO) tool cover -func=cover_$$name.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		ok=$$(awk -v p=$$pct -v f=$$floor 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		echo "coverage internal/$$name: $$pct% (floor $$floor%)"; \
+		if [ "$$ok" != 1 ]; then \
+			echo "coverage ratchet: internal/$$name fell below $$floor%" >&2; exit 1; \
+		fi; \
+	done
+
+check: vet lint build test race oracle fuzz
 
 # bench-json writes BENCH_sim.json: simulated-cycles and trace-events per
 # wall-second over a calibrated invalidation run, plus the E1 miss

@@ -1,0 +1,208 @@
+// Command oracle drives the protocol-correctness oracles from the command
+// line: the exhaustive small-configuration model checker, and replay /
+// minimization of fuzzer-found workload inputs against the full-machine
+// harness.
+//
+// Usage:
+//
+//	oracle -model -scheme all -w 2 -h 2 -blocks 2
+//	oracle -model -scheme UI-UA -timeouts 1 -drops 1
+//	oracle -model -scheme UI-UA -timeouts 1 -mutate count-acks
+//	oracle -replay testdata/fuzz/FuzzProtocolFaults/xyz -faults
+//	oracle -minimize crash-input -faults -o crash-min
+//
+// Replay inputs are Go fuzz corpus files ("go test fuzz v1" format) or raw
+// byte files. The exit status is nonzero when any oracle reports a
+// violation, and all output is deterministic for fixed flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/grouping"
+	"repro/internal/oracle"
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oracle: ")
+	var (
+		model    = flag.Bool("model", false, "run the exhaustive model checker")
+		scheme   = flag.String("scheme", "all", "scheme to check: all or one scheme name")
+		width    = flag.Int("w", 2, "mesh width (model)")
+		height   = flag.Int("h", 2, "mesh height (model)")
+		blocks   = flag.Int("blocks", 2, "blocks (model, 1-2)")
+		ops      = flag.Int("ops", 1, "operations per node (model, 1-3)")
+		timeouts = flag.Int("timeouts", 0, "spurious-timeout budget (model)")
+		drops    = flag.Int("drops", 0, "message-drop budget (model; needs -timeouts)")
+		mutate   = flag.String("mutate", "none", "seeded bug: none|count-acks|skip-invalidate")
+		states   = flag.Int("maxstates", 0, "state-count abort threshold (0 = default)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for -scheme all (0 = all cores)")
+		replay   = flag.String("replay", "", "replay this fuzz input through the harness")
+		minimize = flag.String("minimize", "", "minimize this failing fuzz input")
+		faults   = flag.Bool("faults", false, "decode replay/minimize input with the fault plan armed")
+		out      = flag.String("o", "", "write the minimized input to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *model:
+		mut, err := oracle.ParseMutation(*mutate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := oracle.ModelConfig{
+			Width: *width, Height: *height, Blocks: *blocks, OpsPerNode: *ops,
+			MaxTimeouts: *timeouts, MaxDrops: *drops, Mutation: mut, MaxStates: *states,
+		}
+		schemes := grouping.AllSchemes
+		if *scheme != "all" {
+			s, err := grouping.Parse(*scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			schemes = []grouping.Scheme{s}
+		}
+		if !runModel(base, schemes, *parallel) {
+			os.Exit(1)
+		}
+	case *replay != "":
+		res, err := runInput(*replay, *faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report())
+		if !res.OK() {
+			os.Exit(1)
+		}
+	case *minimize != "":
+		if err := runMinimize(*minimize, *faults, *out); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runModel explores every scheme (fanned out over workers, reported in
+// scheme order) and returns whether all passed.
+func runModel(base oracle.ModelConfig, schemes []grouping.Scheme, parallel int) bool {
+	type outcome struct {
+		res *oracle.ModelResult
+		err error
+	}
+	results := make([]outcome, len(schemes))
+	sweep.Each(parallel, len(schemes), func(i int) {
+		cfg := base
+		cfg.Scheme = schemes[i]
+		res, err := oracle.Explore(cfg)
+		results[i] = outcome{res, err}
+	})
+	ok := true
+	for i, r := range results {
+		if r.err != nil {
+			fmt.Printf("model %v: error: %v\n", schemes[i], r.err)
+			ok = false
+			continue
+		}
+		fmt.Print(r.res.Report())
+		if !r.res.OK() {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// runInput loads a corpus file and runs it through the harness.
+func runInput(path string, faults bool) (*oracle.RunResult, error) {
+	data, err := loadInput(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := oracle.DecodeRunConfig(data, faults)
+	if err != nil {
+		return nil, err
+	}
+	return oracle.Run(cfg)
+}
+
+// runMinimize greedily shrinks a failing input while it keeps failing:
+// first truncating trailing op pairs, then zeroing bytes left to right.
+func runMinimize(path string, faults bool, out string) error {
+	data, err := loadInput(path)
+	if err != nil {
+		return err
+	}
+	fails := func(d []byte) (failed bool) {
+		defer func() {
+			if recover() != nil {
+				failed = true
+			}
+		}()
+		cfg, err := oracle.DecodeRunConfig(d, faults)
+		if err != nil {
+			return false
+		}
+		res, err := oracle.Run(cfg)
+		return err != nil || !res.OK()
+	}
+	if !fails(data) {
+		return fmt.Errorf("input %s does not fail; nothing to minimize", path)
+	}
+	for len(data) > 8 {
+		cut := data[:len(data)-2]
+		if !fails(cut) {
+			break
+		}
+		data = cut
+	}
+	for i := range data {
+		if data[i] == 0 {
+			continue
+		}
+		try := append([]byte(nil), data...)
+		try[i] = 0
+		if fails(try) {
+			data = try
+		}
+	}
+	fmt.Printf("minimized to %d bytes: %q\n", len(data), data)
+	if out == "" {
+		return nil
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+	return os.WriteFile(out, []byte(body), 0o644)
+}
+
+// loadInput reads a fuzz input: the Go corpus-file format ("go test fuzz
+// v1" header with one []byte literal), or any other file taken as raw
+// bytes.
+func loadInput(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return raw, nil
+	}
+	for _, ln := range lines[1:] {
+		ln = strings.TrimSpace(ln)
+		if !strings.HasPrefix(ln, "[]byte(") || !strings.HasSuffix(ln, ")") {
+			continue
+		}
+		s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(ln, "[]byte("), ")"))
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad []byte literal: %v", path, err)
+		}
+		return []byte(s), nil
+	}
+	return nil, fmt.Errorf("%s: corpus file holds no []byte literal", path)
+}

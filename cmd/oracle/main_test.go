@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadInputCorpusFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "input")
+	want := []byte("0002\x00\xff73")
+	body := "go test fuzz v1\n[]byte(\"0002\\x00\\xff73\")\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadInput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("decoded %q, want %q", got, want)
+	}
+}
+
+func TestLoadInputRaw(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "raw")
+	want := []byte{1, 2, 3, 0xfe}
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadInput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+func TestLoadInputBadLiteral(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad")
+	if err := os.WriteFile(path, []byte("go test fuzz v1\n[]byte(oops)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadInput(path); err == nil {
+		t.Fatal("malformed corpus file accepted")
+	}
+}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -98,10 +99,10 @@ func main() {
 		fmt.Printf("wrote Perfetto timeline to %s\n", *perfetto)
 	}
 	if *topK > 0 {
-		printTop(file.Events, *topK)
+		printTop(os.Stdout, file.Events, *topK)
 	}
 	if *occ {
-		printOccupancy(file.Events)
+		printOccupancy(os.Stdout, file.Events)
 	}
 }
 
@@ -161,13 +162,13 @@ func record(wl string, k, d int, scheme, pattern string, trials, writers, kind i
 
 // printTop prints the K highest-latency operations with their critical-path
 // attribution.
-func printTop(events []trace.Event, k int) {
+func printTop(w io.Writer, events []trace.Event, k int) {
 	a := trace.Analyze(events)
 	if len(a.Ops) == 0 {
-		fmt.Println("no completed operations in the recording")
+		fmt.Fprintln(w, "no completed operations in the recording")
 		return
 	}
-	fmt.Printf("\n%d operations, %d invalidation transactions analyzed; top %d by latency:\n",
+	fmt.Fprintf(w, "\n%d operations, %d invalidation transactions analyzed; top %d by latency:\n",
 		len(a.Ops), len(a.Txns), k)
 	for _, op := range a.TopOps(k) {
 		kindStr := "read"
@@ -178,37 +179,37 @@ func printTop(events []trace.Event, k int) {
 		if !op.Resolved {
 			status = "  [chain partially unresolved]"
 		}
-		fmt.Printf("\nop %d: %s node %d block %d: %d cycles (issue @%d)%s\n",
+		fmt.Fprintf(w, "\nop %d: %s node %d block %d: %d cycles (issue @%d)%s\n",
 			op.Tok, kindStr, op.Node, op.Block, op.Latency(), op.Issue, status)
 		for _, seg := range op.Segments {
-			fmt.Printf("  %-36s %6d cycles\n", seg.Component, seg.Cycles())
+			fmt.Fprintf(w, "  %-36s %6d cycles\n", seg.Component, seg.Cycles())
 		}
 		if op.Sum() != op.Latency() {
 			// Unreachable by construction; loud if it ever regresses.
-			fmt.Printf("  !! attribution sum %d != latency %d\n", op.Sum(), op.Latency())
+			fmt.Fprintf(w, "  !! attribution sum %d != latency %d\n", op.Sum(), op.Latency())
 		}
 	}
 }
 
 // printOccupancy prints the profile: the busiest nodes and links.
-func printOccupancy(events []trace.Event) {
+func printOccupancy(w io.Writer, events []trace.Event) {
 	p := trace.Occupancy(events)
-	fmt.Printf("\noccupancy profile: horizon %d cycles, %d nodes, %d channels\n",
+	fmt.Fprintf(w, "\noccupancy profile: horizon %d cycles, %d nodes, %d channels\n",
 		p.Horizon, len(p.Nodes), len(p.Links))
-	fmt.Println("busiest protocol controllers:")
+	fmt.Fprintln(w, "busiest protocol controllers:")
 	shown := 0
 	for _, n := range topNodes(p) {
-		fmt.Printf("  node %-4d busy %7d cycles (%4.1f%%), %d tasks, max task %d\n",
+		fmt.Fprintf(w, "  node %-4d busy %7d cycles (%4.1f%%), %d tasks, max task %d\n",
 			n.Node, n.Busy, 100*p.NodeShare(n), n.Tasks, n.MaxTask)
 		shown++
 		if shown == 5 {
 			break
 		}
 	}
-	fmt.Println("busiest mesh links:")
+	fmt.Fprintln(w, "busiest mesh links:")
 	shown = 0
 	for _, l := range topLinks(p) {
-		fmt.Printf("  %3d->%-3d vn%d busy %7d cycles (%4.1f%%), %d holds\n",
+		fmt.Fprintf(w, "  %3d->%-3d vn%d busy %7d cycles (%4.1f%%), %d holds\n",
 			l.From, l.To, l.VN, l.Busy, 100*p.Util(l), l.Holds)
 		shown++
 		if shown == 5 {
@@ -216,7 +217,7 @@ func printOccupancy(events []trace.Event) {
 		}
 	}
 	if p.OpenHolds > 0 || p.Reopened > 0 {
-		fmt.Printf("  (%d holds never closed, %d reopened: ring wrap-around)\n",
+		fmt.Fprintf(w, "  (%d holds never closed, %d reopened: ring wrap-around)\n",
 			p.OpenHolds, p.Reopened)
 	}
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grouping"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// recordMiss records the deterministic Table-4 miss scenario used by the
+// golden tests: a single fully-reproducible run, so the printed analysis is
+// byte-stable.
+func recordMiss(t *testing.T, kind int) []trace.Event {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 16)
+	mk := workload.AllMissKinds[kind]
+	s, err := grouping.Parse("MI-MA-ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.DefaultMicroParams(s)
+	workload.MeasureMissTraced(p, mk, rec)
+	if rec.Dropped() > 0 {
+		t.Fatalf("ring wrapped: %d events dropped", rec.Dropped())
+	}
+	return rec.Events()
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/wormtrace -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestPrintTopGolden pins the critical-path report format against a
+// deterministic miss-scenario recording.
+func TestPrintTopGolden(t *testing.T) {
+	events := recordMiss(t, 2)
+	var buf bytes.Buffer
+	printTop(&buf, events, 3)
+	checkGolden(t, "miss2_top.golden", buf.Bytes())
+}
+
+// TestPrintOccupancyGolden pins the occupancy-profile report format on the
+// same recording.
+func TestPrintOccupancyGolden(t *testing.T) {
+	events := recordMiss(t, 2)
+	var buf bytes.Buffer
+	printOccupancy(&buf, events)
+	checkGolden(t, "miss2_occupancy.golden", buf.Bytes())
+}
+
+// TestPrintTopEmpty pins the no-operations fallback line.
+func TestPrintTopEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	printTop(&buf, nil, 3)
+	if got := buf.String(); got != "no completed operations in the recording\n" {
+		t.Fatalf("empty-recording output = %q", got)
+	}
+}

@@ -70,6 +70,7 @@ var simCorePackages = map[string]bool{
 	"repro/internal/grouping":    true,
 	"repro/internal/trace":       true,
 	"repro/internal/apps":        true,
+	"repro/internal/oracle":      true,
 }
 
 // DefaultSimCore reports whether an import path is a simulator-core package

@@ -126,14 +126,24 @@ func TestAPSPSharingExceedsLU(t *testing.T) {
 }
 
 func TestSchemesAgreeOnWorkAmount(t *testing.T) {
-	// The invalidation transaction count is workload property, not a
-	// scheme property.
+	// The invalidation transaction count is a workload property, not a
+	// scheme property — up to request serialization order at the home.
+	// Whether a reader's request arrives just before a racing write
+	// (joining its sharer set, ending uncached, re-missing later) or
+	// queues just behind it (served afresh afterward, hitting later)
+	// depends on network timing, which the scheme shapes; no correct
+	// protocol can hide that fork. Exact cross-scheme equality only held
+	// while raced fills installed untracked stale copies — a safety bug
+	// the model checker rejects — so the counts are pinned to a tight
+	// band rather than to equality.
+	const tolerance = 2
 	w := smallAPSP()
 	base := runApp(t, w, grouping.UIUA, 4)
 	for _, s := range []grouping.Scheme{grouping.MIUAEC, grouping.MIMAEC, grouping.MIMATM} {
 		res := runApp(t, w, s, 4)
-		if res.Invals != base.Invals {
-			t.Fatalf("%v: %d invals, UIUA had %d", s, res.Invals, base.Invals)
+		if d := res.Invals - base.Invals; d < -tolerance || d > tolerance {
+			t.Fatalf("%v: %d invals, UIUA had %d (tolerance %d)",
+				s, res.Invals, base.Invals, tolerance)
 		}
 	}
 }
@@ -219,8 +229,15 @@ func TestReleaseConsistencyFasterThanSC(t *testing.T) {
 	if rc.Time >= sc.Time {
 		t.Fatalf("RC time %d not below SC time %d", rc.Time, sc.Time)
 	}
-	if rc.Invals != sc.Invals {
-		t.Fatalf("RC invals %d != SC invals %d (same workload)", rc.Invals, sc.Invals)
+	// Same workload, so the invalidation work matches up to the
+	// request-serialization races at the home (see
+	// TestSchemesAgreeOnWorkAmount): RC's overlapped writes shift request
+	// timing, which can flip whether a racing reader lands in a write's
+	// sharer snapshot or just behind it.
+	const tolerance = 2
+	if d := rc.Invals - sc.Invals; d < -tolerance || d > tolerance {
+		t.Fatalf("RC invals %d vs SC invals %d exceeds tolerance %d",
+			rc.Invals, sc.Invals, tolerance)
 	}
 }
 

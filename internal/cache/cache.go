@@ -54,6 +54,18 @@ type Cache struct {
 	lines    map[directory.BlockID]*line
 	clock    uint64
 	stats    Stats
+
+	// OnChange, when non-nil, observes every line-state transition: fills,
+	// invalidations, downgrades and evictions. Observers must not call back
+	// into the cache. The correctness oracle uses this hook to shadow the
+	// value each node would read from each block.
+	OnChange func(b directory.BlockID, from, to LineState)
+}
+
+func (c *Cache) notify(b directory.BlockID, from, to LineState) {
+	if c.OnChange != nil {
+		c.OnChange(b, from, to)
+	}
 }
 
 // New returns a cache holding up to capacity lines (0 = unbounded).
@@ -99,16 +111,20 @@ func (c *Cache) Fill(b directory.BlockID, s LineState) (victim directory.BlockID
 	}
 	c.clock++
 	if l, ok := c.lines[b]; ok {
+		prev := l.state
 		l.state = s
 		l.lru = c.clock
+		c.notify(b, prev, s)
 		return 0, Invalid, false
 	}
 	if c.capacity > 0 && c.validCount() >= c.capacity {
 		victim, victimState = c.evictLRU()
 		evicted = true
 		c.stats.Evictions++
+		c.notify(victim, victimState, Invalid)
 	}
 	c.lines[b] = &line{state: s, lru: c.clock}
+	c.notify(b, Invalid, s)
 	return victim, victimState, evicted
 }
 
@@ -123,6 +139,7 @@ func (c *Cache) Invalidate(b directory.BlockID) LineState {
 	prev := l.state
 	delete(c.lines, b)
 	c.stats.Invalidates++
+	c.notify(b, prev, Invalid)
 	return prev
 }
 
@@ -134,6 +151,7 @@ func (c *Cache) Downgrade(b directory.BlockID) {
 		panic("cache: Downgrade of non-modified line")
 	}
 	l.state = SharedLine
+	c.notify(b, ModifiedLine, SharedLine)
 }
 
 // Stats returns a copy of the event tallies.

@@ -197,3 +197,45 @@ func TestLineStateStrings(t *testing.T) {
 		t.Error("line state names wrong")
 	}
 }
+
+// TestOnChangeObservesEveryTransition pins the observer hook the verification
+// harness builds its shadow memory on: every fill, upgrade, eviction,
+// invalidation, and downgrade fires exactly one callback with the correct
+// from/to pair, and no-op operations stay silent.
+func TestOnChangeObservesEveryTransition(t *testing.T) {
+	type change struct {
+		b        directory.BlockID
+		from, to LineState
+	}
+	var log []change
+	c := New(2)
+	c.OnChange = func(b directory.BlockID, from, to LineState) {
+		log = append(log, change{b, from, to})
+	}
+	c.Fill(1, SharedLine)   // install
+	c.Fill(1, ModifiedLine) // upgrade
+	c.Fill(2, SharedLine)   // install
+	c.Fill(3, SharedLine)   // evicts block 1 (LRU: last touched before 2), installs 3
+	c.Invalidate(2)         // drop the shared line
+	c.Invalidate(2)         // no-op: already gone
+	c.Fill(4, ModifiedLine) // install
+	c.Downgrade(4)          // M -> S
+	want := []change{
+		{1, Invalid, SharedLine},
+		{1, SharedLine, ModifiedLine},
+		{2, Invalid, SharedLine},
+		{1, ModifiedLine, Invalid}, // eviction of the dirty LRU victim
+		{3, Invalid, SharedLine},
+		{2, SharedLine, Invalid},
+		{4, Invalid, ModifiedLine},
+		{4, ModifiedLine, SharedLine},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("observed %d transitions, want %d: %+v", len(log), len(want), log)
+	}
+	for i, w := range want {
+		if log[i] != w {
+			t.Fatalf("transition %d: got %+v, want %+v", i, log[i], w)
+		}
+	}
+}

@@ -118,7 +118,8 @@ func (m *Machine) recvForward(n topology.NodeID, pm *msg, final bool) {
 			victim, vs, evicted := m.caches[n].Fill(pm.block, cache.SharedLine)
 			if evicted && vs == cache.ModifiedLine {
 				m.server(n).do(m.Params.SendOccupancy, func() {
-					m.send(writeback, n, m.Home(victim), &msg{typ: writeback, block: victim, from: n})
+					m.send(writeback, n, m.Home(victim),
+						&msg{typ: writeback, block: victim, from: n, ownGen: m.ownGenOf(n, victim)})
 				})
 			}
 		}

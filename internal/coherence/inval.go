@@ -196,7 +196,7 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 	}
 	if homeCopy {
 		txn.pendingAcks++
-		m.server(home).do(m.Params.CacheInvalidate, func() {
+		homeInval := func() {
 			if !txn.update {
 				m.caches[home].Invalidate(b)
 			}
@@ -205,6 +205,30 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 				return
 			}
 			txn.ackArrived(m)
+		}
+		m.server(home).do(m.Params.CacheInvalidate, func() {
+			if op := m.op(home, b); op != nil && !op.write {
+				// The home's own fill for this block is still in flight. If
+				// the presence bit proves the self-directed read was served
+				// (directory-targeted case), defer the local invalidation
+				// until the fill lands, exactly as sharerInval does for
+				// remote sharers. Under broadcast/coarse targeting — or
+				// whenever presence bits can go stale under a pending miss
+				// (see deferSafe) — the home may be uncached with its read
+				// still queued behind this very transaction; squash the
+				// miss instead.
+				if !txn.broadcast && m.deferSafe() {
+					op.afterFill = append(op.afterFill, homeInval)
+					return
+				}
+				if !op.squashed {
+					op.squashed = true
+					if m.OnSquash != nil {
+						m.OnSquash(home, b)
+					}
+				}
+			}
+			homeInval()
 		})
 	}
 	if treeParticipants != nil {

@@ -101,3 +101,65 @@ func TestRandomizedSoakWithInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestRelaxedInvariantsMidFlight drives concurrent writers into the racy
+// window and checks the relaxed invariants at every engine step: they must
+// hold at each instant of a correct execution, with worms in flight and
+// entries transiently Waiting (where the strict mode refuses to run at
+// all).
+func TestRelaxedInvariantsMidFlight(t *testing.T) {
+	m := newM(t, 4, grouping.MIMAEC)
+	const b = 5
+	for _, c := range []topology.Coord{{X: 0, Y: 0}, {X: 3, Y: 3}, {X: 1, Y: 2}} {
+		doOp(t, m, false, m.Mesh.ID(c), b)
+	}
+	done := 0
+	m.Write(nodeAt(m, 3, 0), b, func() { done++ })
+	m.Write(nodeAt(m, 0, 3), b, func() { done++ })
+	steps := 0
+	for m.Engine.Step() {
+		steps++
+		if err := m.CheckInvariantsMode(RelaxedInvariants); err != nil {
+			t.Fatalf("step %d: %v", steps, err)
+		}
+		if !m.Quiesced() {
+			if err := m.CheckInvariants(); err == nil {
+				t.Fatalf("step %d: strict mode accepted a non-quiesced machine", steps)
+			}
+		}
+	}
+	if done != 2 {
+		t.Fatalf("%d/2 writes completed", done)
+	}
+}
+
+// TestRelaxedInvariantsTolerateWaiting pins the mode split on rule 5: a
+// Waiting entry fails the strict check and passes the relaxed one.
+func TestRelaxedInvariantsTolerateWaiting(t *testing.T) {
+	m := newM(t, 4, grouping.UIUA)
+	doOp(t, m, false, nodeAt(m, 1, 1), 3)
+	m.DirEntry(3).State = directory.Waiting
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("strict mode accepted a Waiting entry at quiescence")
+	}
+	if err := m.CheckInvariantsMode(RelaxedInvariants); err != nil {
+		t.Fatalf("relaxed mode rejected a transient Waiting entry: %v", err)
+	}
+}
+
+// TestRelaxedInvariantsCatchViolations verifies the relaxed mode still
+// enforces the per-instant safety rules: a fabricated second writer and a
+// fabricated copy of an Exclusive block must both be reported.
+func TestRelaxedInvariantsCatchViolations(t *testing.T) {
+	m := newM(t, 4, grouping.UIUA)
+	doOp(t, m, true, nodeAt(m, 2, 2), 7)
+	m.caches[nodeAt(m, 0, 0)].Fill(7, cache.ModifiedLine)
+	if err := m.CheckInvariantsMode(RelaxedInvariants); err == nil {
+		t.Fatal("second Modified copy not detected in relaxed mode")
+	}
+	m.caches[nodeAt(m, 0, 0)].Invalidate(7)
+	m.caches[nodeAt(m, 1, 0)].Fill(7, cache.SharedLine)
+	if err := m.CheckInvariantsMode(RelaxedInvariants); err == nil {
+		t.Fatal("fabricated Shared copy of an Exclusive block not detected in relaxed mode")
+	}
+}

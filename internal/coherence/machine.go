@@ -37,11 +37,21 @@ type Machine struct {
 	// fwdLists holds each block's data-forwarding candidates (the victims
 	// of its last invalidation transaction).
 	fwdLists map[directory.BlockID][]topology.NodeID
+	// ownGens remembers, per (node, block), the ownership-grant generation
+	// the node's Modified copy was installed under, echoed on its dirty
+	// writeback so the home can discard stale writebacks.
+	ownGens map[ownKey]uint64
 	// tracer, when set, receives protocol TraceEvents.
 	tracer func(TraceEvent)
 	// Rec, when non-nil, receives cycle-stamped protocol events (op, msg,
 	// directory, and transaction milestones). Install with AttachTrace.
 	Rec *trace.Recorder
+	// OnSquash, when non-nil, is called the first time an outstanding read
+	// miss is squashed by a broadcast/coarse or retried invalidation (see
+	// pendingOp.squashed; directory-targeted invalidations defer past the
+	// fill instead and never squash). Purely observational — verification
+	// harnesses use it to learn which value a squashed load consumed.
+	OnSquash func(n topology.NodeID, b directory.BlockID)
 	// nextOpTok numbers traced operations; advanced only while recording.
 	nextOpTok uint64
 	// treeTable holds per-transaction unicast-tree contexts (UMC).

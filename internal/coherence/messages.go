@@ -102,4 +102,9 @@ type msg struct {
 	// the home-side trace events (directory lookup, reply) can be tied
 	// back to the operation. Zero when tracing is off or not applicable.
 	tok uint64
+	// ownGen is the directory entry's ownership-grant generation: stamped
+	// on exclusive grants (writeReply) and echoed by the owner's dirty
+	// writeback, so the home can discard a writeback that belongs to an
+	// earlier tenure of the same owner (see homeWriteback).
+	ownGen uint64
 }

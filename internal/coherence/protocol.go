@@ -25,6 +25,13 @@ type pendingOp struct {
 	// and must wait until the fill lands — the "window of vulnerability"
 	// closing of [23].
 	afterFill []func()
+	// squashed marks a read miss caught by a broadcast/coarse or retried
+	// invalidation while outstanding: the fill's data was serialized at
+	// the home before the invalidating write, so the load consumes it —
+	// ordered just before that write — but the line is not installed.
+	// Directory-targeted invalidations never squash; they defer through
+	// afterFill instead (see sharerInval).
+	squashed bool
 }
 
 // ops returns node n's table of outstanding operations keyed by block.
@@ -74,7 +81,12 @@ func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 		m.recOp(trace.KindOpIssue, 0, n, tok, b)
 	}
 	m.server(n).do(m.Params.CacheAccess, func() {
-		if m.caches[n].Lookup(b, false) {
+		if op := m.op(n, b); op != nil && op.write {
+			// Store-buffer forwarding: our own pending write holds the
+			// value. This must be checked before the cache: an upgrading
+			// write leaves the old Shared copy in place while buffered, and
+			// a read served from that line would see pre-write data —
+			// breaking same-location program order.
 			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
 			if m.Rec != nil {
 				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
@@ -82,9 +94,7 @@ func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 			done()
 			return
 		}
-		if op := m.op(n, b); op != nil && op.write {
-			// Store-buffer forwarding: our own pending write holds the
-			// value.
+		if m.caches[n].Lookup(b, false) {
 			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
 			if m.Rec != nil {
 				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
@@ -339,7 +349,8 @@ func (m *Machine) homeRead(home topology.NodeID, e *directory.Entry, pm *msg) {
 		m.homeOps(b).set(&homeOp{requester: requester, write: false, owner: e.Owner,
 			forwarded: m.Params.ReplyForwarding})
 		m.server(home).do(m.Params.SendOccupancy, func() {
-			m.send(fetchReq, home, e.Owner, &msg{typ: fetchReq, block: b, from: requester})
+			m.send(fetchReq, home, e.Owner,
+				&msg{typ: fetchReq, block: b, from: requester, ownGen: e.OwnGen})
 		})
 	default:
 		panic("coherence: homeRead in state " + e.State.String())
@@ -363,7 +374,9 @@ func (m *Machine) homeWrite(home topology.NodeID, e *directory.Entry, pm *msg) {
 			e.Sharers.Reset()
 			e.Overflow = false
 			m.clearCoarse(e)
-			m.send(writeReply, home, requester, &msg{typ: writeReply, block: b, from: requester})
+			e.OwnGen++
+			m.send(writeReply, home, requester,
+				&msg{typ: writeReply, block: b, from: requester, ownGen: e.OwnGen})
 			m.releaseBlock(b)
 		})
 	}
@@ -378,7 +391,8 @@ func (m *Machine) homeWrite(home topology.NodeID, e *directory.Entry, pm *msg) {
 		e.State = directory.Waiting
 		m.homeOps(b).set(&homeOp{requester: requester, write: true, owner: e.Owner})
 		m.server(home).do(m.Params.SendOccupancy, func() {
-			m.send(fetchInval, home, e.Owner, &msg{typ: fetchInval, block: b, from: requester})
+			m.send(fetchInval, home, e.Owner,
+				&msg{typ: fetchInval, block: b, from: requester, ownGen: e.OwnGen})
 		})
 	case directory.Shared:
 		m.startInval(home, e, b, requester, func() {
@@ -420,11 +434,78 @@ func (m *Machine) homeWriteUpdate(home topology.NodeID, e *directory.Entry, pm *
 	})
 }
 
+// deferSafe reports whether a directory-targeted invalidation may defer
+// past a pending read's fill (the afterFill remedy). The deferral rests
+// on one implication: node listed in the directory snapshot AND read op
+// pending ⟹ that read was served and its fill is in flight on the reply
+// network, so the deferred acknowledgment always unblocks. Two features
+// break the implication by letting presence bits go stale under a
+// pending miss, turning the deferral into a deadlock:
+//
+//   - Bounded caches: a Shared victim is evicted silently, the presence
+//     bit survives, and the node's re-request can be queued at the home
+//     behind the very transaction whose invalidation we would defer.
+//   - Data forwarding: forward recipients enter the presence bits at
+//     send time, and one whose concurrent miss skipped the forwarded
+//     install is listed with its own request possibly still queued.
+//
+// In either configuration sharers fall back to the always-safe squash
+// remedy instead.
+func (m *Machine) deferSafe() bool {
+	return m.Params.CacheLines == 0 && !m.Params.DataForwarding
+}
+
 // sharerInval handles an invalidation arriving at a sharer, under any
 // framework: unicast (UI-UA), multicast copy (MI-UA, BR), or i-reserve
 // copy / final (MI-MA). Update transactions (write-update protocol)
 // refresh the local copy instead of dropping it.
 func (m *Machine) sharerInval(n topology.NodeID, pm *msg, final bool) {
+	if op := m.op(n, pm.block); op != nil && !op.write {
+		// The invalidation overtook our own read reply (virtual networks
+		// are unordered relative to each other): handling it now and then
+		// filling would install a stale Shared copy after the writer's
+		// grant. Two remedies, chosen by what we can prove about the fill:
+		//
+		// Directory-targeted invalidation (the common case): the home
+		// snapshotted us from the presence vector, so it served our read
+		// before this transaction started and the fill is in flight on the
+		// reply network — it cannot be queued behind the transaction.
+		// Defer the whole invalidation (and its acknowledgment) until the
+		// fill lands: install, then invalidate, then acknowledge. The race
+		// closes invisibly — the node ends uncached and the write waits for
+		// the ack, exactly as if the fill had beaten the invalidation.
+		//
+		// Broadcast/coarse-vector invalidations and recovery retries can
+		// reach a node whose request is still *queued* at the home behind
+		// this very transaction; deferring the ack would then deadlock. So
+		// the miss is squashed instead: acknowledge now, and when the
+		// reply lands consume its data without installing the line (see
+		// requesterReply for why that load is still legal). Bounded caches
+		// and data forwarding void the targeted-implies-served proof the
+		// same way — see deferSafe — and also squash.
+		//
+		// Writes are exempt from both: a pending writer is never a target
+		// of its own transaction, and another writer's fill installs
+		// Modified via its own grant, never a stale Shared copy.
+		if !pm.retry && !pm.txn.broadcast && m.deferSafe() {
+			op.afterFill = append(op.afterFill, func() { m.sharerInvalNow(n, pm, final) })
+			return
+		}
+		if !op.squashed {
+			op.squashed = true
+			if m.OnSquash != nil {
+				m.OnSquash(n, pm.block)
+			}
+		}
+	}
+	m.sharerInvalNow(n, pm, final)
+}
+
+// sharerInvalNow performs the sharer-side invalidation work: drop (or
+// refresh) the copy and acknowledge through the scheme's framework. Split
+// from sharerInval so a deferred invalidation can run verbatim after the
+// fill it raced.
+func (m *Machine) sharerInvalNow(n topology.NodeID, pm *msg, final bool) {
 	txn := pm.txn
 	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheInvalidate, func() {
 		if !txn.update {
@@ -465,10 +546,16 @@ func (m *Machine) sharerInval(n topology.NodeID, pm *msg, final bool) {
 // ownerFetch handles fetchReq (downgrade) and fetchInval (invalidate) at
 // the current owner.
 func (m *Machine) ownerFetch(n topology.NodeID, pm *msg) {
-	if op := m.op(n, pm.block); op != nil {
-		// The fetch overtook our own reply for this block (virtual networks
-		// are unordered relative to each other); handle it once the fill
-		// completes.
+	if op := m.op(n, pm.block); op != nil && pm.ownGen != m.ownGenOf(n, pm.block) {
+		// The fetch is stamped with a newer ownership generation than the
+		// copy we last installed: our own grant for this block is in flight
+		// and the fetch overtook it (virtual networks are unordered).
+		// Handle it once the fill completes. A generation *match* means the
+		// opposite — we are the recorded owner from an earlier tenure, our
+		// copy is gone (evicted, writeback in flight) and our new request
+		// is still queued at the home behind this very transaction, so
+		// waiting for a fill would deadlock; fall through and answer from
+		// the writeback buffer instead.
 		op.afterFill = append(op.afterFill, func() { m.ownerFetch(n, pm) })
 		return
 	}
@@ -505,8 +592,10 @@ func (m *Machine) homeFetchReply(home topology.NodeID, pm *msg) {
 			e.State = directory.Exclusive
 			e.Owner = op.requester
 			e.Sharers.Reset()
+			e.OwnGen++
 			m.server(home).do(m.Params.SendOccupancy, func() {
-				m.send(writeReply, home, op.requester, &msg{typ: writeReply, block: pm.block, from: op.requester})
+				m.send(writeReply, home, op.requester,
+					&msg{typ: writeReply, block: pm.block, from: op.requester, ownGen: e.OwnGen})
 				m.releaseBlock(pm.block)
 			})
 			return
@@ -546,15 +635,31 @@ func (m *Machine) requesterReply(n topology.NodeID, pm *msg) {
 			panic("coherence: reply for no outstanding operation")
 		}
 		m.removeOp(n, pm.block)
-		state := cache.SharedLine
-		if pm.typ == writeReply && m.Params.Protocol == WriteInvalidate {
-			state = cache.ModifiedLine
-		}
-		victim, vs, evicted := m.caches[n].Fill(pm.block, state)
-		if evicted && vs == cache.ModifiedLine {
-			m.server(n).do(m.Params.SendOccupancy, func() {
-				m.send(writeback, n, m.Home(victim), &msg{typ: writeback, block: victim, from: n})
-			})
+		if op.squashed {
+			// The line was invalidated while this fill was in flight. The
+			// reply's data was serialized at the home before the
+			// invalidating write, so the load itself still completes with
+			// that value — ordered just before the write — but the line is
+			// not installed: the directory no longer tracks this node, and
+			// a late install would be exactly the untracked stale copy the
+			// squash exists to prevent.
+			if pm.typ == writeReply {
+				panic("coherence: write fill squashed")
+			}
+			m.trace(n, "op.squash", pm.block, "squashed fill consumed without install")
+		} else {
+			state := cache.SharedLine
+			if pm.typ == writeReply && m.Params.Protocol == WriteInvalidate {
+				state = cache.ModifiedLine
+				m.setOwnGen(n, pm.block, pm.ownGen)
+			}
+			victim, vs, evicted := m.caches[n].Fill(pm.block, state)
+			if evicted && vs == cache.ModifiedLine {
+				m.server(n).do(m.Params.SendOccupancy, func() {
+					m.send(writeback, n, m.Home(victim),
+						&msg{typ: writeback, block: victim, from: n, ownGen: m.ownGenOf(n, victim)})
+				})
+			}
 		}
 		now := m.Engine.Now()
 		m.trace(n, "op.done", pm.block, "%v after %d cycles", pm.typ, now-simTime(op.issue))
@@ -632,11 +737,37 @@ func (m *Machine) clearCoarse(e *directory.Entry) {
 	}
 }
 
-// homeWriteback retires a dirty eviction at the home.
+// ownKey addresses one node's Modified copy of one block.
+type ownKey struct {
+	n topology.NodeID
+	b directory.BlockID
+}
+
+// setOwnGen records the grant generation node n's Modified copy of b was
+// installed under.
+func (m *Machine) setOwnGen(n topology.NodeID, b directory.BlockID, gen uint64) {
+	if m.ownGens == nil {
+		m.ownGens = make(map[ownKey]uint64)
+	}
+	m.ownGens[ownKey{n, b}] = gen
+}
+
+// ownGenOf returns the grant generation to stamp on node n's writeback of
+// block b.
+func (m *Machine) ownGenOf(n topology.NodeID, b directory.BlockID) uint64 {
+	return m.ownGens[ownKey{n, b}]
+}
+
+// homeWriteback retires a dirty eviction at the home. The generation check
+// guards against the stale-writeback race: the owner evicts (writeback in
+// flight), re-acquires exclusive ownership — directly, or via any chain of
+// intervening owners — and only then does the old writeback land. Without
+// the check the home would clear the entry while the node legitimately
+// holds a Modified copy, silently uncaching a dirty block.
 func (m *Machine) homeWriteback(home topology.NodeID, pm *msg) {
 	m.server(home).do(m.Params.RecvOccupancy+m.Params.MemAccess, func() {
 		e := m.dirs[home].Lookup(pm.block)
-		if e.State == directory.Exclusive && e.Owner == pm.from {
+		if e.State == directory.Exclusive && e.Owner == pm.from && pm.ownGen == e.OwnGen {
 			e.State = directory.Uncached
 			e.Sharers.Reset()
 			e.Overflow = false

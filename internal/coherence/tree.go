@@ -82,17 +82,42 @@ func (m *Machine) recvTreeInval(n topology.NodeID, pm *msg) {
 	ctx.pendingAcks = len(kids)
 	m.treeCtxs(ctx.txn.id)[ctx.rank] = ctx
 	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheInvalidate, func() {
-		if !ctx.txn.update {
-			m.caches[n].Invalidate(pm.block)
+		selfInval := func() {
+			if !ctx.txn.update {
+				m.caches[n].Invalidate(pm.block)
+			}
+			ctx.selfDone = true
+			m.treeMaybeAck(ctx)
 		}
-		ctx.selfDone = true
+		deferred := false
+		if op := m.op(n, pm.block); op != nil && !op.write {
+			// Same reply-race handling as sharerInval: a directory-targeted
+			// tree invalidation proves our read was served (fill in flight),
+			// so defer our own invalidation — and with it the combined ack —
+			// past the fill. Forwarding to children is NOT deferred: the
+			// subtree's sharers must not wait on our fill. Under
+			// broadcast/coarse targeting, or whenever presence bits can go
+			// stale under a pending miss (see deferSafe), our fill is not
+			// provably in flight; squash the miss instead.
+			if !ctx.txn.broadcast && m.deferSafe() {
+				op.afterFill = append(op.afterFill, selfInval)
+				deferred = true
+			} else if !op.squashed {
+				op.squashed = true
+				if m.OnSquash != nil {
+					m.OnSquash(n, pm.block)
+				}
+			}
+		}
 		for _, c := range kids {
 			c := c
 			m.server(n).do(m.Params.TreeForwardOverhead+m.Params.SendOccupancy, func() {
 				m.sendTreeInval(ctx.txn, ctx.participants, c)
 			})
 		}
-		m.treeMaybeAck(ctx)
+		if !deferred {
+			selfInval()
+		}
 	})
 }
 

@@ -111,6 +111,12 @@ type Entry struct {
 	// on broadcast for localized sharing.
 	CoarseMode bool
 	Coarse     Presence
+	// OwnGen counts exclusive-ownership grants for this block. The grant
+	// reply carries it and the owner's eventual dirty writeback echoes it,
+	// letting the home tell a current writeback from one that raced in the
+	// unordered network while the same node re-acquired ownership (the
+	// stale writeback must not clear the directory entry).
+	OwnGen uint64
 }
 
 // Directory is one node's slice of the distributed full-map directory: it

@@ -1,0 +1,166 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModelViolation is one counterexample found by Explore.
+type ModelViolation struct {
+	// Kind is "safety" (a per-state invariant broke), "termination" (a
+	// deadlocked state retired work incompletely) or "livelock" (a state
+	// from which no execution can terminate).
+	Kind string
+	// Detail states the broken property.
+	Detail string
+	// Trace is a minimal action sequence from the initial state to the
+	// violating state (BFS parents give the shortest such path), followed
+	// by a dump of that state.
+	Trace []string
+}
+
+// ModelResult summarizes one exhaustive exploration.
+type ModelResult struct {
+	Config    ModelConfig
+	States    int
+	Edges     int
+	Terminals int
+	Violation *ModelViolation
+}
+
+// OK reports whether the exploration finished with no violation.
+func (r *ModelResult) OK() bool { return r.Violation == nil }
+
+// Report renders the result deterministically: byte-identical across runs.
+func (r *ModelResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s\n", r.Config)
+	fmt.Fprintf(&b, "  states=%d edges=%d terminals=%d\n", r.States, r.Edges, r.Terminals)
+	if r.Violation == nil {
+		b.WriteString("  result: PASS\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  result: FAIL [%s] %s\n", r.Violation.Kind, r.Violation.Detail)
+	b.WriteString("  counterexample:\n")
+	for _, step := range r.Violation.Trace {
+		fmt.Fprintf(&b, "    %s\n", step)
+	}
+	return b.String()
+}
+
+// Explore enumerates every state the abstract protocol model can reach
+// under cfg, checking safety at each state, completeness at each terminal
+// state, and — after the full graph is known — that every state retains a
+// path to termination. It returns a non-nil error only for invalid configs
+// or a state-space overflow; protocol violations come back inside the
+// result with a minimal counterexample trace.
+func Explore(cfg ModelConfig) (*ModelResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	md := newModel(cfg)
+	res := &ModelResult{Config: cfg}
+
+	init := md.initial()
+	keys := []string{md.encode(&init)}
+	idx := map[string]int32{keys[0]: 0}
+	parent := []int32{-1}
+	parentAct := []string{""}
+	preds := [][]int32{nil}
+	var terminals []int32
+	edges := 0
+	fill := func() {
+		res.States = len(keys)
+		res.Edges = edges
+		res.Terminals = len(terminals)
+	}
+
+	for i := 0; i < len(keys); i++ {
+		st := md.decode(keys[i])
+		succs := md.successors(&st)
+		if len(succs) == 0 {
+			terminals = append(terminals, int32(i))
+			if v := md.checkTerminal(&st); v != "" {
+				res.Violation = &ModelViolation{Kind: "termination", Detail: v,
+					Trace: md.traceTo(keys, parent, parentAct, int32(i))}
+				fill()
+				return res, nil
+			}
+			continue
+		}
+		for _, s := range succs {
+			edges++
+			key := md.encode(&s.next)
+			j, known := idx[key]
+			if !known {
+				j = int32(len(keys))
+				if int(j) >= cfg.MaxStates {
+					fill()
+					return nil, fmt.Errorf("oracle: state space exceeds MaxStates=%d under %s",
+						cfg.MaxStates, cfg)
+				}
+				keys = append(keys, key)
+				idx[key] = j
+				parent = append(parent, int32(i))
+				parentAct = append(parentAct, s.action)
+				preds = append(preds, nil)
+				if v := md.checkState(&s.next); v != "" {
+					res.Violation = &ModelViolation{Kind: "safety", Detail: v,
+						Trace: md.traceTo(keys, parent, parentAct, j)}
+					fill()
+					return res, nil
+				}
+			}
+			preds[j] = append(preds[j], int32(i))
+		}
+	}
+
+	// Liveness: every state must retain a path to some terminal state —
+	// otherwise an execution exists that runs forever without completing
+	// (a livelock the timed simulator's watchdog could only suspect).
+	canTerm := make([]bool, len(keys))
+	queue := make([]int32, 0, len(terminals))
+	for _, t := range terminals {
+		canTerm[t] = true
+		queue = append(queue, t)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range preds[v] {
+			if !canTerm[p] {
+				canTerm[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i := range keys {
+		if !canTerm[i] {
+			res.Violation = &ModelViolation{Kind: "livelock",
+				Detail: "no execution from this state can terminate",
+				Trace:  md.traceTo(keys, parent, parentAct, int32(i))}
+			break
+		}
+	}
+	fill()
+	return res, nil
+}
+
+// traceTo reconstructs the action path from the initial state to state i
+// and appends a dump of that state.
+func (md *model) traceTo(keys []string, parent []int32, acts []string, i int32) []string {
+	var rev []string
+	for v := i; v > 0; v = parent[v] {
+		rev = append(rev, acts[v])
+	}
+	out := make([]string, 0, len(rev)+8)
+	for k := len(rev) - 1; k >= 0; k-- {
+		out = append(out, fmt.Sprintf("%2d. %s", len(rev)-k, rev[k]))
+	}
+	st := md.decode(keys[i])
+	out = append(out, "reached state:")
+	dump := strings.TrimRight(md.formatState(&st), "\n")
+	out = append(out, strings.Split(dump, "\n")...)
+	return out
+}
