@@ -9,7 +9,10 @@ FUZZTIME ?= 10s
 COV_FLOOR_COHERENCE := 85
 COV_FLOOR_ORACLE := 85
 
-.PHONY: all build test race vet lint check bench bench-json sweep oracle fuzz cover
+# Allowed fractional events/sec regression before bench-ratchet fails.
+RATCHET_THRESHOLD ?= 0.10
+
+.PHONY: all build test race vet lint check bench bench-json bench-ratchet equiv sweep oracle fuzz cover
 
 all: check
 
@@ -69,13 +72,30 @@ cover:
 		fi; \
 	done
 
-check: vet lint build test race oracle fuzz
+# equiv replays the event-engine gates: the calendar-queue-vs-reference
+# equivalence harness (200 randomized schedule/cancel/reschedule scripts),
+# the queue edge-case suite, and the byte-identical golden experiment
+# tables. Any engine change must pass this before it ships.
+equiv:
+	$(GO) test ./internal/sim -run 'TestEngineEquivalence|TestQueue|TestEngineAllocs' -count=1
+	$(GO) test ./internal/experiments -run TestGoldenTablesSeed -count=1
+
+check: vet lint build test race oracle fuzz equiv
 
 # bench-json writes BENCH_sim.json: simulated-cycles and trace-events per
 # wall-second over a calibrated invalidation run, plus the E1 miss
 # latencies as a correctness fingerprint. CI uploads it as an artifact.
 bench-json:
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
+
+# bench-ratchet is the committed-baseline performance ratchet: rerun the
+# throughput workload and fail if events/sec fall more than
+# RATCHET_THRESHOLD below the committed BENCH_sim.json, or if the E1
+# latency fingerprint (deterministic simulated cycles) shifts at all.
+# After an intentional engine change, refresh the baseline with
+# `make bench-json` and commit the new BENCH_sim.json alongside it.
+bench-ratchet:
+	$(GO) run ./cmd/simbench -compare BENCH_sim.json -threshold $(RATCHET_THRESHOLD)
 
 bench: bench-json
 	$(GO) test -bench=. -benchtime=1x .

@@ -1,16 +1,22 @@
 // Command simbench measures the simulator's own performance and writes a
-// machine-readable snapshot: simulated cycles and trace events per
+// machine-readable snapshot: engine events and simulated cycles per
 // wall-clock second over a calibrated invalidation workload, plus the E1
 // (Table 4) miss latencies as a correctness fingerprint — if a change
 // speeds the simulator up but shifts a latency, the snapshot says so.
 //
 // Usage:
 //
-//	simbench -o BENCH_sim.json
-//	make bench          # runs this first, then the table benchmarks
+//	simbench -o BENCH_sim.json             # write a fresh snapshot
+//	simbench -compare BENCH_sim.json       # perf ratchet: fail on regression
+//	make bench-ratchet                     # the committed-baseline ratchet
 //
-// CI runs it on every push and uploads BENCH_sim.json as an artifact, so
-// simulator throughput is trackable across commits.
+// Snapshot schema (version 2): key order is fixed (struct order plus Go's
+// sorted map keys), so diffs between snapshots are meaningful. Events are
+// counted at the event engine (Engine.Fired), untraced, and each run's wall
+// time is the best of -reps repetitions, which makes events/sec stable
+// enough for the -threshold ratchet on one machine. The E1 latencies are
+// simulated-cycle counts — deterministic everywhere — and -compare demands
+// them equal, so the ratchet also notices a change that shifts results.
 package main
 
 import (
@@ -20,12 +26,16 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/grouping"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// schemaVersion identifies the BENCH_sim.json layout. Bump it when fields
+// change meaning; -compare refuses to ratchet across schema versions.
+const schemaVersion = 2
 
 // Run is one throughput measurement.
 type Run struct {
@@ -51,45 +61,48 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simbench: ")
 	var (
-		out    = flag.String("o", "BENCH_sim.json", "output file (- for stdout)")
-		k      = flag.Int("k", 16, "mesh dimension of the throughput workload")
-		d      = flag.Int("d", 16, "sharers per transaction")
-		trials = flag.Int("trials", 20, "transactions per throughput run")
+		out       = flag.String("o", "", "output file (- for stdout; default BENCH_sim.json unless -compare is set)")
+		k         = flag.Int("k", 16, "mesh dimension of the throughput workload")
+		d         = flag.Int("d", 16, "sharers per transaction")
+		trials    = flag.Int("trials", 100, "transactions per throughput run")
+		reps      = flag.Int("reps", 5, "repetitions per run (best wall time wins)")
+		compare   = flag.String("compare", "", "baseline snapshot to ratchet against (exit 1 on regression)")
+		threshold = flag.Float64("threshold", 0.10, "allowed events/sec regression fraction for -compare")
 	)
 	flag.Parse()
 
 	snap := Snapshot{
-		Schema:    1,
+		Schema:    schemaVersion,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
 	}
 
 	// Throughput: the unicast baseline and the paper's headline scheme,
-	// traced so the snapshot also reports event throughput. Tracing is
-	// observational, so the simulated-cycle count matches an untraced run.
+	// untraced, counting events at the engine so the number ratcheted is
+	// the event-loop hot path itself.
 	for _, s := range []grouping.Scheme{grouping.UIUA, grouping.MIMAEC} {
-		rec := trace.NewRecorder(1 << 20)
-		start := time.Now()
-		res := workload.RunInval(workload.InvalConfig{
-			K: *k, Scheme: s, D: *d, Trials: *trials, Seed: 1,
-			Pattern: workload.RandomPlacement, Recorder: rec,
-		})
-		wall := time.Since(start).Seconds()
-		events := rec.Dropped() + uint64(rec.Len())
-		var cycles uint64
-		if evs := rec.Events(); len(evs) > 0 {
-			cycles = uint64(evs[len(evs)-1].At)
+		var best Run
+		for rep := 0; rep < *reps; rep++ {
+			start := time.Now()
+			res := workload.RunInval(workload.InvalConfig{
+				K: *k, Scheme: s, D: *d, Trials: *trials, Seed: 1,
+				Pattern: workload.RandomPlacement,
+			})
+			wall := time.Since(start).Seconds()
+			if rep == 0 || wall < best.WallSeconds {
+				best = Run{
+					Name: fmt.Sprintf("inval-%s-k%d-d%d-t%d (mean latency %.1f)",
+						s, *k, *d, res.Completed, res.Latency.Mean()),
+					SimCycles:    res.EngineCycles,
+					Events:       res.EngineEvents,
+					WallSeconds:  wall,
+					CyclesPerSec: float64(res.EngineCycles) / wall,
+					EventsPerSec: float64(res.EngineEvents) / wall,
+				}
+			}
 		}
-		snap.Runs = append(snap.Runs, Run{
-			Name: fmt.Sprintf("inval-%s-k%d-d%d-t%d (mean latency %.1f)",
-				s, *k, *d, res.Completed, res.Latency.Mean()),
-			SimCycles:    cycles,
-			Events:       events,
-			WallSeconds:  wall,
-			CyclesPerSec: float64(cycles) / wall,
-			EventsPerSec: float64(events) / wall,
-		})
+		snap.Runs = append(snap.Runs, best)
 	}
 
 	// E1: the Table 4 miss latencies, the snapshot's correctness anchor.
@@ -99,20 +112,91 @@ func main() {
 		snap.E1Latencies[kind.String()] = uint64(workload.MeasureMiss(p, kind))
 	}
 
+	for _, r := range snap.Runs {
+		fmt.Printf("%-55s %12.0f cycles/s %12.0f events/s\n", r.Name, r.CyclesPerSec, r.EventsPerSec)
+	}
+
+	if *compare != "" {
+		if err := ratchet(*compare, &snap, *threshold); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ratchet ok: within %.0f%% of %s\n", *threshold*100, *compare)
+	}
+
+	dest := *out
+	if dest == "" {
+		if *compare != "" {
+			return
+		}
+		dest = "BENCH_sim.json"
+	}
 	enc, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if dest == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(dest, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range snap.Runs {
-		fmt.Printf("%-50s %10.0f cycles/s %12.0f events/s\n", r.Name, r.CyclesPerSec, r.EventsPerSec)
+	fmt.Printf("wrote %s\n", dest)
+}
+
+// ratchet compares the fresh snapshot against the committed baseline:
+// events/sec may not regress by more than threshold on any run, and the E1
+// latency fingerprint (deterministic simulated cycles) must match exactly.
+func ratchet(path string, snap *Snapshot, threshold float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ratchet baseline: %w", err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("ratchet baseline %s: %w", path, err)
+	}
+	if base.Schema != snap.Schema {
+		return fmt.Errorf("ratchet baseline %s has schema %d, this binary writes %d; regenerate the baseline",
+			path, base.Schema, snap.Schema)
+	}
+	baseRuns := map[string]Run{}
+	for _, r := range base.Runs {
+		baseRuns[r.Name] = r
+	}
+	var failures []string
+	for _, r := range snap.Runs {
+		b, ok := baseRuns[r.Name]
+		if !ok {
+			// A renamed run (config change) has no baseline to regress
+			// against; the refreshed snapshot will pick it up.
+			continue
+		}
+		floor := b.EventsPerSec * (1 - threshold)
+		if r.EventsPerSec < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f events/s is below the ratchet floor %.0f (baseline %.0f, threshold %.0f%%)",
+				r.Name, r.EventsPerSec, floor, b.EventsPerSec, threshold*100))
+		}
+	}
+	kinds := make([]string, 0, len(base.E1Latencies))
+	for kind := range base.E1Latencies {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		want := base.E1Latencies[kind]
+		if got, ok := snap.E1Latencies[kind]; ok && got != want {
+			failures = append(failures, fmt.Sprintf(
+				"E1 latency %s: %d cycles, baseline %d — simulation results changed", kind, got, want))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "simbench: REGRESSION: "+f)
+		}
+		return fmt.Errorf("%d ratchet failure(s)", len(failures))
+	}
+	return nil
 }

@@ -93,7 +93,7 @@ type invalTxn struct {
 	// local invalidation crosses no network and needs no retry.
 	homePending bool
 	completed   bool
-	deadline    *sim.Event
+	deadline    sim.Handle
 }
 
 // startInval begins the invalidation transaction for block b at home. The

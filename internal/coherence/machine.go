@@ -58,6 +58,30 @@ type Machine struct {
 	treeTable map[uint64]map[int]*treeCtx
 	// wormBar holds the worm-barrier state (lazily created).
 	wormBar *wormBarrier
+	// scratchPick is a per-node scratch bitmap reused by sendGather's
+	// pick-up-point marking (cleared after each use).
+	scratchPick []bool
+
+	// Bound protocol handlers (initHandlers), scheduled through
+	// server.doCall so the per-delivery hot paths allocate no closures.
+	fnHomeRecv         func(any, int32)
+	fnHomeLookup       func(any, int32)
+	fnHomeReadReply    func(any, int32)
+	fnRequesterReply   func(any, int32)
+	fnRecvInvalAck     func(any, int32)
+	fnRecvGatherAck    func(any, int32)
+	fnSharerInvalMid   func(any, int32)
+	fnSharerInvalFinal func(any, int32)
+	fnSendInvalAck     func(any, int32)
+	fnSendGather       func(any, int32)
+	fnReadIssue        func(any, int32)
+	fnWriteIssue       func(any, int32)
+	fnSendReadReq      func(any, int32)
+	fnSendWriteReq     func(any, int32)
+	// freeMsgs pools retired protocol messages (bounded; see freeMsg).
+	freeMsgs []*msg
+	// freeOps pools retired pendingOps (bounded; see freeOp).
+	freeOps []*pendingOp
 
 	nextTxn uint64
 }
@@ -67,7 +91,7 @@ type Machine struct {
 // here, preserving arrival order.
 type blockQueue struct {
 	busy  bool
-	queue sim.FIFO[func()]
+	queue sim.FIFO[*msg]
 }
 
 // server models a node's protocol controller occupancy: tasks run FIFO,
@@ -96,6 +120,23 @@ func (s *server) do(cost sim.Time, fn func()) {
 	s.busyUntil = start + cost
 	*s.busyTotal += cost
 	s.engine.At(s.busyUntil, fn)
+}
+
+// doCall is do for a pre-bound callback: the same occupancy accounting,
+// but scheduling (fn, arg, i) directly so the hot protocol paths run
+// without a per-task closure allocation.
+func (s *server) doCall(cost sim.Time, fn func(any, int32), arg any, i int32) {
+	start := s.engine.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	if s.rec != nil {
+		s.rec.Emit(trace.Event{At: s.engine.Now(), Kind: trace.KindServerBusy,
+			Node: s.node, A: uint64(start), B: uint64(start + cost)})
+	}
+	s.busyUntil = start + cost
+	*s.busyTotal += cost
+	s.engine.AtCall(s.busyUntil, fn, arg, i)
 }
 
 // NewMachine builds a machine from params. The caller drives it through
@@ -134,6 +175,7 @@ func NewMachine(p Params) *Machine {
 			busyTotal: &m.Metrics.Occupancy[i],
 		})
 	}
+	m.initHandlers()
 	return m
 }
 
@@ -155,35 +197,33 @@ func (m *Machine) server(n topology.NodeID) *server { return m.servers[n] }
 func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
 	m.Metrics.MsgsSent[src]++
 	m.trace(src, "msg.send", payload.block, "%v -> node %d", t, dst)
-	var path []topology.NodeID
 	base := m.Params.Scheme.Base()
 	vn := vnFor(t)
+	w := m.Net.NewWorm()
+	var path []topology.NodeID
 	if vn == network.Reply {
 		// The reply network routes with the reverse base routing: the path
 		// from src to dst is the reverse of a base path from dst to src.
-		fwd := base.UnicastPath(m.Mesh, dst, src)
-		path = make([]topology.NodeID, len(fwd))
-		for i, nd := range fwd {
-			path[len(fwd)-1-i] = nd
+		path = base.UnicastPathInto(w.TakePathBuf(), m.Mesh, dst, src)
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
 		}
 	} else {
-		path = base.UnicastPath(m.Mesh, src, dst)
+		path = base.UnicastPathInto(w.TakePathBuf(), m.Mesh, src, dst)
 	}
-	dests := make([]bool, len(path))
+	dests := w.TakeDestBuf(len(path))
 	dests[len(path)-1] = true
-	w := &network.Worm{
-		Kind:         network.Unicast,
-		VN:           vn,
-		Path:         path,
-		Dest:         dests,
-		HeaderFlits:  m.Params.Net.HeaderFlits(1),
-		PayloadFlits: m.payloadFlitsFor(t, payload),
-		Tag:          payload,
-		// Invalidation-class traffic is expendable: the home's i-ack
-		// timeout re-covers a lost inval or ack. UMC tree messages are
-		// not — the software tree has no recovery path.
-		Expendable: payload.tree == nil && (t == inval || t == invalAck),
-	}
+	w.Kind = network.Unicast
+	w.VN = vn
+	w.Path = path
+	w.Dest = dests
+	w.HeaderFlits = m.Params.Net.HeaderFlits(1)
+	w.PayloadFlits = m.payloadFlitsFor(t, payload)
+	w.Tag = payload
+	// Invalidation-class traffic is expendable: the home's i-ack
+	// timeout re-covers a lost inval or ack. UMC tree messages are
+	// not — the software tree has no recovery path.
+	w.Expendable = payload.tree == nil && (t == inval || t == invalAck)
 	if payload.txn != nil {
 		w.TxnID = payload.txn.id
 	}
@@ -207,17 +247,18 @@ func (m *Machine) sendGroup(txn *invalTxn, gi int) {
 	if txn.update {
 		payload = m.Params.dataFlits()
 	}
-	w := &network.Worm{
-		Kind:         kind,
-		VN:           network.Request,
-		Path:         g.Path,
-		Dest:         destFlags(g.Path, g.Members),
-		HeaderFlits:  m.Params.Net.HeaderFlits(len(g.Members)),
-		PayloadFlits: payload,
-		TxnID:        txn.id,
-		Tag:          &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi, gen: txn.gen},
-		Expendable:   true,
-	}
+	w := m.Net.NewWorm()
+	w.Kind = kind
+	w.VN = network.Request
+	// g.Path is owned by the grouping layer and borrowed here; only the
+	// destination flags use the worm's pooled buffer.
+	w.Path = g.Path
+	w.Dest = destFlagsInto(w.TakeDestBuf(len(g.Path)), g.Path, g.Members)
+	w.HeaderFlits = m.Params.Net.HeaderFlits(len(g.Members))
+	w.PayloadFlits = payload
+	w.TxnID = txn.id
+	w.Tag = &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi, gen: txn.gen}
+	w.Expendable = true
 	m.Net.Inject(w)
 	if m.Rec != nil {
 		m.recMsg(trace.KindMsgSend, 0, txn.home, w.ID, w.Tag.(*msg), uint64(gi))
@@ -230,32 +271,44 @@ func (m *Machine) sendGather(txn *invalTxn, gi int) {
 	g := txn.groups[gi]
 	m.Metrics.MsgsSent[g.Last()]++
 	m.trace(g.Last(), "msg.send", txn.block, "gather worm txn %d group %d -> home %d", txn.id, gi, txn.home)
-	path := g.ReversePath()
+	w := m.Net.NewWorm()
+	// The gather worm retraces the group path backwards (reply network =
+	// reverse base routing, so the path stays BRCP-conformed).
+	path := w.TakePathBuf()
+	for i := len(g.Path) - 1; i >= 0; i-- {
+		path = append(path, g.Path[i])
+	}
 	// Pick-up points: every member except the launcher, plus the home as
 	// final destination.
-	pick := make(map[topology.NodeID]bool, len(g.Members))
+	if m.scratchPick == nil {
+		m.scratchPick = make([]bool, m.Mesh.Nodes())
+	}
+	pick := m.scratchPick
 	for _, mem := range g.Members[:len(g.Members)-1] {
 		pick[mem] = true
 	}
-	dests := make([]bool, len(path))
+	dests := w.TakeDestBuf(len(path))
 	for i, nd := range path {
 		if i > 0 && pick[nd] {
 			dests[i] = true
-			delete(pick, nd)
+			pick[nd] = false
 		}
 	}
-	dests[len(path)-1] = true
-	w := &network.Worm{
-		Kind:         network.Gather,
-		VN:           network.Reply,
-		Path:         path,
-		Dest:         dests,
-		HeaderFlits:  m.Params.Net.HeaderFlits(len(g.Members)),
-		PayloadFlits: m.Params.controlFlits(),
-		TxnID:        txn.id,
-		Tag:          &msg{typ: gatherAck, block: txn.block, from: g.Last(), txn: txn, groupIdx: gi},
-		Expendable:   true,
+	for _, mem := range g.Members[:len(g.Members)-1] {
+		pick[mem] = false
 	}
+	dests[len(path)-1] = true
+	w.Kind = network.Gather
+	w.VN = network.Reply
+	w.Path = path
+	w.Dest = dests
+	w.HeaderFlits = m.Params.Net.HeaderFlits(len(g.Members))
+	w.PayloadFlits = m.Params.controlFlits()
+	w.TxnID = txn.id
+	ga := m.newMsg()
+	ga.typ, ga.block, ga.from, ga.txn, ga.groupIdx = gatherAck, txn.block, g.Last(), txn, gi
+	w.Tag = ga
+	w.Expendable = true
 	m.Net.Inject(w)
 	if m.Rec != nil {
 		m.recMsg(trace.KindMsgSend, 0, g.Last(), w.ID, w.Tag.(*msg), uint64(gi))
@@ -266,7 +319,12 @@ func (m *Machine) sendGather(txn *invalTxn, gi int) {
 // path may pass through a later member's node before its turn; matching
 // sequentially keeps the flags aligned with the worm's header stripping).
 func destFlags(path []topology.NodeID, members []topology.NodeID) []bool {
-	dests := make([]bool, len(path))
+	return destFlagsInto(make([]bool, len(path)), path, members)
+}
+
+// destFlagsInto is destFlags writing into a caller-provided all-false slice
+// of len(path) (typically a pooled worm's destination buffer).
+func destFlagsInto(dests []bool, path []topology.NodeID, members []topology.NodeID) []bool {
 	mi := 0
 	for i, nd := range path {
 		if i > 0 && mi < len(members) && nd == members[mi] {
@@ -337,20 +395,8 @@ func (m *Machine) queueFor(b directory.BlockID) *blockQueue {
 	return q
 }
 
-// runOrQueue runs fn now if the block has no home transaction in flight,
-// otherwise queues it.
-func (m *Machine) runOrQueue(b directory.BlockID, fn func()) {
-	q := m.queueFor(b)
-	if q.busy {
-		q.queue.Push(fn)
-		return
-	}
-	q.busy = true
-	fn()
-}
-
 // releaseBlock completes the in-flight transaction on b and starts the next
-// queued one, if any.
+// queued request, if any.
 func (m *Machine) releaseBlock(b directory.BlockID) {
 	q := m.queueFor(b)
 	if !q.busy {
@@ -362,7 +408,34 @@ func (m *Machine) releaseBlock(b directory.BlockID) {
 	}
 	next := q.queue.Pop()
 	// Hand over directly: the block stays busy.
-	next()
+	m.homeHandle(m.homes.Home(next.block), next)
+}
+
+// newMsg returns a protocol message from the free pool (or a fresh one).
+// Pool-allocated messages behave identically to literals; only freeMsg has
+// aliasing rules.
+func (m *Machine) newMsg() *msg {
+	if k := len(m.freeMsgs) - 1; k >= 0 {
+		pm := m.freeMsgs[k]
+		m.freeMsgs[k] = nil
+		m.freeMsgs = m.freeMsgs[:k]
+		return pm
+	}
+	return &msg{}
+}
+
+// freeMsg recycles a message whose terminal handler has fully consumed it.
+// Only single-delivery classes with one clear end of life are freed
+// (requests and replies at their final receiving handler, unicast acks at
+// the home): a multicast worm's payload is shared by every delivery of the
+// worm and tree messages thread through software forwarding, so those are
+// left to the garbage collector. The pool is bounded so a burst cannot pin
+// memory.
+func (m *Machine) freeMsg(pm *msg) {
+	*pm = msg{}
+	if len(m.freeMsgs) < 1024 {
+		m.freeMsgs = append(m.freeMsgs, pm)
+	}
 }
 
 // newTxnID returns a fresh transaction id (never zero so it is always a

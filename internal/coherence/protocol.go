@@ -32,6 +32,51 @@ type pendingOp struct {
 	// Directory-targeted invalidations never squash; they defer through
 	// afterFill instead (see sharerInval).
 	squashed bool
+	// hasCopy carries the upgrading-write snapshot (Shared copy held at
+	// issue) from the cache-access stage to the request send.
+	hasCopy bool
+}
+
+// newOp returns a pendingOp from the free pool (or a fresh one).
+func (m *Machine) newOp() *pendingOp {
+	if k := len(m.freeOps) - 1; k >= 0 {
+		op := m.freeOps[k]
+		m.freeOps[k] = nil
+		m.freeOps = m.freeOps[:k]
+		return op
+	}
+	return &pendingOp{}
+}
+
+// freeOp recycles a completed operation (hit, or after its fill and
+// deferred afterFill work have run). The pool is bounded.
+func (m *Machine) freeOp(op *pendingOp) {
+	for j := range op.afterFill {
+		op.afterFill[j] = nil
+	}
+	af := op.afterFill[:0]
+	*op = pendingOp{}
+	op.afterFill = af
+	if len(m.freeOps) < 1024 {
+		m.freeOps = append(m.freeOps, op)
+	}
+}
+
+// finishHit completes an operation that hit in the cache (or the store
+// buffer) at the end of its cache-access stage.
+func (m *Machine) finishHit(n topology.NodeID, op *pendingOp) {
+	now := m.Engine.Now()
+	if op.write {
+		m.Metrics.WriteLatency.AddTime(now - simTime(op.issue))
+	} else {
+		m.Metrics.ReadLatency.AddTime(now - simTime(op.issue))
+	}
+	if m.Rec != nil {
+		m.recOp(trace.KindOpDone, trace.FlagHit, n, op.tok, op.block)
+	}
+	done := op.done
+	m.freeOp(op)
+	done()
 }
 
 // ops returns node n's table of outstanding operations keyed by block.
@@ -80,36 +125,9 @@ func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 		tok = m.newOpTok()
 		m.recOp(trace.KindOpIssue, 0, n, tok, b)
 	}
-	m.server(n).do(m.Params.CacheAccess, func() {
-		if op := m.op(n, b); op != nil && op.write {
-			// Store-buffer forwarding: our own pending write holds the
-			// value. This must be checked before the cache: an upgrading
-			// write leaves the old Shared copy in place while buffered, and
-			// a read served from that line would see pre-write data —
-			// breaking same-location program order.
-			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
-			if m.Rec != nil {
-				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
-			}
-			done()
-			return
-		}
-		if m.caches[n].Lookup(b, false) {
-			m.Metrics.ReadLatency.AddTime(m.Engine.Now() - issue)
-			if m.Rec != nil {
-				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
-			}
-			done()
-			return
-		}
-		if m.Rec != nil {
-			m.recOp(trace.KindOpMiss, 0, n, tok, b)
-		}
-		m.addOp(n, &pendingOp{block: b, write: false, issue: uint64(issue), done: done, tok: tok})
-		m.server(n).do(m.Params.SendOccupancy, func() {
-			m.send(readReq, n, m.Home(b), &msg{typ: readReq, block: b, from: n, tok: tok})
-		})
-	})
+	op := m.newOp()
+	op.block, op.write, op.issue, op.done, op.tok = b, false, uint64(issue), done, tok
+	m.server(n).doCall(m.Params.CacheAccess, m.fnReadIssue, op, int32(n))
 }
 
 // Write performs a shared-memory write by node n to block b, invoking done
@@ -123,24 +141,9 @@ func (m *Machine) Write(n topology.NodeID, b directory.BlockID, done func()) {
 		tok = m.newOpTok()
 		m.recOp(trace.KindOpIssue, trace.FlagWrite, n, tok, b)
 	}
-	m.server(n).do(m.Params.CacheAccess, func() {
-		if m.caches[n].Lookup(b, true) {
-			m.Metrics.WriteLatency.AddTime(m.Engine.Now() - issue)
-			if m.Rec != nil {
-				m.recOp(trace.KindOpDone, trace.FlagHit, n, tok, b)
-			}
-			done()
-			return
-		}
-		if m.Rec != nil {
-			m.recOp(trace.KindOpMiss, trace.FlagWrite, n, tok, b)
-		}
-		hasCopy := m.caches[n].State(b) == cache.SharedLine
-		m.addOp(n, &pendingOp{block: b, write: true, issue: uint64(issue), done: done, tok: tok})
-		m.server(n).do(m.Params.SendOccupancy, func() {
-			m.send(writeReq, n, m.Home(b), &msg{typ: writeReq, block: b, from: n, hasCopy: hasCopy, tok: tok})
-		})
-	})
+	op := m.newOp()
+	op.block, op.write, op.issue, op.done, op.tok = b, true, uint64(issue), done, tok
+	m.server(n).doCall(m.Params.CacheAccess, m.fnWriteIssue, op, int32(n))
 }
 
 // WriteAsync performs a release-consistency write: issued fires as soon as
@@ -255,9 +258,7 @@ func (m *Machine) deliver(d network.Delivery) {
 	}
 	switch pm.typ {
 	case readReq, writeReq:
-		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
-			m.runOrQueue(pm.block, func() { m.homeHandle(d.Node, pm) })
-		})
+		m.server(d.Node).doCall(m.Params.RecvOccupancy, m.fnHomeRecv, pm, 0)
 	case inval:
 		if pm.tree != nil {
 			m.recvTreeInval(d.Node, pm)
@@ -269,21 +270,9 @@ func (m *Machine) deliver(d network.Delivery) {
 			m.recvTreeAck(d.Node, pm)
 			return
 		}
-		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
-			if pm.txn.rec {
-				pm.txn.sharerAcked(m, pm.from)
-				return
-			}
-			pm.txn.ackArrived(m)
-		})
+		m.server(d.Node).doCall(m.Params.RecvOccupancy, m.fnRecvInvalAck, pm, 0)
 	case gatherAck:
-		m.server(d.Node).do(m.Params.RecvOccupancy, func() {
-			if pm.txn.rec {
-				pm.txn.groupAcked(m, pm.groupIdx)
-				return
-			}
-			pm.txn.ackArrived(m)
-		})
+		m.server(d.Node).doCall(m.Params.RecvOccupancy, m.fnRecvGatherAck, pm, 0)
 	case fetchReq, fetchInval:
 		m.ownerFetch(d.Node, pm)
 	case fetchReply:
@@ -307,17 +296,7 @@ func (m *Machine) deliver(d network.Delivery) {
 // free of earlier transactions. The block is "busy" from here until
 // releaseBlock.
 func (m *Machine) homeHandle(home topology.NodeID, pm *msg) {
-	m.server(home).do(m.Params.DirLookup, func() {
-		e := m.dirs[home].Lookup(pm.block)
-		if m.Rec != nil {
-			m.recMsg(trace.KindDirDone, 0, home, 0, pm, 0)
-		}
-		if pm.typ == readReq {
-			m.homeRead(home, e, pm)
-		} else {
-			m.homeWrite(home, e, pm)
-		}
-	})
+	m.server(home).doCall(m.Params.DirLookup, m.fnHomeLookup, pm, int32(home))
 }
 
 func (m *Machine) homeRead(home topology.NodeID, e *directory.Entry, pm *msg) {
@@ -327,10 +306,7 @@ func (m *Machine) homeRead(home topology.NodeID, e *directory.Entry, pm *msg) {
 		e.State = directory.Shared
 		e.Sharers.Set(requester)
 		m.notePointerLimit(e)
-		m.server(home).do(m.Params.MemAccess+m.Params.SendOccupancy, func() {
-			m.send(readReply, home, requester, &msg{typ: readReply, block: b, from: requester})
-			m.releaseBlock(b)
-		})
+		m.server(home).doCall(m.Params.MemAccess+m.Params.SendOccupancy, m.fnHomeReadReply, pm, int32(home))
 	case directory.Exclusive:
 		if e.Owner == requester {
 			// The owner re-requesting can only mean its copy raced away via
@@ -339,10 +315,7 @@ func (m *Machine) homeRead(home topology.NodeID, e *directory.Entry, pm *msg) {
 			e.State = directory.Shared
 			e.Sharers.Reset()
 			e.Sharers.Set(requester)
-			m.server(home).do(m.Params.MemAccess+m.Params.SendOccupancy, func() {
-				m.send(readReply, home, requester, &msg{typ: readReply, block: b, from: requester})
-				m.releaseBlock(b)
-			})
+			m.server(home).doCall(m.Params.MemAccess+m.Params.SendOccupancy, m.fnHomeReadReply, pm, int32(home))
 			return
 		}
 		e.State = directory.Waiting
@@ -506,41 +479,11 @@ func (m *Machine) sharerInval(n topology.NodeID, pm *msg, final bool) {
 // from sharerInval so a deferred invalidation can run verbatim after the
 // fill it raced.
 func (m *Machine) sharerInvalNow(n topology.NodeID, pm *msg, final bool) {
-	txn := pm.txn
-	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheInvalidate, func() {
-		if !txn.update {
-			m.caches[n].Invalidate(pm.block)
-		}
-		if pm.retry || !m.Params.Scheme.GatherAck() {
-			// Unicast acknowledgment: the scheme's normal framework, or the
-			// recovery fallback — retried sharers always answer with a
-			// unicast ack so a degraded MI-MA transaction completes on the
-			// UI-UA machinery. Re-invalidating an already-invalid line and
-			// re-acking an already-confirmed sharer are both no-ops.
-			m.server(n).do(m.Params.SendOccupancy, func() {
-				m.send(invalAck, n, txn.home, &msg{typ: invalAck, block: pm.block, from: n, txn: txn})
-			})
-			return
-		}
-		if final {
-			// Last member of the group: launch the i-gather worm — unless
-			// the home gave up on this generation while the inval was in
-			// flight; the retry's unicast invals re-cover the group and the
-			// purged i-ack entries make a stale gather unlaunchable.
-			m.server(n).do(m.Params.SendOccupancy, func() {
-				if txn.rec && (pm.gen != txn.gen || txn.completed) {
-					return
-				}
-				m.sendGather(txn, pm.groupIdx)
-			})
-			return
-		}
-		// Intermediate member: post the ack into the local i-ack buffer
-		// entry the reserve worm left behind; no outgoing message at all —
-		// the point of the MI-MA framework. (Posts for aborted transactions
-		// are absorbed by the network.)
-		m.Net.PostAck(n, txn.id)
-	})
+	fn := m.fnSharerInvalMid
+	if final {
+		fn = m.fnSharerInvalFinal
+	}
+	m.server(n).doCall(m.Params.RecvOccupancy+m.Params.CacheInvalidate, fn, pm, int32(n))
 }
 
 // ownerFetch handles fetchReq (downgrade) and fetchInval (invalidate) at
@@ -629,7 +572,172 @@ func (m *Machine) homeFetchReply(home topology.NodeID, pm *msg) {
 
 // requesterReply completes the processor's outstanding miss.
 func (m *Machine) requesterReply(n topology.NodeID, pm *msg) {
-	m.server(n).do(m.Params.RecvOccupancy+m.Params.CacheAccess, func() {
+	m.server(n).doCall(m.Params.RecvOccupancy+m.Params.CacheAccess, m.fnRequesterReply, pm, int32(n))
+}
+
+// initHandlers binds the hot-path protocol handlers once per machine: each
+// is a single closure over m, scheduled through server.doCall with the
+// message as its argument, so per-delivery dispatch allocates nothing.
+// Handlers that are the terminal consumer of a single-delivery message
+// recycle it with freeMsg; see freeMsg for the aliasing rules.
+func (m *Machine) initHandlers() {
+	m.fnReadIssue = func(a any, i int32) {
+		op := a.(*pendingOp)
+		n := topology.NodeID(i)
+		b := op.block
+		if prev := m.op(n, b); prev != nil && prev.write {
+			// Store-buffer forwarding: our own pending write holds the
+			// value. This must be checked before the cache: an upgrading
+			// write leaves the old Shared copy in place while buffered, and
+			// a read served from that line would see pre-write data —
+			// breaking same-location program order.
+			m.finishHit(n, op)
+			return
+		}
+		if m.caches[n].Lookup(b, false) {
+			m.finishHit(n, op)
+			return
+		}
+		if m.Rec != nil {
+			m.recOp(trace.KindOpMiss, 0, n, op.tok, b)
+		}
+		m.addOp(n, op)
+		m.server(n).doCall(m.Params.SendOccupancy, m.fnSendReadReq, op, int32(n))
+	}
+	m.fnSendReadReq = func(a any, i int32) {
+		op := a.(*pendingOp)
+		n := topology.NodeID(i)
+		rq := m.newMsg()
+		rq.typ, rq.block, rq.from, rq.tok = readReq, op.block, n, op.tok
+		m.send(readReq, n, m.Home(op.block), rq)
+	}
+	m.fnWriteIssue = func(a any, i int32) {
+		op := a.(*pendingOp)
+		n := topology.NodeID(i)
+		b := op.block
+		if m.caches[n].Lookup(b, true) {
+			m.finishHit(n, op)
+			return
+		}
+		if m.Rec != nil {
+			m.recOp(trace.KindOpMiss, trace.FlagWrite, n, op.tok, b)
+		}
+		op.hasCopy = m.caches[n].State(b) == cache.SharedLine
+		m.addOp(n, op)
+		m.server(n).doCall(m.Params.SendOccupancy, m.fnSendWriteReq, op, int32(n))
+	}
+	m.fnSendWriteReq = func(a any, i int32) {
+		op := a.(*pendingOp)
+		n := topology.NodeID(i)
+		rq := m.newMsg()
+		rq.typ, rq.block, rq.from, rq.hasCopy, rq.tok = writeReq, op.block, n, op.hasCopy, op.tok
+		m.send(writeReq, n, m.Home(op.block), rq)
+	}
+	m.fnHomeRecv = func(a any, _ int32) {
+		pm := a.(*msg)
+		q := m.queueFor(pm.block)
+		if q.busy {
+			q.queue.Push(pm)
+			return
+		}
+		q.busy = true
+		m.homeHandle(m.homes.Home(pm.block), pm)
+	}
+	m.fnHomeLookup = func(a any, i int32) {
+		pm := a.(*msg)
+		home := topology.NodeID(i)
+		e := m.dirs[home].Lookup(pm.block)
+		if m.Rec != nil {
+			m.recMsg(trace.KindDirDone, 0, home, 0, pm, 0)
+		}
+		if pm.typ == readReq {
+			m.homeRead(home, e, pm)
+		} else {
+			m.homeWrite(home, e, pm)
+		}
+	}
+	m.fnHomeReadReply = func(a any, i int32) {
+		pm := a.(*msg)
+		b, requester, home := pm.block, pm.from, topology.NodeID(i)
+		reply := m.newMsg()
+		reply.typ, reply.block, reply.from = readReply, b, requester
+		m.send(readReply, home, requester, reply)
+		m.releaseBlock(b)
+		m.freeMsg(pm)
+	}
+	m.fnRecvInvalAck = func(a any, _ int32) {
+		pm := a.(*msg)
+		if pm.txn.rec {
+			pm.txn.sharerAcked(m, pm.from)
+		} else {
+			pm.txn.ackArrived(m)
+		}
+		m.freeMsg(pm)
+	}
+	m.fnRecvGatherAck = func(a any, _ int32) {
+		pm := a.(*msg)
+		if pm.txn.rec {
+			pm.txn.groupAcked(m, pm.groupIdx)
+		} else {
+			pm.txn.ackArrived(m)
+		}
+		m.freeMsg(pm)
+	}
+	// sharerInvalBody is the sharer-side invalidation work previously
+	// inlined in sharerInvalNow; pm is the (shared, multicast) inval
+	// message and is never freed here.
+	sharerInvalBody := func(pm *msg, n topology.NodeID, final bool) {
+		txn := pm.txn
+		if !txn.update {
+			m.caches[n].Invalidate(pm.block)
+		}
+		if pm.retry || !m.Params.Scheme.GatherAck() {
+			// Unicast acknowledgment: the scheme's normal framework, or the
+			// recovery fallback — retried sharers always answer with a
+			// unicast ack so a degraded MI-MA transaction completes on the
+			// UI-UA machinery. Re-invalidating an already-invalid line and
+			// re-acking an already-confirmed sharer are both no-ops.
+			m.server(n).doCall(m.Params.SendOccupancy, m.fnSendInvalAck, pm, int32(n))
+			return
+		}
+		if final {
+			// Last member of the group: launch the i-gather worm — unless
+			// the home gave up on this generation while the inval was in
+			// flight; the retry's unicast invals re-cover the group and the
+			// purged i-ack entries make a stale gather unlaunchable.
+			m.server(n).doCall(m.Params.SendOccupancy, m.fnSendGather, pm, int32(n))
+			return
+		}
+		// Intermediate member: post the ack into the local i-ack buffer
+		// entry the reserve worm left behind; no outgoing message at all —
+		// the point of the MI-MA framework. (Posts for aborted transactions
+		// are absorbed by the network.)
+		m.Net.PostAck(n, txn.id)
+	}
+	m.fnSharerInvalMid = func(a any, i int32) {
+		sharerInvalBody(a.(*msg), topology.NodeID(i), false)
+	}
+	m.fnSharerInvalFinal = func(a any, i int32) {
+		sharerInvalBody(a.(*msg), topology.NodeID(i), true)
+	}
+	m.fnSendInvalAck = func(a any, i int32) {
+		pm := a.(*msg)
+		n := topology.NodeID(i)
+		ack := m.newMsg()
+		ack.typ, ack.block, ack.from, ack.txn = invalAck, pm.block, n, pm.txn
+		m.send(invalAck, n, pm.txn.home, ack)
+	}
+	m.fnSendGather = func(a any, _ int32) {
+		pm := a.(*msg)
+		txn := pm.txn
+		if txn.rec && (pm.gen != txn.gen || txn.completed) {
+			return
+		}
+		m.sendGather(txn, pm.groupIdx)
+	}
+	m.fnRequesterReply = func(a any, i int32) {
+		pm := a.(*msg)
+		n := topology.NodeID(i)
 		op := m.op(n, pm.block)
 		if op == nil {
 			panic("coherence: reply for no outstanding operation")
@@ -681,7 +789,9 @@ func (m *Machine) requesterReply(n topology.NodeID, pm *msg) {
 		for _, fn := range op.afterFill {
 			fn()
 		}
-	})
+		m.freeOp(op)
+		m.freeMsg(pm)
+	}
 }
 
 // notePointerLimit marks a limited directory entry as overflowed once it

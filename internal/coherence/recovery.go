@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -46,7 +47,7 @@ func (m *Machine) armTxnDeadline(t *invalTxn) {
 // abort the fabric-level remains of the current attempt and retry the
 // still-unacknowledged sharers with unicast invalidations.
 func (m *Machine) txnDeadline(t *invalTxn) {
-	t.deadline = nil
+	t.deadline = sim.Handle{}
 	if t.completed {
 		return
 	}
@@ -139,9 +140,9 @@ func (t *invalTxn) checkRecovered(m *Machine) {
 		return
 	}
 	t.completed = true
-	if t.deadline != nil {
+	if t.deadline.Valid() {
 		m.Engine.Cancel(t.deadline)
-		t.deadline = nil
+		t.deadline = sim.Handle{}
 	}
 	t.complete(m)
 }

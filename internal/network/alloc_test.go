@@ -1,0 +1,56 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestWormAllocsPerUnicast pins the pooled worm lifecycle: once the worm
+// free list, path/dest buffers and the engine slab are warm, a full
+// inject-route-deliver-recycle cycle of a NewWorm unicast allocates
+// nothing. This is the allocation ratchet for the network hot path — a
+// regression here means a pooled buffer stopped being reused.
+func TestWormAllocsPerUnicast(t *testing.T) {
+	e := sim.NewEngine()
+	m := topology.NewSquareMesh(4)
+	n := New(e, m, DefaultConfig())
+	delivered := 0
+	n.OnDeliver = func(d Delivery) { delivered++ }
+
+	base := routing.ECube
+	src := m.ID(topology.Coord{X: 0, Y: 0})
+	dst := m.ID(topology.Coord{X: 3, Y: 2})
+
+	sendOne := func() {
+		w := n.NewWorm()
+		path := base.UnicastPathInto(w.TakePathBuf(), m, src, dst)
+		dests := w.TakeDestBuf(len(path))
+		dests[len(path)-1] = true
+		w.Kind = Unicast
+		w.VN = Request
+		w.Path = path
+		w.Dest = dests
+		w.HeaderFlits = n.Cfg.HeaderFlits(1)
+		w.PayloadFlits = 4
+		n.Inject(w)
+		e.Run()
+	}
+
+	// Warm every pool: worm free list, path/dest buffers, engine slab,
+	// waiter queues, per-link stats maps.
+	for i := 0; i < 64; i++ {
+		sendOne()
+	}
+	warm := delivered
+
+	avg := testing.AllocsPerRun(200, sendOne)
+	if avg != 0 {
+		t.Fatalf("allocs per pooled unicast worm = %v, want 0", avg)
+	}
+	if delivered <= warm {
+		t.Fatalf("no deliveries during the measured runs")
+	}
+}

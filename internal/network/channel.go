@@ -1,8 +1,6 @@
 package network
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -12,7 +10,6 @@ import (
 // held exclusively by one worm from header acquisition until the worm's
 // tail crosses it.
 type channel struct {
-	name string
 	busy bool
 
 	// stats
@@ -33,6 +30,27 @@ func (c *channel) utilization(now sim.Time) float64 {
 	return float64(total) / float64(now)
 }
 
+// waiter is one worm queued on a contended resource (virtual-channel set,
+// consumption pool, or i-ack buffer file). The act code tells the network's
+// dispatch what the worm was waiting to do, so a grant resumes it without a
+// per-wait closure allocation.
+type waiter struct {
+	w   *Worm
+	i   int32 // path index the worm is waiting at
+	act uint8
+}
+
+// Waiter actions: what a granted worm does next.
+const (
+	actInject        uint8 = iota // source injection channel grant (i == 0)
+	actReinject                   // re-injection channel grant for a VCT-parked gather
+	actLink                       // link channel grant from Path[i] toward Path[i+1]
+	actConsMulticast              // consumption token at intermediate dest (forward-and-absorb)
+	actConsReserve                // consumption token at intermediate dest (reserve worm)
+	actConsFinal                  // consumption token at the final destination (drain)
+	actIAckReserve                // i-ack buffer entry grant for a reserve worm
+)
+
 // vcSet is the set of virtual channels multiplexed over one physical
 // resource (an injection port or a link). A worm acquires any free lane;
 // when all lanes are busy it queues FIFO for the next release. With one
@@ -42,48 +60,58 @@ func (c *channel) utilization(now sim.Time) float64 {
 // full link rate once granted); the first-order effect of virtual channels
 // — blocked worms no longer blocking the physical link for others — is
 // what the model captures.
+//
+// The set is passive: tryAcquire and release manage lane state, and the
+// Network dispatches granted waiters (see grantVC), keeping the hot path
+// free of closure allocations.
 type vcSet struct {
-	name    string
-	chans   []*channel
-	waiters sim.FIFO[func(*channel)]
+	chans   []channel
+	waiters sim.FIFO[waiter]
 }
 
-func newVCSet(name string, lanes int) *vcSet {
-	s := &vcSet{name: name}
-	for i := 0; i < lanes; i++ {
-		s.chans = append(s.chans, &channel{name: fmt.Sprintf("%s.vc%d", name, i)})
+func newVCSet(lanes int) *vcSet {
+	return &vcSet{chans: make([]channel, lanes)}
+}
+
+func (s *vcSet) hasFree() bool {
+	for i := range s.chans {
+		if !s.chans[i].busy {
+			return true
+		}
 	}
-	return s
+	return false
 }
 
-// acquire grants a free lane immediately (onGrant runs inline) or queues
-// onGrant for the next released lane.
-func (s *vcSet) acquire(now sim.Time, onGrant func(*channel)) {
-	for _, c := range s.chans {
+// tryAcquire grants a free lane, or returns nil when every lane is busy
+// (the caller then queues a waiter).
+func (s *vcSet) tryAcquire(now sim.Time) *channel {
+	for i := range s.chans {
+		c := &s.chans[i]
 		if !c.busy {
 			c.busy = true
 			c.acquired = now
-			onGrant(c)
-			return
+			return c
 		}
 	}
-	s.waiters.Push(onGrant)
+	return nil
 }
 
-// release frees lane c at time now; the head waiter, if any, receives the
-// lane immediately.
-func (s *vcSet) release(c *channel, now sim.Time) {
+// release frees lane c at time now. If a waiter is queued the lane passes
+// directly to it: the waiter is returned (granted == true) with the lane
+// already re-acquired, and the caller must dispatch it.
+func (s *vcSet) release(c *channel, now sim.Time) (wt waiter, granted bool) {
 	if !c.busy {
-		panic("network: release of idle channel " + c.name)
+		panic("network: release of idle channel")
 	}
 	c.busyTotal += now - c.acquired
 	c.busy = false
-	if !s.waiters.Empty() {
-		grant := s.waiters.Pop()
-		c.busy = true
-		c.acquired = now
-		grant(c)
+	if s.waiters.Empty() {
+		return waiter{}, false
 	}
+	wt = s.waiters.Pop()
+	c.busy = true
+	c.acquired = now
+	return wt, true
 }
 
 // consumptionPool is the set of consumption channels from a router
@@ -94,7 +122,7 @@ func (s *vcSet) release(c *channel, now sim.Time) {
 type consumptionPool struct {
 	total   int
 	inUse   int
-	waiters sim.FIFO[func()]
+	waiters sim.FIFO[waiter]
 	peak    int
 }
 
@@ -102,29 +130,29 @@ func newConsumptionPool(n int) *consumptionPool {
 	return &consumptionPool{total: n}
 }
 
-// acquire grants a token immediately when one is free, else queues.
-func (p *consumptionPool) acquire(onGrant func()) {
-	if p.inUse < p.total {
-		p.inUse++
-		if p.inUse > p.peak {
-			p.peak = p.inUse
-		}
-		onGrant()
-		return
+func (p *consumptionPool) hasFree() bool { return p.inUse < p.total }
+
+// tryAcquire takes a token when one is free.
+func (p *consumptionPool) tryAcquire() bool {
+	if p.inUse >= p.total {
+		return false
 	}
-	p.waiters.Push(onGrant)
+	p.inUse++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return true
 }
 
-// release returns a token; the head waiter, if any, is granted immediately
-// (the token passes directly to it).
-func (p *consumptionPool) release() {
+// release returns a token. If a waiter is queued the token passes directly
+// to it (granted == true) and the caller must dispatch it.
+func (p *consumptionPool) release() (wt waiter, granted bool) {
 	if p.inUse <= 0 {
 		panic("network: release of idle consumption channel")
 	}
 	if !p.waiters.Empty() {
-		grant := p.waiters.Pop()
-		grant()
-		return
+		return p.waiters.Pop(), true
 	}
 	p.inUse--
+	return waiter{}, false
 }

@@ -50,27 +50,26 @@ func (n *Network) killWorm(w *Worm) {
 		n.traceWorm(trace.KindWormKill, 0, w, w.Path[w.hopIdx], uint64(w.hopIdx), 0, "")
 	}
 	for j := w.heldFrom; j < len(w.Path); j++ {
-		if w.lanes[j] == nil {
+		lane := w.lanes[j]
+		if lane == nil {
 			continue
 		}
-		if j == 0 || w.wasReinjectedAt(j) {
-			n.injection[w.VN][w.Path[j]].release(w.lanes[j], now)
-		} else {
-			n.linkSet(w, j-1).release(w.lanes[j], now)
-		}
 		w.lanes[j] = nil
+		if j == 0 || w.wasReinjectedAt(j) {
+			n.releaseLane(n.injection[w.VN][w.Path[j]], lane, now)
+		} else {
+			n.releaseLane(n.linkSet(w, j-1), lane, now)
+		}
 	}
 	// Park heldFrom past the end so any already-scheduled staggered release
 	// event (guarded on heldFrom == j) becomes a no-op.
 	w.heldFrom = len(w.Path)
-	// Free consumption channels in path order (never map order) so the
-	// FIFO hand-off to waiting worms is schedule-independent.
-	for j := 0; j < len(w.Path); j++ {
-		if pool, ok := w.consHeld[j]; ok {
-			delete(w.consHeld, j)
-			pool.release()
-		}
+	// consHeld is kept in ascending path order, so the FIFO hand-off to
+	// waiting worms is schedule-independent.
+	for k := range w.consHeld {
+		n.releaseCons(w.consHeld[k].pool)
 	}
+	w.consHeld = w.consHeld[:0]
 	n.outstanding--
 	delete(n.inFlight, w.ID)
 	n.beacon.Mark()
@@ -108,7 +107,19 @@ func (n *Network) AbortTxn(txn uint64) int {
 		}
 	}
 	for _, f := range n.iack {
-		for f.purge(txn) {
+		for {
+			found, discarded, wt, granted := f.purge(txn)
+			if !found {
+				break
+			}
+			if granted {
+				n.dispatchReserve(f, wt)
+			}
+			if discarded != nil {
+				// A parked or in-place-waiting gather worm was discarded
+				// with the entry; drop its await reference.
+				n.wormUnref(discarded)
+			}
 		}
 	}
 	if n.abortedTxns == nil {
@@ -128,6 +139,9 @@ type watchdog struct {
 	interval   sim.Time
 	maxStrikes int
 	onStall    func(diagnosis string)
+	// tick is the bound tick callback, allocated once at StartWatchdog so
+	// re-arming on the injection hot path does not allocate.
+	tick func()
 
 	armed     bool
 	fired     bool
@@ -157,6 +171,7 @@ func (n *Network) StartWatchdog(interval sim.Time, maxStrikes int, onStall func(
 		onStall = func(d string) { panic("network: liveness watchdog: no progress\n" + d) }
 	}
 	n.wd = &watchdog{interval: interval, maxStrikes: maxStrikes, onStall: onStall}
+	n.wd.tick = n.watchdogTick
 }
 
 // WatchdogFired reports whether the liveness watchdog has raised a stall.
@@ -172,7 +187,7 @@ func (n *Network) armWatchdog() {
 	wd.armed = true
 	wd.strikes = 0
 	wd.lastTicks = n.beacon.Ticks()
-	n.Engine.After(wd.interval, n.watchdogTick)
+	n.Engine.After(wd.interval, wd.tick)
 }
 
 func (n *Network) watchdogTick() {
@@ -194,7 +209,7 @@ func (n *Network) watchdogTick() {
 		}
 	}
 	wd.armed = true
-	n.Engine.After(wd.interval, n.watchdogTick)
+	n.Engine.After(wd.interval, wd.tick)
 }
 
 // ProgressTicks exposes the network's progress beacon reading (header

@@ -14,10 +14,14 @@ import (
 // additionally provides a message field that can park a blocked gather
 // worm.
 type iackEntry struct {
-	txn      uint64
-	posted   bool
-	deferred *Worm  // VCT mode: gather worm parked awaiting the post
-	waiting  func() // blocking mode: resume for a gather stalled in place
+	txn    uint64
+	posted bool
+	// A gather worm blocked on the unposted ack: parked in the entry's
+	// message field (VCT deferred mode, parked == true) or stalled in place
+	// holding its channels (blocking mode). gatherI is its path index.
+	gather  *Worm
+	gatherI int32
+	parked  bool
 }
 
 // iackFile is the per-router-interface set of i-ack buffers.
@@ -25,8 +29,9 @@ type iackFile struct {
 	entries []iackEntry
 	free    int
 	// reserveWaiters queues reserve worms stalled on a full buffer file
-	// (hold-and-wait, as the paper describes).
-	reserveWaiters sim.FIFO[func()]
+	// (hold-and-wait, as the paper describes). Grants are dispatched by the
+	// Network when an entry frees.
+	reserveWaiters sim.FIFO[waiter]
 	peakUsed       int
 }
 
@@ -40,16 +45,15 @@ func newIAckFile(n int) *iackFile {
 
 const noTxn = ^uint64(0)
 
-// reserve allocates an entry for txn, calling onGrant once one is
-// available. Multiple reservations for the same txn at the same interface
-// are a protocol bug and panic.
-func (f *iackFile) reserve(txn uint64, onGrant func()) {
+// reserve allocates an entry for txn, reporting false when the file is full
+// (the caller then queues a waiter on reserveWaiters). Multiple reservations
+// for the same txn at the same interface are a protocol bug and panic.
+func (f *iackFile) reserve(txn uint64) bool {
 	if f.find(txn) >= 0 {
 		panic(fmt.Sprintf("network: duplicate i-ack reservation for txn %d", txn))
 	}
 	if f.free == 0 {
-		f.reserveWaiters.Push(func() { f.reserve(txn, onGrant) })
-		return
+		return false
 	}
 	i := f.findFree()
 	f.entries[i] = iackEntry{txn: txn}
@@ -57,13 +61,13 @@ func (f *iackFile) reserve(txn uint64, onGrant func()) {
 	if used := len(f.entries) - f.free; used > f.peakUsed {
 		f.peakUsed = used
 	}
-	onGrant()
+	return true
 }
 
-// post records the local node's invalidation acknowledgment for txn.
-// It returns a parked gather worm to re-inject (VCT mode) or a resume
-// callback (blocking mode), or nil values when no gather is waiting yet.
-func (f *iackFile) post(txn uint64) (deferred *Worm, resume func()) {
+// post records the local node's invalidation acknowledgment for txn and
+// returns the entry, whose gather fields identify a waiting gather worm
+// (if any) for the Network to resume.
+func (f *iackFile) post(txn uint64) *iackEntry {
 	i := f.find(txn)
 	if i < 0 {
 		panic(fmt.Sprintf("network: i-ack post for unreserved txn %d", txn))
@@ -73,68 +77,74 @@ func (f *iackFile) post(txn uint64) (deferred *Worm, resume func()) {
 		panic(fmt.Sprintf("network: duplicate i-ack post for txn %d", txn))
 	}
 	e.posted = true
-	return e.deferred, e.waiting
+	return e
 }
 
 // collect attempts to pick up the posted ack for txn on behalf of a gather
-// worm. It returns true and frees the entry when the ack is present.
-func (f *iackFile) collect(txn uint64) bool {
+// worm. It returns whether the ack was present; when it was, the entry is
+// freed and any unblocked reserve waiter is returned for dispatch.
+func (f *iackFile) collect(txn uint64) (ok bool, wt waiter, granted bool) {
 	i := f.find(txn)
 	if i < 0 {
 		panic(fmt.Sprintf("network: i-ack collect for unreserved txn %d", txn))
 	}
 	if !f.entries[i].posted {
-		return false
+		return false, waiter{}, false
 	}
-	f.releaseEntry(i)
-	return true
+	wt, granted = f.releaseEntry(i)
+	return true, wt, granted
 }
 
 // await registers a blocked gather worm against txn's entry: either parked
-// in the entry's message field (VCT deferred mode, worm non-nil) or
-// stalled in place with a resume callback (blocking mode).
-func (f *iackFile) await(txn uint64, deferred *Worm, resume func()) {
-	i := f.find(txn)
-	if i < 0 {
+// in the entry's message field (VCT deferred mode, parked == true) or
+// stalled in place (blocking mode).
+func (f *iackFile) await(txn uint64, w *Worm, i int32, parked bool) {
+	j := f.find(txn)
+	if j < 0 {
 		panic(fmt.Sprintf("network: i-ack await for unreserved txn %d", txn))
 	}
-	e := &f.entries[i]
-	if e.deferred != nil || e.waiting != nil {
+	e := &f.entries[j]
+	if e.gather != nil {
 		panic(fmt.Sprintf("network: second gather worm waiting on txn %d", txn))
 	}
-	e.deferred = deferred
-	e.waiting = resume
+	e.gather = w
+	e.gatherI = i
+	e.parked = parked
 }
 
-// finish frees txn's entry after a previously-waiting gather proceeds.
-func (f *iackFile) finish(txn uint64) {
+// finish frees txn's entry after a previously-waiting gather proceeds. Any
+// unblocked reserve waiter is returned for dispatch.
+func (f *iackFile) finish(txn uint64) (wt waiter, granted bool) {
 	i := f.find(txn)
 	if i < 0 {
 		panic(fmt.Sprintf("network: i-ack finish for unreserved txn %d", txn))
 	}
-	f.releaseEntry(i)
+	return f.releaseEntry(i)
 }
 
-func (f *iackFile) releaseEntry(i int) {
+func (f *iackFile) releaseEntry(i int) (wt waiter, granted bool) {
 	f.entries[i] = iackEntry{txn: noTxn}
 	f.free++
-	if !f.reserveWaiters.Empty() {
-		f.reserveWaiters.Pop()()
+	if f.reserveWaiters.Empty() {
+		return waiter{}, false
 	}
+	return f.reserveWaiters.Pop(), true
 }
 
 // purge frees txn's entry regardless of its state — reserved, posted, or
-// holding a parked/waiting gather worm — discarding any deferred worm or
-// resume closure: the fabric-level transaction abort. It reports whether an
-// entry was found, so callers can loop until every entry for txn is gone.
-func (f *iackFile) purge(txn uint64) bool {
+// holding a parked/waiting gather worm. It returns whether an entry was
+// found (so callers can loop until every entry for txn is gone), the
+// discarded gather worm if one was waiting, and any unblocked reserve
+// waiter for dispatch.
+func (f *iackFile) purge(txn uint64) (found bool, discarded *Worm, wt waiter, granted bool) {
 	for i := range f.entries {
 		if f.entries[i].txn == txn {
-			f.releaseEntry(i)
-			return true
+			discarded = f.entries[i].gather
+			wt, granted = f.releaseEntry(i)
+			return true, discarded, wt, granted
 		}
 	}
-	return false
+	return false, nil, waiter{}, false
 }
 
 func (f *iackFile) find(txn uint64) int {

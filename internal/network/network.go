@@ -116,6 +116,23 @@ type Network struct {
 	cons      []*consumptionPool
 	iack      []*iackFile
 
+	// meshW/meshH cache the mesh dimensions for the ID-delta port
+	// computation on the per-hop hot path.
+	meshW, meshH int
+
+	// Bound event callbacks, allocated once in New: scheduling a hop is
+	// then a pure (fn, worm, index) triple with no per-event closure.
+	fnHeaderAt     func(any, int32)
+	fnServiceNode  func(any, int32)
+	fnAcquireLink  func(any, int32)
+	fnRequestNext  func(any, int32)
+	fnDrainRel     func(any, int32)
+	fnDrainEnd     func(any, int32)
+	fnLocalDeliver func(any, int32)
+
+	// freeWorms pools retired worms created by NewWorm for reuse.
+	freeWorms []*Worm
+
 	nextID      uint64
 	outstanding int
 	stats       Stats
@@ -141,17 +158,21 @@ func New(engine *sim.Engine, mesh *topology.Mesh, cfg Config) *Network {
 	if cfg.VirtualChannels <= 0 {
 		panic("network: need at least one virtual channel per link")
 	}
-	n := &Network{Engine: engine, Mesh: mesh, Cfg: cfg, inFlight: make(map[uint64]*Worm)}
+	n := &Network{
+		Engine: engine, Mesh: mesh, Cfg: cfg,
+		meshW: mesh.Width(), meshH: mesh.Height(),
+		inFlight: make(map[uint64]*Worm),
+	}
 	nodes := mesh.Nodes()
 	for vn := 0; vn < int(numVNs); vn++ {
 		n.injection[vn] = make([]*vcSet, nodes)
 		n.links[vn] = make([][]*vcSet, nodes)
 		for id := 0; id < nodes; id++ {
-			n.injection[vn][id] = newVCSet(fmt.Sprintf("inj%d@%d", vn, id), 1)
+			n.injection[vn][id] = newVCSet(1)
 			n.links[vn][id] = make([]*vcSet, topology.NumPorts)
 			for p := topology.East; p <= topology.South; p++ {
 				if _, ok := mesh.Neighbor(topology.NodeID(id), p); ok {
-					n.links[vn][id][p] = newVCSet(fmt.Sprintf("link%d@%d.%v", vn, id, p), cfg.VirtualChannels)
+					n.links[vn][id][p] = newVCSet(cfg.VirtualChannels)
 				}
 			}
 		}
@@ -161,6 +182,50 @@ func New(engine *sim.Engine, mesh *topology.Mesh, cfg Config) *Network {
 	for id := 0; id < nodes; id++ {
 		n.cons[id] = newConsumptionPool(cfg.ConsumptionChannels)
 		n.iack[id] = newIAckFile(cfg.IAckBuffers)
+	}
+	n.fnHeaderAt = func(a any, i int32) {
+		w := a.(*Worm)
+		n.headerAt(w, int(i))
+		n.wormUnref(w)
+	}
+	n.fnServiceNode = func(a any, i int32) {
+		w := a.(*Worm)
+		n.serviceNode(w, int(i))
+		n.wormUnref(w)
+	}
+	n.fnAcquireLink = func(a any, i int32) {
+		w := a.(*Worm)
+		n.acquireLink(w, int(i))
+		n.wormUnref(w)
+	}
+	n.fnRequestNext = func(a any, i int32) {
+		w := a.(*Worm)
+		n.requestNext(w, int(i))
+		n.wormUnref(w)
+	}
+	n.fnDrainRel = func(a any, i int32) {
+		w := a.(*Worm)
+		if w.heldFrom == int(i) {
+			n.releaseIndex(w, int(i), n.Engine.Now())
+		}
+		n.wormUnref(w)
+	}
+	n.fnDrainEnd = func(a any, _ int32) {
+		w := a.(*Worm)
+		end := n.Engine.Now()
+		for w.heldFrom < len(w.Path) {
+			n.releaseIndex(w, w.heldFrom, end)
+		}
+		n.releaseCons(n.cons[w.Final()])
+		n.finishWorm(w)
+		n.wormUnref(w)
+	}
+	n.fnLocalDeliver = func(a any, _ int32) {
+		w := a.(*Worm)
+		if w.state != wormKilled {
+			n.finishWorm(w)
+		}
+		n.wormUnref(w)
 	}
 	return n
 }
@@ -172,12 +237,100 @@ func (n *Network) Outstanding() int { return n.outstanding }
 // Stats returns a copy of the aggregate counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// NewWorm returns a worm from the network's free pool (or a fresh pooled
+// one). Pooled worms are recycled automatically once fully consumed (or
+// killed) and every scheduled callback referencing them has drained, so the
+// protocol layer must not retain the pointer past the delivery callback.
+// Worms constructed directly as literals are never pooled and stay
+// inspectable after completion.
+func (n *Network) NewWorm() *Worm {
+	if k := len(n.freeWorms) - 1; k >= 0 {
+		w := n.freeWorms[k]
+		n.freeWorms[k] = nil
+		n.freeWorms = n.freeWorms[:k]
+		return w
+	}
+	return &Worm{pooled: true}
+}
+
+// recycleWorm resets a retired pooled worm, reclaiming its owned buffers,
+// and returns it to the free pool.
+func (n *Network) recycleWorm(w *Worm) {
+	if w.ownsPath {
+		w.pathBuf = w.Path[:0]
+	}
+	if w.ownsDest {
+		w.destBuf = w.Dest[:0]
+	}
+	*w = Worm{
+		pooled:       true,
+		pathBuf:      w.pathBuf,
+		destBuf:      w.destBuf,
+		held:         w.held[:0],
+		lanes:        w.lanes[:0],
+		consHeld:     w.consHeld[:0],
+		reinjectedAt: w.reinjectedAt[:0],
+	}
+	n.freeWorms = append(n.freeWorms, w)
+}
+
+func (n *Network) wormRef(w *Worm) { w.refs++ }
+
+func (n *Network) wormUnref(w *Worm) {
+	w.refs--
+	if w.refs == 0 && w.pooled && (w.state == wormDone || w.state == wormKilled) {
+		n.recycleWorm(w)
+	}
+}
+
+// schedWorm schedules fn(w, i) after d, holding a reference on w until the
+// callback wrapper releases it.
+func (n *Network) schedWorm(d sim.Time, fn func(any, int32), w *Worm, i int32) {
+	w.refs++
+	n.Engine.AfterCall(d, fn, w, i)
+}
+
+// schedWormAt is schedWorm with an absolute fire time.
+func (n *Network) schedWormAt(t sim.Time, fn func(any, int32), w *Worm, i int32) {
+	w.refs++
+	n.Engine.AtCall(t, fn, w, i)
+}
+
 // linkSet returns the virtual channel set from Path[i] to Path[i+1] of w.
 func (n *Network) linkSet(w *Worm, i int) *vcSet {
 	from, to := w.Path[i], w.Path[i+1]
-	for p := topology.East; p <= topology.South; p++ {
-		if nb, ok := n.Mesh.Neighbor(from, p); ok && nb == to {
-			return n.links[w.VN][from][p]
+	set := n.links[w.VN][from][n.portBetween(from, to)]
+	if set == nil {
+		panic("network: no link between consecutive path nodes")
+	}
+	return set
+}
+
+// portBetween computes the outgoing port from a node to an adjacent node
+// from the ID delta alone. Paths are validated hop-contiguous at Inject and
+// torus dimensions are >= 3 by construction, so the delta is unambiguous
+// (checking the row deltas first also covers degenerate 1-wide meshes).
+func (n *Network) portBetween(from, to topology.NodeID) topology.Port {
+	switch int(to) - int(from) {
+	case n.meshW:
+		return topology.North
+	case -n.meshW:
+		return topology.South
+	case 1:
+		return topology.East
+	case -1:
+		return topology.West
+	}
+	if n.Mesh.Wrap() {
+		switch int(to) - int(from) {
+		case -(n.meshW - 1):
+			return topology.East
+		case n.meshW - 1:
+			return topology.West
+		case -n.meshW * (n.meshH - 1):
+			return topology.North
+		case n.meshW * (n.meshH - 1):
+			return topology.South
 		}
 	}
 	panic("network: no link between consecutive path nodes")
@@ -195,10 +348,27 @@ func (n *Network) Inject(w *Worm) {
 	w.net = n
 	w.injectedAt = n.Engine.Now()
 	w.state = wormInjecting
-	w.held = make([]sim.Time, len(w.Path))
-	w.lanes = make([]*channel, len(w.Path))
+	npath := len(w.Path)
+	if cap(w.held) < npath {
+		w.held = make([]sim.Time, npath)
+	} else {
+		w.held = w.held[:npath]
+		for k := range w.held {
+			w.held[k] = 0
+		}
+	}
+	if cap(w.lanes) < npath {
+		w.lanes = make([]*channel, npath)
+	} else {
+		w.lanes = w.lanes[:npath]
+		for k := range w.lanes {
+			w.lanes[k] = nil
+		}
+	}
 	w.heldFrom = 0
-	w.consHeld = make(map[int]*consumptionPool)
+	w.hopIdx = 0
+	w.consHeld = w.consHeld[:0]
+	w.reinjectedAt = w.reinjectedAt[:0]
 	n.outstanding++
 	n.stats.Injected++
 	n.inFlight[w.ID] = w
@@ -208,38 +378,59 @@ func (n *Network) Inject(w *Worm) {
 		n.traceWorm(trace.KindWormInject, uint8(w.VN), w, w.Source(), uint64(w.Flits()), uint64(w.Hops()), w.Kind.String())
 	}
 
-	if len(w.Path) == 1 {
+	if npath == 1 {
 		// Degenerate local delivery: no network resources used.
-		n.Engine.After(n.Cfg.InjectDelay+sim.Time(w.Flits())*n.Cfg.FlitCycles, func() {
-			if w.state == wormKilled {
-				return
-			}
-			n.finishWorm(w)
-		})
+		n.schedWorm(n.Cfg.InjectDelay+sim.Time(w.Flits())*n.Cfg.FlitCycles, n.fnLocalDeliver, w, 0)
 		return
 	}
 	inj := n.injection[w.VN][w.Source()]
-	blocked := false
-	if n.Rec != nil && !inj.hasFree() {
-		blocked = true
-		n.traceWorm(trace.KindWormBlock, trace.BlockInjection, w, w.Source(), 0, 0, "")
-	}
-	inj.acquire(n.Engine.Now(), func(lane *channel) {
-		if w.state == wormKilled {
-			inj.release(lane, n.Engine.Now())
-			return
-		}
+	lane := inj.tryAcquire(n.Engine.Now())
+	if lane == nil {
 		if n.Rec != nil {
-			if blocked {
+			n.traceWorm(trace.KindWormBlock, trace.BlockInjection, w, w.Source(), 0, 0, "")
+		}
+		n.wormRef(w)
+		inj.waiters.Push(waiter{w: w, act: actInject})
+		return
+	}
+	n.grantInjection(w, 0, inj, lane, false, false)
+}
+
+// grantInjection runs when w is granted an injection-port lane: at the
+// source (reinject == false) or at a re-injection router for a VCT-parked
+// gather worm (reinject == true, i is the park index).
+func (n *Network) grantInjection(w *Worm, i int32, s *vcSet, lane *channel, wasBlocked, reinject bool) {
+	now := n.Engine.Now()
+	if w.state == wormKilled {
+		n.releaseLane(s, lane, now)
+		return
+	}
+	ii := int(i)
+	if !reinject {
+		if n.Rec != nil {
+			if wasBlocked {
 				n.traceWorm(trace.KindWormGrant, trace.BlockInjection, w, w.Source(), 0, 0, "")
 			}
 			n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Source(), 0, uint64(w.Source()), "")
 		}
-		w.held[0] = n.Engine.Now()
+		w.held[0] = now
 		w.lanes[0] = lane
 		lane.flits.Add(uint64(w.Flits()))
-		n.Engine.After(n.Cfg.InjectDelay, func() { n.headerAt(w, 0) })
-	})
+		n.schedWorm(n.Cfg.InjectDelay, n.fnHeaderAt, w, 0)
+		return
+	}
+	if n.Rec != nil {
+		n.traceWorm(trace.KindWormResume, 0, w, w.Path[ii], uint64(ii), 0, "")
+		n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Path[ii], uint64(ii), uint64(w.Path[ii]), "")
+	}
+	w.held[ii] = now
+	w.lanes[ii] = lane
+	w.heldFrom = ii
+	lane.flits.Add(uint64(w.Flits()))
+	// The parked copy occupies the injection channel as index i; mark it
+	// with a sentinel so releaseIndex releases the right channel.
+	w.reinjectedAt = append(w.reinjectedAt, ii)
+	n.schedWorm(n.Cfg.InjectDelay, n.fnRequestNext, w, i)
 }
 
 // headerAt runs when w's header flit arrives at the router of Path[i]
@@ -272,7 +463,7 @@ func (n *Network) headerAt(w *Worm, i int) {
 			delay += extra
 		}
 	}
-	n.Engine.After(delay, func() { n.serviceNode(w, i) })
+	n.schedWorm(delay, n.fnServiceNode, w, int32(i))
 }
 
 // serviceNode performs destination duties at Path[i] (absorb / reserve /
@@ -290,28 +481,9 @@ func (n *Network) serviceNode(w *Worm, i int) {
 	case Multicast:
 		// Forward-and-absorb: hold a consumption channel while the copy
 		// streams to the node; released when the tail passes.
-		n.acquireCons(w, i, func() { n.requestNext(w, i) })
+		n.acquireCons(w, i, actConsMulticast)
 	case Reserve:
-		n.acquireCons(w, i, func() {
-			file := n.iack[w.Path[i]]
-			blocked := false
-			if n.Rec != nil && file.free == 0 {
-				blocked = true
-				n.traceWorm(trace.KindWormBlock, trace.BlockIAck, w, w.Path[i], uint64(i), 0, "")
-			}
-			file.reserve(w.TxnID, func() {
-				if w.state == wormKilled {
-					// The worm died while its reservation was queued on a
-					// full buffer file; free the freshly granted entry.
-					file.finish(w.TxnID)
-					return
-				}
-				if blocked && n.Rec != nil {
-					n.traceWorm(trace.KindWormGrant, trace.BlockIAck, w, w.Path[i], uint64(i), 0, "")
-				}
-				n.requestNext(w, i)
-			})
-		})
+		n.acquireCons(w, i, actConsReserve)
 	case Gather:
 		n.gatherCollect(w, i)
 	default:
@@ -319,26 +491,72 @@ func (n *Network) serviceNode(w *Worm, i int) {
 	}
 }
 
-func (n *Network) acquireCons(w *Worm, i int, onGrant func()) {
+// acquireCons competes for a consumption-channel token at Path[i]; act says
+// how the worm continues once granted (see grantCons).
+func (n *Network) acquireCons(w *Worm, i int, act uint8) {
 	w.state = wormBlocked
 	pool := n.cons[w.Path[i]]
-	blocked := false
-	if n.Rec != nil && !pool.hasFree() {
-		blocked = true
-		n.traceWorm(trace.KindWormBlock, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+	if !pool.tryAcquire() {
+		if n.Rec != nil {
+			n.traceWorm(trace.KindWormBlock, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+		}
+		n.wormRef(w)
+		pool.waiters.Push(waiter{w: w, i: int32(i), act: act})
+		return
 	}
-	pool.acquire(func() {
-		if w.state == wormKilled {
-			pool.release()
-			return
+	n.grantCons(w, int32(i), pool, act, false)
+}
+
+// grantCons runs when w holds a consumption-channel token at Path[i]: the
+// final drain (actConsFinal) or an intermediate absorb, after which reserve
+// worms additionally claim an i-ack buffer entry.
+func (n *Network) grantCons(w *Worm, i int32, pool *consumptionPool, act uint8, wasBlocked bool) {
+	if w.state == wormKilled {
+		n.releaseCons(pool)
+		return
+	}
+	ii := int(i)
+	if wasBlocked && n.Rec != nil {
+		n.traceWorm(trace.KindWormGrant, trace.BlockCons, w, w.Path[ii], uint64(ii), 0, "")
+	}
+	if act == actConsFinal {
+		n.drain(w)
+		return
+	}
+	w.consHeld = append(w.consHeld, consRef{idx: i, pool: pool})
+	w.state = wormMoving
+	if act == actConsMulticast {
+		n.requestNext(w, ii)
+		return
+	}
+	// actConsReserve: claim an i-ack buffer entry before moving on.
+	file := n.iack[w.Path[ii]]
+	if !file.reserve(w.TxnID) {
+		if n.Rec != nil {
+			n.traceWorm(trace.KindWormBlock, trace.BlockIAck, w, w.Path[ii], uint64(ii), 0, "")
 		}
-		if blocked && n.Rec != nil {
-			n.traceWorm(trace.KindWormGrant, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+		n.wormRef(w)
+		file.reserveWaiters.Push(waiter{w: w, i: i, act: actIAckReserve})
+		return
+	}
+	n.iackReserved(w, i, file, false)
+}
+
+// iackReserved continues a reserve worm after its i-ack buffer entry is
+// allocated at Path[i].
+func (n *Network) iackReserved(w *Worm, i int32, file *iackFile, wasBlocked bool) {
+	if w.state == wormKilled {
+		// The worm died while its reservation was queued on a full buffer
+		// file; free the freshly granted entry.
+		if wt, ok := file.finish(w.TxnID); ok {
+			n.dispatchReserve(file, wt)
 		}
-		w.consHeld[i] = pool
-		w.state = wormMoving
-		onGrant()
-	})
+		return
+	}
+	if wasBlocked && n.Rec != nil {
+		n.traceWorm(trace.KindWormGrant, trace.BlockIAck, w, w.Path[i], uint64(i), 0, "")
+	}
+	n.requestNext(w, int(i))
 }
 
 // gatherCollect implements the i-gather pickup at an intermediate
@@ -347,7 +565,10 @@ func (n *Network) acquireCons(w *Worm, i int, onGrant func()) {
 // (VCT deferred-delivery mode).
 func (n *Network) gatherCollect(w *Worm, i int) {
 	file := n.iack[w.Path[i]]
-	if file.collect(w.TxnID) {
+	if ok, wt, granted := file.collect(w.TxnID); ok {
+		if granted {
+			n.dispatchReserve(file, wt)
+		}
 		n.requestNext(w, i)
 		return
 	}
@@ -368,18 +589,13 @@ func (n *Network) gatherCollect(w *Worm, i int) {
 		for w.heldFrom <= i {
 			n.releaseIndex(w, w.heldFrom, now)
 		}
-		file.await(w.TxnID, w, nil)
+		n.wormRef(w)
+		file.await(w.TxnID, w, int32(i), true)
 		return
 	}
 	w.state = wormBlocked
-	file.await(w.TxnID, nil, func() {
-		file.finish(w.TxnID)
-		if n.Rec != nil {
-			n.traceWorm(trace.KindWormGrant, trace.BlockGather, w, w.Path[i], uint64(i), 0, "")
-		}
-		w.state = wormMoving
-		n.requestNext(w, i)
-	})
+	n.wormRef(w)
+	file.await(w.TxnID, w, int32(i), false)
 }
 
 // PostAck records node's invalidation acknowledgment for txn into the local
@@ -402,14 +618,26 @@ func (n *Network) PostAck(node topology.NodeID, txn uint64) {
 	if n.Rec != nil {
 		n.Rec.Emit(trace.Event{At: n.Engine.Now(), Kind: trace.KindAckPost, Node: int32(node), Txn: txn})
 	}
-	deferred, resume := n.iack[node].post(txn)
-	switch {
-	case deferred != nil:
-		n.iack[node].finish(txn)
-		n.reinjectGather(deferred)
-	case resume != nil:
-		resume()
+	file := n.iack[node]
+	e := file.post(txn)
+	if e.gather == nil {
+		return
 	}
+	w, i, parked := e.gather, int(e.gatherI), e.parked
+	e.gather = nil
+	if wt, ok := file.finish(txn); ok {
+		n.dispatchReserve(file, wt)
+	}
+	if parked {
+		n.reinjectGather(w)
+	} else {
+		if n.Rec != nil {
+			n.traceWorm(trace.KindWormGrant, trace.BlockGather, w, w.Path[i], uint64(i), 0, "")
+		}
+		w.state = wormMoving
+		n.requestNext(w, i)
+	}
+	n.wormUnref(w)
 }
 
 // reinjectGather re-launches a VCT-parked gather worm from the router where
@@ -417,24 +645,13 @@ func (n *Network) PostAck(node topology.NodeID, txn uint64) {
 func (n *Network) reinjectGather(w *Worm) {
 	i := w.hopIdx
 	inj := n.injection[w.VN][w.Path[i]]
-	inj.acquire(n.Engine.Now(), func(lane *channel) {
-		if w.state == wormKilled {
-			inj.release(lane, n.Engine.Now())
-			return
-		}
-		if n.Rec != nil {
-			n.traceWorm(trace.KindWormResume, 0, w, w.Path[i], uint64(i), 0, "")
-			n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Path[i], uint64(i), uint64(w.Path[i]), "")
-		}
-		w.held[i] = n.Engine.Now()
-		w.lanes[i] = lane
-		w.heldFrom = i
-		lane.flits.Add(uint64(w.Flits()))
-		// The parked copy occupies the injection channel as index i; mark it
-		// with a sentinel so releaseIndex releases the right channel.
-		w.reinjectedAt = append(w.reinjectedAt, i)
-		n.Engine.After(n.Cfg.InjectDelay, func() { n.requestNext(w, i) })
-	})
+	lane := inj.tryAcquire(n.Engine.Now())
+	if lane == nil {
+		n.wormRef(w)
+		inj.waiters.Push(waiter{w: w, i: int32(i), act: actReinject})
+		return
+	}
+	n.grantInjection(w, int32(i), inj, lane, false, true)
 }
 
 // requestNext moves w's header from Path[i] toward Path[i+1], or begins the
@@ -447,21 +664,15 @@ func (n *Network) requestNext(w *Worm, i int) {
 	if i == last {
 		w.state = wormBlocked
 		pool := n.cons[w.Path[i]]
-		blocked := false
-		if n.Rec != nil && !pool.hasFree() {
-			blocked = true
-			n.traceWorm(trace.KindWormBlock, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+		if !pool.tryAcquire() {
+			if n.Rec != nil {
+				n.traceWorm(trace.KindWormBlock, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
+			}
+			n.wormRef(w)
+			pool.waiters.Push(waiter{w: w, i: int32(i), act: actConsFinal})
+			return
 		}
-		pool.acquire(func() {
-			if w.state == wormKilled {
-				pool.release()
-				return
-			}
-			if blocked && n.Rec != nil {
-				n.traceWorm(trace.KindWormGrant, trace.BlockCons, w, w.Path[i], uint64(i), 0, "")
-			}
-			n.drain(w, pool)
-		})
+		n.grantCons(w, int32(i), pool, actConsFinal, false)
 		return
 	}
 	if n.Fault != nil {
@@ -474,7 +685,7 @@ func (n *Network) requestNext(w *Worm, i int) {
 				n.traceWorm(trace.KindFaultStall, trace.BlockStall, w, w.Path[i], uint64(i), uint64(stall), "")
 			}
 			w.state = wormBlocked
-			n.Engine.After(stall, func() { n.acquireLink(w, i) })
+			n.schedWorm(stall, n.fnAcquireLink, w, int32(i))
 			return
 		}
 	}
@@ -489,40 +700,97 @@ func (n *Network) acquireLink(w *Worm, i int) {
 	}
 	set := n.linkSet(w, i)
 	w.state = wormBlocked
-	blocked := false
-	if n.Rec != nil && !set.hasFree() {
-		blocked = true
-		n.traceWorm(trace.KindWormBlock, trace.BlockLink, w, w.Path[i], uint64(i), 0, "")
-	}
-	set.acquire(n.Engine.Now(), func(lane *channel) {
-		now := n.Engine.Now()
-		if w.state == wormKilled {
-			set.release(lane, now)
-			return
-		}
+	lane := set.tryAcquire(n.Engine.Now())
+	if lane == nil {
 		if n.Rec != nil {
-			if blocked {
-				n.traceWorm(trace.KindWormGrant, trace.BlockLink, w, w.Path[i], uint64(i), 0, "")
-			}
-			n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Path[i+1], uint64(i+1), uint64(w.Path[i]), "")
+			n.traceWorm(trace.KindWormBlock, trace.BlockLink, w, w.Path[i], uint64(i), 0, "")
 		}
-		w.state = wormMoving
-		w.held[i+1] = now
-		w.lanes[i+1] = lane
-		lane.flits.Add(uint64(w.Flits()))
-		// Tail progress: with single-flit staging, the worm spans at most
-		// Flits() channels; anything further back has been vacated.
-		for w.heldFrom <= i+1-w.Flits() {
-			n.releaseIndex(w, w.heldFrom, now)
+		n.wormRef(w)
+		set.waiters.Push(waiter{w: w, i: int32(i), act: actLink})
+		return
+	}
+	n.grantLink(w, int32(i), set, lane, false)
+}
+
+// grantLink runs when w is granted a lane on the link from Path[i] to
+// Path[i+1]: the header advances and vacated channels release behind the
+// tail.
+func (n *Network) grantLink(w *Worm, i int32, s *vcSet, lane *channel, wasBlocked bool) {
+	now := n.Engine.Now()
+	if w.state == wormKilled {
+		n.releaseLane(s, lane, now)
+		return
+	}
+	ii := int(i)
+	if n.Rec != nil {
+		if wasBlocked {
+			n.traceWorm(trace.KindWormGrant, trace.BlockLink, w, w.Path[ii], uint64(ii), 0, "")
 		}
-		n.Engine.After(n.Cfg.FlitCycles, func() { n.headerAt(w, i+1) })
-	})
+		n.traceWorm(trace.KindWormHold, uint8(w.VN), w, w.Path[ii+1], uint64(ii+1), uint64(w.Path[ii]), "")
+	}
+	w.state = wormMoving
+	w.held[ii+1] = now
+	w.lanes[ii+1] = lane
+	lane.flits.Add(uint64(w.Flits()))
+	// Tail progress: with single-flit staging, the worm spans at most
+	// Flits() channels; anything further back has been vacated.
+	for w.heldFrom <= ii+1-w.Flits() {
+		n.releaseIndex(w, w.heldFrom, now)
+	}
+	n.schedWorm(n.Cfg.FlitCycles, n.fnHeaderAt, w, i+1)
+}
+
+// dispatchVC resumes a worm granted a virtual-channel lane (the lane is
+// already re-acquired by release's direct hand-off).
+func (n *Network) dispatchVC(s *vcSet, wt waiter, lane *channel) {
+	switch wt.act {
+	case actInject:
+		n.grantInjection(wt.w, wt.i, s, lane, true, false)
+	case actReinject:
+		n.grantInjection(wt.w, wt.i, s, lane, true, true)
+	case actLink:
+		n.grantLink(wt.w, wt.i, s, lane, true)
+	default:
+		panic("network: bad waiter action on channel set")
+	}
+	n.wormUnref(wt.w)
+}
+
+// releaseLane frees lane c of set s and dispatches the next waiter, if any.
+func (n *Network) releaseLane(s *vcSet, c *channel, now sim.Time) {
+	if wt, ok := s.release(c, now); ok {
+		n.dispatchVC(s, wt, c)
+	}
+}
+
+// dispatchCons resumes a worm granted a consumption-channel token.
+func (n *Network) dispatchCons(pool *consumptionPool, wt waiter) {
+	n.grantCons(wt.w, wt.i, pool, wt.act, true)
+	n.wormUnref(wt.w)
+}
+
+// releaseCons returns a consumption token and dispatches the next waiter,
+// if any.
+func (n *Network) releaseCons(pool *consumptionPool) {
+	if wt, ok := pool.release(); ok {
+		n.dispatchCons(pool, wt)
+	}
+}
+
+// dispatchReserve resumes a reserve worm whose queued i-ack buffer
+// reservation was just unblocked by a freed entry.
+func (n *Network) dispatchReserve(file *iackFile, wt waiter) {
+	if !file.reserve(wt.w.TxnID) {
+		panic("network: i-ack entry hand-off failed")
+	}
+	n.iackReserved(wt.w, wt.i, file, true)
+	n.wormUnref(wt.w)
 }
 
 // drain consumes the worm at its final destination. The consumption pool
 // token is held until the tail is consumed; held channels release in tail
 // order.
-func (n *Network) drain(w *Worm, pool *consumptionPool) {
+func (n *Network) drain(w *Worm) {
 	w.state = wormDraining
 	if n.Rec != nil {
 		n.traceWorm(trace.KindWormDrain, 0, w, w.Final(), uint64(len(w.Path)-1), 0, "")
@@ -533,7 +801,6 @@ func (n *Network) drain(w *Worm, pool *consumptionPool) {
 	end := start + flits*n.Cfg.FlitCycles
 	// Stagger channel releases as the tail crosses each remaining link.
 	for j := w.heldFrom; j < len(w.Path); j++ {
-		j := j
 		rel := end
 		if behind := hops - sim.Time(j); behind < flits {
 			rel = end - behind*n.Cfg.FlitCycles
@@ -543,19 +810,9 @@ func (n *Network) drain(w *Worm, pool *consumptionPool) {
 		if rel < start {
 			rel = start
 		}
-		n.Engine.At(rel, func() {
-			if w.heldFrom == j {
-				n.releaseIndex(w, j, rel)
-			}
-		})
+		n.schedWormAt(rel, n.fnDrainRel, w, int32(j))
 	}
-	n.Engine.At(end, func() {
-		for w.heldFrom < len(w.Path) {
-			n.releaseIndex(w, w.heldFrom, end)
-		}
-		pool.release()
-		n.finishWorm(w)
-	})
+	n.schedWormAt(end, n.fnDrainEnd, w, 0)
 }
 
 func (n *Network) finishWorm(w *Worm) {
@@ -581,10 +838,11 @@ func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
 	w.heldFrom++
 	n.beacon.Mark()
 	injectionLane := j == 0 || w.wasReinjectedAt(j)
+	lane := w.lanes[j]
 	if injectionLane {
-		n.injection[w.VN][w.Path[j]].release(w.lanes[j], now)
+		n.releaseLane(n.injection[w.VN][w.Path[j]], lane, now)
 	} else {
-		n.linkSet(w, j-1).release(w.lanes[j], now)
+		n.releaseLane(n.linkSet(w, j-1), lane, now)
 	}
 	if n.Rec != nil {
 		from := w.Path[j]
@@ -595,14 +853,19 @@ func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
 	}
 	w.lanes[j] = nil
 	if j > 0 && j < len(w.Path)-1 && w.Dest[j] {
-		if pool, ok := w.consHeld[j]; ok {
-			delete(w.consHeld, j)
-			pool.release()
+		for k := range w.consHeld {
+			if int(w.consHeld[k].idx) != j {
+				continue
+			}
+			pool := w.consHeld[k].pool
+			w.consHeld = append(w.consHeld[:k], w.consHeld[k+1:]...)
+			n.releaseCons(pool)
 			n.stats.Copies++
 			if n.Rec != nil {
 				n.traceWorm(trace.KindWormDeliver, 0, w, w.Path[j], uint64(j), 0, "")
 			}
 			n.OnDeliver(Delivery{Node: w.Path[j], Worm: w, Final: false})
+			break
 		}
 	}
 }
@@ -628,8 +891,8 @@ func (n *Network) AvgLinkUtilization() float64 {
 				if set == nil {
 					continue
 				}
-				for _, ch := range set.chans {
-					sum += ch.utilization(now)
+				for i := range set.chans {
+					sum += set.chans[i].utilization(now)
 					count++
 				}
 			}
@@ -652,8 +915,8 @@ func (n *Network) MaxLinkUtilization() float64 {
 				if set == nil {
 					continue
 				}
-				for _, ch := range set.chans {
-					if u := ch.utilization(now); u > max {
+				for i := range set.chans {
+					if u := set.chans[i].utilization(now); u > max {
 						max = u
 					}
 				}
@@ -747,8 +1010,8 @@ func (n *Network) LinkUtilization(node topology.NodeID, port topology.Port, vn V
 	}
 	now := n.Engine.Now()
 	var sum float64
-	for _, ch := range set.chans {
-		sum += ch.utilization(now)
+	for i := range set.chans {
+		sum += set.chans[i].utilization(now)
 	}
 	return sum / float64(len(set.chans))
 }

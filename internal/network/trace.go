@@ -23,17 +23,3 @@ func (n *Network) traceWorm(kind trace.Kind, flag uint8, w *Worm, node topology.
 		Label: label,
 	})
 }
-
-// hasFree reports whether an acquire would be granted immediately; used
-// only by the tracing hooks to decide whether to record a block/grant
-// pair.
-func (s *vcSet) hasFree() bool {
-	for _, c := range s.chans {
-		if !c.busy {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *consumptionPool) hasFree() bool { return p.inUse < p.total }

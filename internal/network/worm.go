@@ -129,10 +129,56 @@ type Worm struct {
 	held     []sim.Time
 	lanes    []*channel
 	heldFrom int
-	// consHeld maps path indexes to consumption-channel tokens held at
-	// intermediate destinations until the tail passes.
-	consHeld map[int]*consumptionPool
+	// consHeld lists consumption-channel tokens held at intermediate
+	// destinations (ascending path index) until the tail passes.
+	consHeld []consRef
 	net      *Network
+
+	// Pooling state. refs counts live references from scheduled engine
+	// callbacks, resource-queue waiters and i-ack parks; a pooled worm is
+	// recycled once it is done (or killed) and refs drains to zero. pooled
+	// marks worms obtained from Network.NewWorm — only those recycle, so
+	// caller-constructed worms (tests, one-shot traffic) stay inspectable
+	// after completion. ownsPath/ownsDest mark Path/Dest as pool-owned
+	// buffers to reclaim; borrowed slices (e.g. a grouping.Group's path)
+	// are dropped instead.
+	refs     int32
+	pooled   bool
+	ownsPath bool
+	ownsDest bool
+	pathBuf  []topology.NodeID
+	destBuf  []bool
+}
+
+// consRef records one consumption-channel token held at path index idx.
+type consRef struct {
+	idx  int32
+	pool *consumptionPool
+}
+
+// TakePathBuf returns the worm's reusable path buffer (length zero) and
+// marks Path as pool-owned. Callers append the route and assign the result
+// to w.Path before Inject; the buffer's grown capacity is reclaimed when
+// the worm recycles.
+func (w *Worm) TakePathBuf() []topology.NodeID {
+	w.ownsPath = true
+	return w.pathBuf[:0]
+}
+
+// TakeDestBuf returns the worm's reusable destination-flag buffer, sized to
+// n and cleared to false, and marks Dest as pool-owned. Callers set flags
+// and assign it to w.Dest before Inject.
+func (w *Worm) TakeDestBuf(n int) []bool {
+	w.ownsDest = true
+	if cap(w.destBuf) < n {
+		w.destBuf = make([]bool, n)
+	} else {
+		w.destBuf = w.destBuf[:n]
+		for i := range w.destBuf {
+			w.destBuf[i] = false
+		}
+	}
+	return w.destBuf
 }
 
 // Flits returns the total worm length in flits (header plus payload).

@@ -89,7 +89,14 @@ func (b Base) NextPort(m *topology.Mesh, cur, dst topology.NodeID) topology.Port
 // UnicastPath returns the node sequence (inclusive of src and dst) the base
 // routing takes from src to dst.
 func (b Base) UnicastPath(m *topology.Mesh, src, dst topology.NodeID) []topology.NodeID {
-	path := []topology.NodeID{src}
+	return b.UnicastPathInto(nil, m, src, dst)
+}
+
+// UnicastPathInto appends the base path from src to dst (inclusive of both)
+// to buf and returns the result, letting callers reuse a path buffer across
+// sends instead of allocating one per worm.
+func (b Base) UnicastPathInto(buf []topology.NodeID, m *topology.Mesh, src, dst topology.NodeID) []topology.NodeID {
+	path := append(buf, src)
 	cur := src
 	for cur != dst {
 		p := b.NextPort(m, cur, dst)

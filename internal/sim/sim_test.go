@@ -72,12 +72,12 @@ func TestEngineCancelPreventsFiring(t *testing.T) {
 	fired := false
 	ev := e.At(10, func() { fired = true })
 	e.Cancel(ev)
+	if !e.Cancelled(ev) {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
-	}
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
 	}
 }
 
@@ -86,7 +86,7 @@ func TestEngineCancelFiredEventIsNoop(t *testing.T) {
 	ev := e.At(10, func() {})
 	e.Run()
 	e.Cancel(ev) // must not panic or mark cancelled
-	if ev.Cancelled() {
+	if e.Cancelled(ev) {
 		t.Fatal("Cancel after firing marked event cancelled")
 	}
 }
@@ -505,7 +505,7 @@ func TestChaosPreservesTimeOrder(t *testing.T) {
 // queue reports empty.
 func TestEngineCancelRemovesFromPending(t *testing.T) {
 	e := NewEngine()
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 100; i++ {
 		evs = append(evs, e.At(Time(i+1), func() { t.Fatal("cancelled event fired") }))
 	}
@@ -530,7 +530,7 @@ func TestEngineCancelRemovesFromPending(t *testing.T) {
 func TestEngineCancelInterleaved(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 50; i++ {
 		i := i
 		evs = append(evs, e.At(Time(i+1), func() { fired = append(fired, i) }))

@@ -63,6 +63,9 @@ func (p Port) Opposite() Port {
 type Mesh struct {
 	w, h int
 	wrap bool
+	// coords is the precomputed NodeID -> Coord table: Coord sits on the
+	// simulator's per-hop hot path, where a table lookup beats div/mod.
+	coords []Coord
 }
 
 // NewMesh returns a W x H mesh. Both dimensions must be positive.
@@ -70,7 +73,16 @@ func NewMesh(w, h int) *Mesh {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
 	}
-	return &Mesh{w: w, h: h}
+	m := &Mesh{w: w, h: h}
+	m.fillCoords()
+	return m
+}
+
+func (m *Mesh) fillCoords() {
+	m.coords = make([]Coord, m.w*m.h)
+	for i := range m.coords {
+		m.coords[i] = Coord{X: i % m.w, Y: i / m.w}
+	}
 }
 
 // NewSquareMesh returns a k x k mesh, the configuration the paper evaluates.
@@ -83,7 +95,9 @@ func NewTorus(w, h int) *Mesh {
 	if w < 3 || h < 3 {
 		panic(fmt.Sprintf("topology: torus dimensions %dx%d must be >= 3", w, h))
 	}
-	return &Mesh{w: w, h: h, wrap: true}
+	m := &Mesh{w: w, h: h, wrap: true}
+	m.fillCoords()
+	return m
 }
 
 // Wrap reports whether the mesh has wraparound (torus) links.
@@ -115,10 +129,10 @@ func (m *Mesh) ID(c Coord) NodeID {
 // Coord converts a node identifier to its coordinate. It panics on
 // identifiers outside the mesh.
 func (m *Mesh) Coord(id NodeID) Coord {
-	if int(id) < 0 || int(id) >= m.Nodes() {
+	if int(id) < 0 || int(id) >= len(m.coords) {
 		panic(fmt.Sprintf("topology: node %d outside %dx%d mesh", id, m.w, m.h))
 	}
-	return Coord{X: int(id) % m.w, Y: int(id) / m.w}
+	return m.coords[id]
 }
 
 // Distance returns the minimal hop count between two nodes: Manhattan

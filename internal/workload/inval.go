@@ -114,6 +114,11 @@ type InvalResult struct {
 	// Metrics is the machine's full collector, for callers that aggregate
 	// across experiments (the sweep engine merges these).
 	Metrics *metrics.Collector
+	// EngineEvents and EngineCycles are the machine's total fired-event
+	// count and final clock reading — the denominators of the simulator's
+	// own throughput benchmark (cmd/simbench).
+	EngineEvents uint64
+	EngineCycles uint64
 }
 
 // RunInval executes the experiment: for each trial it installs D sharers of
@@ -203,6 +208,8 @@ func RunInval(cfg InvalConfig) InvalResult {
 		res.Drops = drops / n
 	}
 	res.Metrics = m.Metrics
+	res.EngineEvents = m.Engine.Fired()
+	res.EngineCycles = uint64(m.Engine.Now())
 	return res
 }
 
