@@ -1,13 +1,22 @@
 // Command simcheck runs the repository's static-analysis suite: the
-// determinism, maporder, exhaustive and nogoroutine analyzers over the
-// whole module, and (with -cdg) the channel-dependency-graph verification
-// of routing deadlock freedom.
+// determinism, maporder, exhaustive, nogoroutine, lifetime and noalloc
+// analyzers over the whole module, and (with -cdg) the channel-dependency-
+// graph verification of routing deadlock freedom.
 //
 // Usage:
 //
-//	simcheck ./...            # run the code-layer analyzers on the module
-//	simcheck <dir> [dir...]   # analyze specific package directories
-//	simcheck -cdg -mesh 8     # verify CDG acyclicity on meshes up to 8x8
+//	simcheck ./...              # run the code-layer analyzers on the module
+//	simcheck <dir> [dir...]     # analyze specific package directories
+//	simcheck -list              # print the registered analyzers
+//	simcheck -enable lifetime,noalloc ./...   # run only the named analyzers
+//	simcheck -disable exhaustive ./...        # run all but the named ones
+//	simcheck -cdg -mesh 8       # verify CDG acyclicity on meshes up to 8x8
+//
+// Unknown analyzer names in -enable or -disable are an error (exit nonzero).
+// Note the lifetime analyzer resolves //simcheck:pool annotations only
+// within the loaded package set: module-wide runs see every pool API, while
+// a single-directory run misses acquire/release/borrow functions declared
+// in packages outside it.
 //
 // With "./..." (or no arguments) the analyzers cover every module package
 // under the production scoping: the determinism and nogoroutine rules apply
@@ -39,19 +48,67 @@ func main() {
 		cdgOnly = flag.Bool("cdg", false, "verify channel-dependency-graph acyclicity instead of running the code analyzers")
 		mesh    = flag.Int("mesh", 8, "largest k for the k x k meshes the CDG verifier enumerates")
 		verbose = flag.Bool("v", false, "list per-configuration CDG statistics")
+		list    = flag.Bool("list", false, "print the registered analyzers and exit")
+		enable  = flag.String("enable", "", "comma-separated analyzer names to run (default: all registered)")
+		disable = flag.String("disable", "", "comma-separated analyzer names to skip")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Println(a.Name())
+		}
+		return
+	}
 	if *cdgOnly {
 		os.Exit(runCDG(*mesh, *verbose))
 	}
-	os.Exit(runAnalyzers(flag.Args()))
+	os.Exit(runAnalyzers(flag.Args(), *enable, *disable))
+}
+
+// selectAnalyzers filters the registered set by the -enable and -disable
+// flag values; naming an unregistered analyzer is an error.
+func selectAnalyzers(registered []analysis.Analyzer, enable, disable string) ([]analysis.Analyzer, error) {
+	byName := map[string]analysis.Analyzer{}
+	for _, a := range registered {
+		byName[a.Name()] = a
+	}
+	selected := registered
+	if enable != "" {
+		selected = nil
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q in -enable (run simcheck -list)", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if disable != "" {
+		drop := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q in -disable (run simcheck -list)", name)
+			}
+			drop[name] = true
+		}
+		kept := selected[:0:0]
+		for _, a := range selected {
+			if !drop[a.Name()] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	return selected, nil
 }
 
 // runAnalyzers loads and checks the requested packages: the whole module
 // for "./..."-style patterns (or no arguments), or exactly the directories
 // named on the command line.
-func runAnalyzers(args []string) int {
+func runAnalyzers(args []string, enable, disable string) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		log.Fatal(err)
@@ -85,7 +142,13 @@ func runAnalyzers(args []string) int {
 			&analysis.MapOrder{},
 			&analysis.Exhaustive{},
 			&analysis.NoGoroutine{SimCore: all},
+			&analysis.Lifetime{},
+			&analysis.NoAlloc{},
 		}
+	}
+	analyzers, err = selectAnalyzers(analyzers, enable, disable)
+	if err != nil {
+		log.Fatal(err)
 	}
 	diags := analysis.Run(pkgs, analyzers)
 	for _, d := range diags {

@@ -11,9 +11,13 @@
 //     either covers all of the type's constants or carries a panicking
 //     default, so a new message type or port can never be silently dropped.
 //
-// Four analyzers implement the code layer: determinism, maporder,
-// exhaustive and nogoroutine. The design layer — the channel-dependency-
-// graph proof of routing deadlock freedom — lives in the cdg subpackage.
+// Six analyzers implement the code layer: determinism, maporder,
+// exhaustive, nogoroutine, and the two memory-discipline rules lifetime and
+// noalloc (statically enforcing the pooled-object and zero-allocation
+// contracts of the calendar-queue engine; see annotations.go for their
+// //simcheck:pool and //simcheck:noalloc grammar). The design layer — the
+// channel-dependency-graph proof of routing deadlock freedom — lives in the
+// cdg subpackage.
 //
 // A finding can be suppressed by an escape comment on the same line or the
 // line directly above it:
@@ -84,6 +88,8 @@ func DefaultAnalyzers() []Analyzer {
 		&MapOrder{},
 		&Exhaustive{},
 		&NoGoroutine{SimCore: DefaultSimCore},
+		&Lifetime{},
+		&NoAlloc{},
 	}
 }
 
@@ -96,7 +102,14 @@ func determinismScope(path string) bool {
 
 // Run applies every analyzer to every package, drops findings covered by
 // allow comments, and returns the remainder sorted by file, line and rule.
+// Analyzers implementing Preparer see the whole package set first, so
+// cross-package annotation registries (pool APIs) resolve before any Check.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		if p, ok := a.(Preparer); ok {
+			p.Prepare(pkgs)
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg)

@@ -31,6 +31,8 @@ func fixtureAnalyzers() []Analyzer {
 		&MapOrder{},
 		&Exhaustive{},
 		&NoGoroutine{SimCore: anyPackage},
+		&Lifetime{},
+		&NoAlloc{},
 	}
 }
 
@@ -66,6 +68,34 @@ func TestFixtureDiagnostics(t *testing.T) {
 		{"exhaustive_bad", []string{
 			"testdata/src/exhaustive_bad/bad.go:14: exhaustive",
 			"testdata/src/exhaustive_bad/bad.go:24: exhaustive",
+		}},
+		{"lifetime_allow", nil},
+		{"noalloc_allow", nil},
+		{"lifetime_bad", []string{
+			"testdata/src/lifetime_bad/bad.go:40: lifetime", // use-after-release
+			"testdata/src/lifetime_bad/bad.go:46: lifetime", // double-release
+			"testdata/src/lifetime_bad/bad.go:52: lifetime", // release inside loop
+			"testdata/src/lifetime_bad/bad.go:61: lifetime", // use after may-release
+			"testdata/src/lifetime_bad/bad.go:66: lifetime", // borrow escapes to field
+			"testdata/src/lifetime_bad/bad.go:70: lifetime", // borrow escapes to global
+			"testdata/src/lifetime_bad/bad.go:75: lifetime", // borrow captured by closure
+		}},
+		{"noalloc_bad", []string{
+			"testdata/src/noalloc_bad/bad.go:18: noalloc", // capturing closure
+			"testdata/src/noalloc_bad/bad.go:24: noalloc", // boxed return
+			"testdata/src/noalloc_bad/bad.go:29: noalloc", // boxed assignment
+			"testdata/src/noalloc_bad/bad.go:34: noalloc", // explicit interface conversion
+			"testdata/src/noalloc_bad/bad.go:40: noalloc", // boxed argument
+			"testdata/src/noalloc_bad/bad.go:45: noalloc", // variadic interface slice
+			"testdata/src/noalloc_bad/bad.go:50: noalloc", // append not reassigned
+			"testdata/src/noalloc_bad/bad.go:56: noalloc", // make
+			"testdata/src/noalloc_bad/bad.go:57: noalloc", // map literal
+			"testdata/src/noalloc_bad/bad.go:59: noalloc", // slice literal
+			"testdata/src/noalloc_bad/bad.go:61: noalloc", // &composite literal
+			"testdata/src/noalloc_bad/bad.go:66: noalloc", // fmt call
+			"testdata/src/noalloc_bad/bad.go:71: noalloc", // string concatenation
+			"testdata/src/noalloc_bad/bad.go:76: noalloc", // string-to-slice copy
+			"testdata/src/noalloc_bad/bad.go:84: noalloc", // new, in annotated func literal
 		}},
 		{"nogoroutine_bad", []string{
 			"testdata/src/nogoroutine_bad/bad.go:5: nogoroutine",
@@ -103,6 +133,19 @@ func TestDiagnosticMessages(t *testing.T) {
 		{"exhaustive_bad", "switch over state misses done and has no panicking default"},
 		{"exhaustive_bad", "switch over state misses busy, done and its default does not panic"},
 		{"nogoroutine_bad", "go statement in sim-core package"},
+		{"lifetime_bad", "use of o after release at line 39"},
+		{"lifetime_bad", "double release of o; already released at line 45"},
+		{"lifetime_bad", "release of o inside a loop, but it was acquired once outside the loop"},
+		{"lifetime_bad", "borrowed buffer from o escapes into field h.buf"},
+		{"lifetime_bad", "borrowed buffer from o escapes into package-level variable global"},
+		{"lifetime_bad", "borrowed buffer from o captured by closure"},
+		{"noalloc_bad", "func literal captures n; allocates a closure"},
+		{"noalloc_bad", "n (int) is boxed into interface in return"},
+		{"noalloc_bad", "boxes 2 argument(s) into its variadic interface slice"},
+		{"noalloc_bad", "append(s.vals, v) is not reassigned to s.vals; growth allocates"},
+		{"noalloc_bad", "make([]int, n) allocates"},
+		{"noalloc_bad", "call to fmt.Sprintf allocates"},
+		{"noalloc_bad", "string concatenation a + b allocates"},
 	}
 	for _, c := range checks {
 		pkg := loadFixture(t, c.fixture)

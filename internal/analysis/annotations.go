@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file implements the annotation grammar shared by the memory-discipline
+// analyzers (lifetime and noalloc). Two directives mark contracts in source:
+//
+//	//simcheck:pool acquire|release|borrow
+//	//simcheck:noalloc
+//
+// A pool directive goes in the doc comment of a pool API function. "acquire"
+// marks a function whose result is a pooled object; "release" marks the
+// function that returns one to its pool (the released operand is the first
+// argument, or the receiver for argument-less methods); "borrow" marks a
+// method lending out an internal buffer owned by its receiver.
+//
+// A noalloc directive goes in the doc comment of a function declaration, or
+// on the line directly above a func literal (the convention for the bound
+// handler closures in internal/coherence's initHandlers). It asserts the
+// function's steady-state body performs no heap allocation; the noalloc
+// analyzer enforces the assertion statically.
+
+// poolRole classifies a pool API function.
+type poolRole int
+
+const (
+	poolAcquire poolRole = iota
+	poolRelease
+	poolBorrow
+)
+
+func (r poolRole) String() string {
+	switch r {
+	case poolAcquire:
+		return "acquire"
+	case poolRelease:
+		return "release"
+	case poolBorrow:
+		return "borrow"
+	default:
+		panic("analysis: unknown pool role")
+	}
+}
+
+const (
+	poolPrefix    = "//simcheck:pool"
+	noallocMarker = "//simcheck:noalloc"
+)
+
+// poolRegistry maps pool API function objects to their roles. It is built
+// across every package in a Run, so call sites in one package resolve
+// annotations declared in another (coherence calling network.NewWorm).
+type poolRegistry map[types.Object]poolRole
+
+// Preparer is an optional Analyzer extension: Run calls Prepare with the full
+// package set before any per-package Check, letting annotation-driven
+// analyzers build cross-package registries.
+type Preparer interface {
+	Prepare(pkgs []*Package)
+}
+
+// buildPoolRegistry scans every function declaration's doc comment in pkgs
+// for //simcheck:pool directives.
+func buildPoolRegistry(pkgs []*Package) poolRegistry {
+	reg := poolRegistry{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				role, ok := poolDirective(fd.Doc)
+				if !ok {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					reg[obj] = role
+				}
+			}
+		}
+	}
+	return reg
+}
+
+// poolDirective extracts the pool role from a doc comment, if any.
+func poolDirective(doc *ast.CommentGroup) (poolRole, bool) {
+	if doc == nil {
+		return 0, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, poolPrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "acquire":
+			return poolAcquire, true
+		case "release":
+			return poolRelease, true
+		case "borrow":
+			return poolBorrow, true
+		}
+	}
+	return 0, false
+}
+
+// hasNoallocDoc reports whether a declaration doc comment carries the
+// noalloc directive.
+func hasNoallocDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, noallocMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// noallocLitLines collects, per file, the line numbers of free-standing
+// //simcheck:noalloc comments; a func literal starting on such a line or the
+// line directly below is annotated.
+func noallocLitLines(pkg *Package, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, noallocMarker) {
+				lines[pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// calleeObject resolves a call expression to the function object it invokes:
+// a plain function, a method (possibly through a package qualifier), or nil
+// for indirect calls, builtins and conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,585 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Lifetime statically enforces the pooled-object discipline introduced with
+// the allocation-pooling engine work: objects obtained from annotated pool
+// APIs must not be touched after they are released back to their pool, must
+// not be released twice, and buffers borrowed from a pooled object must not
+// outlive it by escaping into foreign structures.
+//
+// Pool APIs are marked with doc-comment directives:
+//
+//	//simcheck:pool acquire   — result is a pooled object
+//	//simcheck:pool release   — first argument (or receiver) returns to pool
+//	//simcheck:pool borrow    — result is a buffer owned by the receiver
+//
+// The pass is an intra-procedural, flow-sensitive walk over each function
+// body. It reports:
+//
+//   - use-after-release: any read, call or store involving a value on a path
+//     after a release of it;
+//   - double-release: a second release of the same value on one path;
+//   - release-inside-loop: a value acquired outside a loop released inside
+//     it (one acquire, many releases);
+//   - borrowed-buffer escape: a borrow result assigned to a package-level
+//     variable, to a field of an object other than the one it was borrowed
+//     from, or captured by a func literal.
+//
+// Conditional releases are treated as releases (may-analysis): a value freed
+// on one branch may not be used on the joined path. Branches that terminate
+// (return, panic, break/continue) do not leak their releases past the join,
+// which keeps the guard-free-return idiom clean. Like every simcheck rule, a
+// finding is suppressed by //simcheck:allow lifetime on or above its line.
+type Lifetime struct {
+	reg poolRegistry
+}
+
+// Name implements Analyzer.
+func (*Lifetime) Name() string { return "lifetime" }
+
+// Prepare implements Preparer: the pool registry spans every package in the
+// run, so call sites resolve annotations declared in other packages.
+func (a *Lifetime) Prepare(pkgs []*Package) { a.reg = buildPoolRegistry(pkgs) }
+
+// Check implements Analyzer.
+func (a *Lifetime) Check(pkg *Package) []Diagnostic {
+	if len(a.reg) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &ltScanner{a: a, pkg: pkg, diags: &diags}
+			s.scanStmts(fd.Body.List, ltState{}, 0)
+		}
+	}
+	return diags
+}
+
+// ltCell is the tracked lifecycle state of one value. Aliased variables
+// share a cell, so a release through any alias poisons all of them.
+type ltCell struct {
+	acquired bool
+	acqLoop  int // loop depth at the acquire site
+	borrowed bool
+	origin   string // borrow receiver, as types.ExprString
+	released bool
+	relLine  int
+}
+
+// ltState maps variables to their cells along the current path.
+type ltState map[*types.Var]*ltCell
+
+// cloneState deep-copies a state while preserving its alias structure.
+func cloneState(st ltState) ltState {
+	seen := map[*ltCell]*ltCell{}
+	out := make(ltState, len(st))
+	for v, c := range st {
+		nc, ok := seen[c]
+		if !ok {
+			cp := *c
+			nc = &cp
+			seen[c] = nc
+		}
+		out[v] = nc
+	}
+	return out
+}
+
+// mergeState folds a branch's final state into the join state: a value
+// may-released, may-acquired or may-borrowed on the branch carries those
+// marks past the join.
+func mergeState(dst, src ltState) {
+	for v, c := range src {
+		d := dst[v]
+		if d == nil {
+			cp := *c
+			dst[v] = &cp
+			continue
+		}
+		if c.released && !d.released {
+			d.released = true
+			d.relLine = c.relLine
+		}
+		if c.acquired && !d.acquired {
+			d.acquired = true
+			d.acqLoop = c.acqLoop
+		}
+		if c.borrowed && !d.borrowed {
+			d.borrowed = true
+			d.origin = c.origin
+		}
+	}
+}
+
+type ltScanner struct {
+	a     *Lifetime
+	pkg   *Package
+	diags *[]Diagnostic
+}
+
+func (s *ltScanner) report(pos ast.Node, format string, args ...any) {
+	*s.diags = append(*s.diags, Diagnostic{
+		Pos:     s.pkg.Fset.Position(pos.Pos()),
+		Rule:    "lifetime",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (s *ltScanner) line(n ast.Node) int { return s.pkg.Fset.Position(n.Pos()).Line }
+
+// varOf resolves an expression to the variable it names, or nil.
+func (s *ltScanner) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := s.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = s.pkg.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// poolCall classifies a call against the registry.
+func (s *ltScanner) poolCall(call *ast.CallExpr) (poolRole, bool) {
+	obj := calleeObject(s.pkg.Info, call)
+	if obj == nil {
+		return 0, false
+	}
+	role, ok := s.a.reg[obj]
+	return role, ok
+}
+
+// releasedOperand returns the expression a release call frees: its first
+// argument, or the method receiver for argument-less release methods.
+func releasedOperand(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) > 0 {
+		return call.Args[0]
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// borrowOrigin returns the receiver expression string of a borrow call.
+func borrowOrigin(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return ""
+}
+
+// scanStmts walks a statement list, reporting findings against st. It
+// returns true when the list terminates abruptly (return/panic/branch), so
+// callers can keep releases on dead-ended branches out of the join.
+func (s *ltScanner) scanStmts(list []ast.Stmt, st ltState, loop int) bool {
+	for _, stmt := range list {
+		if s.scanStmt(stmt, st, loop) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *ltScanner) scanStmt(stmt ast.Stmt, st ltState, loop int) bool {
+	switch stmt := stmt.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		s.scanExpr(stmt.X, st, loop)
+		if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok && isPanicCall(s.pkg.Info, call) {
+			return true
+		}
+		return false
+	case *ast.AssignStmt:
+		s.scanAssign(stmt, st, loop)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					if rhs != nil {
+						s.scanExpr(rhs, st, loop)
+					}
+					s.bindIdent(name, rhs, st, loop)
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		s.scanStmt(stmt.Init, st, loop)
+		s.scanExpr(stmt.Cond, st, loop)
+		thenSt := cloneState(st)
+		thenTerm := s.scanStmts(stmt.Body.List, thenSt, loop)
+		elseTerm := false
+		var elseSt ltState
+		if stmt.Else != nil {
+			elseSt = cloneState(st)
+			elseTerm = s.scanStmt(stmt.Else, elseSt, loop)
+		}
+		if !thenTerm {
+			mergeState(st, thenSt)
+		}
+		if elseSt != nil && !elseTerm {
+			mergeState(st, elseSt)
+		}
+		return thenTerm && stmt.Else != nil && elseTerm
+	case *ast.ForStmt:
+		s.scanStmt(stmt.Init, st, loop)
+		s.scanExpr(stmt.Cond, st, loop)
+		bodySt := cloneState(st)
+		s.scanStmts(stmt.Body.List, bodySt, loop+1)
+		s.scanStmt(stmt.Post, bodySt, loop+1)
+		mergeState(st, bodySt)
+		return false
+	case *ast.RangeStmt:
+		s.scanExpr(stmt.X, st, loop)
+		bodySt := cloneState(st)
+		s.scanStmts(stmt.Body.List, bodySt, loop+1)
+		mergeState(st, bodySt)
+		return false
+	case *ast.SwitchStmt:
+		s.scanStmt(stmt.Init, st, loop)
+		s.scanExpr(stmt.Tag, st, loop)
+		s.scanClauses(stmt.Body, st, loop)
+		return false
+	case *ast.TypeSwitchStmt:
+		s.scanStmt(stmt.Init, st, loop)
+		s.scanStmt(stmt.Assign, st, loop)
+		s.scanClauses(stmt.Body, st, loop)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range stmt.Results {
+			s.scanExpr(r, st, loop)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return s.scanStmts(stmt.List, st, loop)
+	case *ast.LabeledStmt:
+		return s.scanStmt(stmt.Stmt, st, loop)
+	case *ast.DeferStmt:
+		// A deferred release runs at function exit, after every subsequent
+		// use: scan for uses but do not apply release semantics.
+		s.scanCall(stmt.Call, st, loop, false)
+		return false
+	case *ast.GoStmt:
+		s.scanCall(stmt.Call, st, loop, false)
+		return false
+	case *ast.IncDecStmt:
+		s.scanExpr(stmt.X, st, loop)
+		return false
+	case *ast.SendStmt:
+		s.scanExpr(stmt.Chan, st, loop)
+		s.scanExpr(stmt.Value, st, loop)
+		return false
+	case *ast.SelectStmt:
+		s.scanClauses(stmt.Body, st, loop)
+		return false
+	default:
+		return false
+	}
+}
+
+// scanClauses walks switch/select clause bodies, each on a clone of the
+// incoming state, merging the survivors.
+func (s *ltScanner) scanClauses(body *ast.BlockStmt, st ltState, loop int) {
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				s.scanExpr(e, st, loop)
+			}
+			list = cl.Body
+		case *ast.CommClause:
+			s.scanStmt(cl.Comm, st, loop)
+			list = cl.Body
+		}
+		clSt := cloneState(st)
+		if !s.scanStmts(list, clSt, loop) {
+			mergeState(st, clSt)
+		}
+	}
+}
+
+// scanAssign handles classification (acquire, borrow taint, aliasing),
+// rebinding, and the escape checks for borrowed buffers.
+func (s *ltScanner) scanAssign(stmt *ast.AssignStmt, st ltState, loop int) {
+	// Uses on the right-hand side are checked first: assigning a released
+	// value somewhere else is itself a use-after-release.
+	for _, r := range stmt.Rhs {
+		s.scanExpr(r, st, loop)
+	}
+	for i, lhs := range stmt.Lhs {
+		var rhs ast.Expr
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			rhs = stmt.Rhs[i]
+		}
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			s.bindIdent(lhs, rhs, st, loop)
+		case *ast.SelectorExpr:
+			s.scanExpr(lhs.X, st, loop)
+			if cell := s.taintOf(rhs, st); cell != nil && cell.borrowed {
+				base := types.ExprString(lhs.X)
+				if base != cell.origin {
+					s.report(stmt, "borrowed buffer from %s escapes into field %s", cell.origin, types.ExprString(lhs))
+				}
+			}
+		case *ast.IndexExpr:
+			s.scanExpr(lhs.X, st, loop)
+			s.scanExpr(lhs.Index, st, loop)
+		case *ast.StarExpr:
+			s.scanExpr(lhs.X, st, loop)
+		}
+	}
+}
+
+// bindIdent rebinds one identifier from its initializer, classifying pool
+// acquisitions, borrow taints and aliases.
+func (s *ltScanner) bindIdent(id *ast.Ident, rhs ast.Expr, st ltState, loop int) {
+	if id.Name == "_" {
+		return
+	}
+	obj := s.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = s.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	cell := s.cellFor(rhs, st, loop)
+	if cell == nil {
+		delete(st, v)
+		return
+	}
+	st[v] = cell
+	if cell.borrowed && v.Parent() == s.pkg.Types.Scope() {
+		s.report(id, "borrowed buffer from %s escapes into package-level variable %s", cell.origin, id.Name)
+	}
+}
+
+// cellFor classifies an initializer expression: a direct acquire call, an
+// expression tainted by a borrow, or an alias of an already-tracked value.
+func (s *ltScanner) cellFor(rhs ast.Expr, st ltState, loop int) *ltCell {
+	if rhs == nil {
+		return nil
+	}
+	rhs = ast.Unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if role, ok := s.poolCall(call); ok {
+			switch role {
+			case poolAcquire:
+				return &ltCell{acquired: true, acqLoop: loop}
+			case poolBorrow:
+				return &ltCell{borrowed: true, origin: borrowOrigin(call)}
+			case poolRelease:
+				// A release call has no result to track.
+			default:
+				panic("analysis: unknown pool role")
+			}
+		}
+	}
+	// Alias of a tracked variable: share its cell.
+	if v := s.varOf(rhs); v != nil {
+		if cell := st[v]; cell != nil {
+			return cell
+		}
+		return nil
+	}
+	// An expression containing a borrow call (UnicastPathInto(w.TakePathBuf(),
+	// ...)) or a tainted variable (append(path, n)) carries the taint.
+	var found *ltCell
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if role, ok := s.poolCall(n); ok && role == poolBorrow {
+				found = &ltCell{borrowed: true, origin: borrowOrigin(n)}
+				return false
+			}
+		case *ast.Ident:
+			if obj, ok := s.pkg.Info.Uses[n].(*types.Var); ok {
+				if cell := st[obj]; cell != nil && cell.borrowed {
+					found = cell
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// taintOf is cellFor without binding side effects, used for escape checks on
+// field stores.
+func (s *ltScanner) taintOf(rhs ast.Expr, st ltState) *ltCell {
+	if rhs == nil {
+		return nil
+	}
+	return s.cellFor(rhs, st, 0)
+}
+
+// scanExpr walks an expression for uses of released values, release calls,
+// and closures capturing tracked values.
+func (s *ltScanner) scanExpr(e ast.Expr, st ltState, loop int) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		s.checkUse(e, st)
+	case *ast.CallExpr:
+		s.scanCall(e, st, loop, true)
+	case *ast.FuncLit:
+		s.scanFuncLit(e, st)
+	case *ast.SelectorExpr:
+		s.scanExpr(e.X, st, loop)
+	case *ast.ParenExpr:
+		s.scanExpr(e.X, st, loop)
+	case *ast.StarExpr:
+		s.scanExpr(e.X, st, loop)
+	case *ast.UnaryExpr:
+		s.scanExpr(e.X, st, loop)
+	case *ast.BinaryExpr:
+		s.scanExpr(e.X, st, loop)
+		s.scanExpr(e.Y, st, loop)
+	case *ast.IndexExpr:
+		s.scanExpr(e.X, st, loop)
+		s.scanExpr(e.Index, st, loop)
+	case *ast.SliceExpr:
+		s.scanExpr(e.X, st, loop)
+		s.scanExpr(e.Low, st, loop)
+		s.scanExpr(e.High, st, loop)
+		s.scanExpr(e.Max, st, loop)
+	case *ast.TypeAssertExpr:
+		s.scanExpr(e.X, st, loop)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			s.scanExpr(el, st, loop)
+		}
+	case *ast.KeyValueExpr:
+		s.scanExpr(e.Key, st, loop)
+		s.scanExpr(e.Value, st, loop)
+	}
+}
+
+// scanCall handles release semantics and recurses into arguments.
+// applyRelease is false under defer/go, where the release runs later.
+func (s *ltScanner) scanCall(call *ast.CallExpr, st ltState, loop int, applyRelease bool) {
+	role, isPool := s.poolCall(call)
+	if isPool && role == poolRelease && applyRelease {
+		op := releasedOperand(call)
+		// Scan everything except the released operand itself (the release is
+		// not a "use"), then apply the release.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && (len(call.Args) > 0 || sel.X != op) {
+			s.scanExpr(sel.X, st, loop)
+		}
+		for _, a := range call.Args {
+			if a != op {
+				s.scanExpr(a, st, loop)
+			}
+		}
+		if v := s.varOf(op); v != nil {
+			cell := st[v]
+			if cell == nil {
+				cell = &ltCell{}
+				st[v] = cell
+			}
+			if cell.released {
+				s.report(call, "double release of %s; already released at line %d", types.ExprString(op), cell.relLine)
+				return
+			}
+			cell.released = true
+			cell.relLine = s.line(call)
+			if cell.acquired && cell.acqLoop < loop {
+				s.report(call, "release of %s inside a loop, but it was acquired once outside the loop", types.ExprString(op))
+			}
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		s.scanExpr(sel.X, st, loop)
+	}
+	for _, a := range call.Args {
+		s.scanExpr(a, st, loop)
+	}
+}
+
+// checkUse flags a read of a released value.
+func (s *ltScanner) checkUse(id *ast.Ident, st ltState) {
+	v, ok := s.pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if cell := st[v]; cell != nil && cell.released {
+		s.report(id, "use of %s after release at line %d", id.Name, cell.relLine)
+	}
+}
+
+// scanFuncLit checks a closure against the enclosing state — capturing a
+// borrowed buffer or an already-released value — then scans the closure body
+// as its own fresh scope.
+func (s *ltScanner) scanFuncLit(lit *ast.FuncLit, st ltState) {
+	flagged := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.pkg.Info.Uses[id].(*types.Var)
+		if !ok || flagged[v] {
+			return true
+		}
+		cell := st[v]
+		if cell == nil {
+			return true
+		}
+		if cell.borrowed {
+			s.report(id, "borrowed buffer from %s captured by closure", cell.origin)
+			flagged[v] = true
+		} else if cell.released {
+			s.report(id, "use of %s after release at line %d (captured by closure)", id.Name, cell.relLine)
+			flagged[v] = true
+		}
+		return true
+	})
+	s.scanStmts(lit.Body.List, ltState{}, 0)
+}
+
+// isPanicCall reports whether a call invokes the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,415 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc statically enforces //simcheck:noalloc contracts: a function so
+// marked (in its doc comment, or via a free-standing directive directly above
+// a func literal) asserts that its steady-state body performs no heap
+// allocation. The analyzer flags every allocation source it can see in the
+// typed AST, naming the offending expression:
+//
+//   - func literals that capture variables (a closure allocation — the exact
+//     thing AtCall/AfterCall(fn, arg, i) exists to avoid);
+//   - conversions of concrete, non-pointer-shaped values to interface types,
+//     whether explicit, at call-argument positions, in assignments, or in
+//     returns (the value is boxed);
+//   - calls passing arguments through a variadic interface parameter (the
+//     []any itself allocates, as with fmt-style tracing);
+//   - append whose result is not reassigned to its first operand (growth
+//     allocates a new backing array; the x = append(x, ...) reuse idiom is
+//     exempt);
+//   - make, new, map and slice literals, and &composite literals;
+//   - fmt package calls and non-constant string concatenation.
+//
+// Arguments of panic(...) are exempt: a panicking path is cold by
+// definition, and the discipline only covers the steady state. Everything
+// else is suppressed the usual way with //simcheck:allow noalloc.
+type NoAlloc struct{}
+
+// Name implements Analyzer.
+func (*NoAlloc) Name() string { return "noalloc" }
+
+// Check implements Analyzer.
+func (a *NoAlloc) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		litLines := noallocLitLines(pkg, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDoc(fd.Doc) {
+				continue
+			}
+			var sig *types.Signature
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+			newNaChecker(pkg, &diags, sig).checkBody(fd.Body)
+		}
+		if len(litLines) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			line := pkg.Fset.Position(lit.Pos()).Line
+			if !litLines[line] && !litLines[line-1] {
+				return true
+			}
+			sig, _ := pkg.Info.TypeOf(lit).(*types.Signature)
+			newNaChecker(pkg, &diags, sig).checkBody(lit.Body)
+			return false
+		})
+	}
+	return diags
+}
+
+type span struct{ lo, hi token.Pos }
+
+type naChecker struct {
+	pkg         *Package
+	diags       *[]Diagnostic
+	sig         *types.Signature // enclosing signature, for return checks
+	sanctioned  map[*ast.CallExpr]bool
+	innerAdds   map[*ast.BinaryExpr]bool
+	panicRanges []span
+}
+
+func newNaChecker(pkg *Package, diags *[]Diagnostic, sig *types.Signature) *naChecker {
+	return &naChecker{
+		pkg:        pkg,
+		diags:      diags,
+		sig:        sig,
+		sanctioned: map[*ast.CallExpr]bool{},
+		innerAdds:  map[*ast.BinaryExpr]bool{},
+	}
+}
+
+func (c *naChecker) report(n ast.Node, format string, args ...any) {
+	for _, sp := range c.panicRanges {
+		if n.Pos() >= sp.lo && n.Pos() < sp.hi {
+			return // cold panic path
+		}
+	}
+	*c.diags = append(*c.diags, Diagnostic{
+		Pos:     c.pkg.Fset.Position(n.Pos()),
+		Rule:    "noalloc",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *naChecker) typeOf(e ast.Expr) types.Type { return c.pkg.Info.TypeOf(e) }
+
+func (c *naChecker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func (c *naChecker) isStringAdd(e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD {
+		return false
+	}
+	t := c.typeOf(be)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkBody runs the three pre-passes (sanctioned appends, inner string
+// concatenations, panic-argument spans), then walks the body flagging
+// allocation sources. Nested func literals are flagged (if capturing) but
+// never walked — they run under their own contract, if any.
+func (c *naChecker) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 || !c.isBuiltin(call, "append") {
+					continue
+				}
+				lhs := types.ExprString(n.Lhs[i])
+				first := ast.Unparen(call.Args[0])
+				if types.ExprString(first) == lhs {
+					c.sanctioned[call] = true
+					continue
+				}
+				// The in-place removal idiom x = append(x[:k], x[k+1:]...)
+				// reuses x's backing array and never allocates.
+				if se, ok := first.(*ast.SliceExpr); ok && types.ExprString(se.X) == lhs {
+					c.sanctioned[call] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD || !c.isStringAdd(n) {
+				return true
+			}
+			for _, sub := range []ast.Expr{n.X, n.Y} {
+				if sb, ok := ast.Unparen(sub).(*ast.BinaryExpr); ok && c.isStringAdd(sb) {
+					c.innerAdds[sb] = true
+				}
+			}
+		case *ast.CallExpr:
+			if isPanicCall(c.pkg.Info, n) {
+				for _, a := range n.Args {
+					c.panicRanges = append(c.panicRanges, span{a.Pos(), a.End()})
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := c.captures(n); len(caps) > 0 {
+				c.report(n, "func literal captures %s; allocates a closure", strings.Join(caps, ", "))
+			}
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				switch c.typeOf(cl).Underlying().(type) {
+				case *types.Map, *types.Slice:
+					// the composite's own rule reports
+				default:
+					c.report(n, "&%s composite literal allocates", types.ExprString(cl.Type))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.isStringAdd(n) && !c.innerAdds[n] {
+				if tv, ok := c.pkg.Info.Types[n]; ok && tv.Value == nil {
+					c.report(n, "string concatenation %s allocates", types.ExprString(n))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				lhs := ast.Unparen(n.Lhs[i])
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if lt := c.typeOf(lhs); lt != nil {
+					c.checkIfaceConv(n.Rhs[i], lt, "assignment to "+types.ExprString(lhs))
+				}
+			}
+		case *ast.ReturnStmt:
+			if c.sig == nil || c.sig.Results().Len() != len(n.Results) {
+				return true
+			}
+			for i, r := range n.Results {
+				c.checkIfaceConv(r, c.sig.Results().At(i).Type(), "return")
+			}
+		}
+		return true
+	})
+}
+
+// captures lists the outer variables a func literal closes over.
+func (c *naChecker) captures(lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pkg.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Declared outside the literal, but not at package level: captured.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		if v.Parent() == c.pkg.Types.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}
+
+func (c *naChecker) checkCall(call *ast.CallExpr) {
+	// Type conversion?
+	if tv, ok := c.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !c.sanctioned[call] {
+					c.report(call, "%s is not reassigned to %s; growth allocates a new backing array",
+						types.ExprString(call), types.ExprString(call.Args[0]))
+				}
+			case "make":
+				c.report(call, "%s allocates", types.ExprString(call))
+			case "new":
+				c.report(call, "%s allocates", types.ExprString(call))
+			}
+			return
+		}
+	}
+	// fmt package calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pkg.Info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(call, "call to fmt.%s allocates", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Implicit interface conversions at argument positions, and variadic
+	// interface boxing.
+	ft := c.typeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	boxed := 0
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread: the slice is passed through, no boxing
+			}
+			st, ok := params.At(np - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(st.Elem().Underlying()) {
+				boxed++
+			}
+			continue // the per-call boxing diagnostic covers these
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkIfaceConv(arg, pt, "argument to "+types.ExprString(call.Fun))
+	}
+	if boxed > 0 {
+		c.report(call, "call to %s boxes %d argument(s) into its variadic interface slice",
+			types.ExprString(call.Fun), boxed)
+	}
+}
+
+// checkConversion flags explicit conversions that allocate: concrete value
+// to interface, and string <-> byte/rune slice.
+func (c *naChecker) checkConversion(call *ast.CallExpr, target types.Type) {
+	arg := call.Args[0]
+	if types.IsInterface(target.Underlying()) {
+		c.checkIfaceConv(arg, target, "conversion")
+		return
+	}
+	src := c.typeOf(arg)
+	if src == nil {
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	if isByteOrRuneSlice(tu) && isStringType(su) {
+		c.report(call, "%s copies the string into a new slice", types.ExprString(call))
+	}
+	if isStringType(tu) && isByteOrRuneSlice(su) {
+		if tv, ok := c.pkg.Info.Types[call]; !ok || tv.Value == nil {
+			c.report(call, "%s copies the slice into a new string", types.ExprString(call))
+		}
+	}
+}
+
+// checkIfaceConv flags a concrete, non-pointer-shaped, non-constant value
+// reaching an interface-typed slot: the value is boxed on the heap.
+func (c *naChecker) checkIfaceConv(arg ast.Expr, slot types.Type, where string) {
+	if !types.IsInterface(slot.Underlying()) {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[arg]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return // nil and constants get static interface data
+	}
+	at := tv.Type
+	if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at) {
+		return
+	}
+	c.report(arg, "%s (%s) is boxed into interface in %s", types.ExprString(arg), at, where)
+}
+
+// pointerShaped reports whether values of t are stored directly in an
+// interface word (pointer-shaped), so converting one to an interface does
+// not allocate.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 1 && pointerShaped(u.Field(0).Type())
+	case *types.Array:
+		return u.Len() == 1 && pointerShaped(u.Elem())
+	}
+	return false
+}
+
+func isStringType(u types.Type) bool {
+	b, ok := u.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(u types.Type) bool {
+	s, ok := u.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func (c *naChecker) checkComposite(lit *ast.CompositeLit) {
+	t := c.typeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.report(lit, "map literal %s allocates", types.ExprString(lit.Type))
+	case *types.Slice:
+		c.report(lit, "slice literal %s allocates its backing array", types.ExprString(lit.Type))
+	}
+}

@@ -1,0 +1,58 @@
+// Package lifetimeallow carries the same lifetime violations as the bad
+// fixture, each suppressed by an //simcheck:allow lifetime escape comment —
+// proving the suppression convention covers the new rule.
+package lifetimeallow
+
+type obj struct {
+	buf []byte
+	n   int
+}
+
+type pool struct{ free []*obj }
+
+type holder struct{ buf []byte }
+
+//simcheck:pool acquire
+func (p *pool) get() *obj {
+	if len(p.free) == 0 {
+		return &obj{}
+	}
+	o := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return o
+}
+
+//simcheck:pool release
+func (p *pool) put(o *obj) {
+	p.free = append(p.free, o)
+}
+
+//simcheck:pool borrow
+func (o *obj) takeBuf() []byte {
+	return o.buf[:0]
+}
+
+func useAfterRelease(p *pool) int {
+	o := p.get()
+	p.put(o)
+	//simcheck:allow lifetime -- fixture: read of freed object is intentional
+	return o.n
+}
+
+func doubleRelease(p *pool) {
+	o := p.get()
+	p.put(o)
+	p.put(o) //simcheck:allow lifetime -- fixture: double free is intentional
+}
+
+func escapeField(o *obj, h *holder) {
+	b := o.takeBuf()
+	//simcheck:allow lifetime -- fixture: escape is intentional
+	h.buf = b
+}
+
+func captureBorrow(o *obj) func() int {
+	b := o.takeBuf()
+	//simcheck:allow lifetime -- fixture: closure capture is intentional
+	return func() int { return len(b) }
+}

@@ -1,0 +1,107 @@
+// Package lifetimebad violates the pooled-object lifetime discipline in
+// every way the lifetime analyzer detects, and also exercises the patterns
+// it must NOT flag (same-origin stores, guard-free-return, deferred release).
+package lifetimebad
+
+type obj struct {
+	buf []byte
+	n   int
+}
+
+type pool struct{ free []*obj }
+
+type holder struct{ buf []byte }
+
+var global []byte
+
+//simcheck:pool acquire
+func (p *pool) get() *obj {
+	if len(p.free) == 0 {
+		return &obj{}
+	}
+	o := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return o
+}
+
+//simcheck:pool release
+func (p *pool) put(o *obj) {
+	p.free = append(p.free, o)
+}
+
+//simcheck:pool borrow
+func (o *obj) takeBuf() []byte {
+	return o.buf[:0]
+}
+
+func useAfterRelease(p *pool) int {
+	o := p.get()
+	p.put(o)
+	return o.n
+}
+
+func doubleRelease(p *pool) {
+	o := p.get()
+	p.put(o)
+	p.put(o)
+}
+
+func releaseInLoop(p *pool) {
+	o := p.get()
+	for i := 0; i < 4; i++ {
+		p.put(o)
+	}
+}
+
+func mayRelease(p *pool, cond bool) int {
+	o := p.get()
+	if cond {
+		p.put(o)
+	}
+	return o.n
+}
+
+func escapeField(o *obj, h *holder) {
+	b := o.takeBuf()
+	h.buf = b
+}
+
+func escapeGlobal(o *obj) {
+	global = o.takeBuf()
+}
+
+func captureBorrow(o *obj) func() int {
+	b := o.takeBuf()
+	return func() int { return len(b) }
+}
+
+// The rest must stay clean: these are the sanctioned idioms.
+
+func sameOrigin(o *obj) {
+	b := o.takeBuf()
+	b = append(b, 1)
+	o.buf = b
+}
+
+func guardFree(p *pool, o *obj, bad bool) int {
+	if bad {
+		p.put(o)
+		return 0
+	}
+	return o.n
+}
+
+func deferred(p *pool) int {
+	o := p.get()
+	defer p.put(o)
+	return o.n
+}
+
+func reacquire(p *pool) int {
+	o := p.get()
+	p.put(o)
+	o = p.get()
+	n := o.n
+	p.put(o)
+	return n
+}

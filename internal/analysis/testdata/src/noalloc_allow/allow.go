@@ -1,0 +1,27 @@
+// Package noallocallow carries noalloc violations suppressed by
+// //simcheck:allow noalloc escape comments — proving the suppression
+// convention covers the new rule.
+package noallocallow
+
+type sink struct{ vals []int }
+
+func sinkAny(v any) {}
+
+//simcheck:noalloc
+func capturing(n int) func() int {
+	//simcheck:allow noalloc -- fixture: closure is intentional
+	f := func() int { return n }
+	return f
+}
+
+//simcheck:noalloc
+func boxArg(n int) {
+	sinkAny(n) //simcheck:allow noalloc -- fixture: boxing is intentional
+}
+
+//simcheck:noalloc
+func heap(n int) {
+	//simcheck:allow noalloc -- fixture: growth is amortized
+	buf := make([]int, n)
+	_ = buf
+}

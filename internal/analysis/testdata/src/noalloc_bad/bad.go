@@ -1,0 +1,116 @@
+// Package noallocbad violates every //simcheck:noalloc contract the noalloc
+// analyzer detects, and exercises the patterns it must NOT flag (append
+// reuse, pointer-shaped interface conversions, panic arguments).
+package noallocbad
+
+import "fmt"
+
+type sink struct{ vals []int }
+
+var x any
+
+func sinkAny(v any) {}
+
+func sprint(args ...any) {}
+
+//simcheck:noalloc
+func capturing(n int) func() int {
+	f := func() int { return n }
+	return f
+}
+
+//simcheck:noalloc
+func boxReturn(n int) any {
+	return n
+}
+
+//simcheck:noalloc
+func boxAssign(n int) {
+	x = n
+}
+
+//simcheck:noalloc
+func boxConvert(n int) int {
+	v := any(n)
+	return v.(int)
+}
+
+//simcheck:noalloc
+func boxArg(n int) {
+	sinkAny(n)
+}
+
+//simcheck:noalloc
+func boxVariadic(n int) {
+	sprint(n, n)
+}
+
+//simcheck:noalloc
+func badAppend(s *sink, v int) []int {
+	t := append(s.vals, v)
+	return t
+}
+
+//simcheck:noalloc
+func heap(n int) *sink {
+	_ = make([]int, n)
+	m := map[int]int{}
+	_ = m
+	sl := []int{1, 2, 3}
+	_ = sl
+	return &sink{}
+}
+
+//simcheck:noalloc
+func format(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+//simcheck:noalloc
+func concat(a, b string) string {
+	return a + b
+}
+
+//simcheck:noalloc
+func toBytes(s string) []byte {
+	return []byte(s)
+}
+
+var handler func(int)
+
+func install() {
+	//simcheck:noalloc
+	handler = func(v int) {
+		_ = new(int)
+	}
+}
+
+// The rest must stay clean: sanctioned idioms inside noalloc functions.
+
+//simcheck:noalloc
+func goodAppend(s *sink, v int) {
+	s.vals = append(s.vals, v)
+}
+
+//simcheck:noalloc
+func passPtr(s *sink) {
+	sinkAny(s)
+}
+
+//simcheck:noalloc
+func coldPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n))
+	}
+}
+
+//simcheck:noalloc
+func constIface() {
+	sinkAny(nil)
+	sinkAny("static")
+}
+
+// Unannotated functions may allocate freely.
+func unchecked(n int) []int {
+	return append([]int{}, n)
+}

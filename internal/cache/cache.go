@@ -49,9 +49,16 @@ type Stats struct {
 
 // Cache is one node's cache. Capacity is in lines; zero means unbounded
 // (the paper-style "no conflict misses" configuration).
+//
+// Invalidated and evicted lines are tombstoned (state Invalid) rather than
+// deleted, so the steady-state invalidate/refill churn of the coherence
+// protocol reuses the same line records instead of allocating: the map
+// grows with the number of distinct blocks a node ever caches, while
+// capacity accounting tracks only the valid lines.
 type Cache struct {
 	capacity int
 	lines    map[directory.BlockID]*line
+	valid    int // lines in a non-Invalid state
 	clock    uint64
 	stats    Stats
 
@@ -87,6 +94,8 @@ func (c *Cache) State(b directory.BlockID) LineState {
 // Lookup records an access for purposes of hit/miss accounting and LRU,
 // and reports whether the access hits: reads hit in SharedLine or
 // ModifiedLine; writes hit only in ModifiedLine.
+//
+//simcheck:noalloc
 func (c *Cache) Lookup(b directory.BlockID, write bool) bool {
 	c.clock++
 	l, ok := c.lines[b]
@@ -105,25 +114,34 @@ func (c *Cache) Lookup(b directory.BlockID, write bool) bool {
 // the block evicted to make room, if any (victim selection is LRU among
 // valid lines; ModifiedLine victims are reported so the protocol can write
 // them back).
+//
+//simcheck:noalloc
 func (c *Cache) Fill(b directory.BlockID, s LineState) (victim directory.BlockID, victimState LineState, evicted bool) {
 	if s == Invalid {
 		panic("cache: Fill with Invalid state")
 	}
 	c.clock++
-	if l, ok := c.lines[b]; ok {
+	l, ok := c.lines[b]
+	if ok && l.state != Invalid {
 		prev := l.state
 		l.state = s
 		l.lru = c.clock
 		c.notify(b, prev, s)
 		return 0, Invalid, false
 	}
-	if c.capacity > 0 && c.validCount() >= c.capacity {
+	if c.capacity > 0 && c.valid >= c.capacity {
 		victim, victimState = c.evictLRU()
 		evicted = true
 		c.stats.Evictions++
 		c.notify(victim, victimState, Invalid)
 	}
-	c.lines[b] = &line{state: s, lru: c.clock}
+	if ok {
+		l.state, l.lru = s, c.clock
+	} else {
+		//simcheck:allow noalloc -- first touch of a block; refills reuse the tombstoned line
+		c.lines[b] = &line{state: s, lru: c.clock}
+	}
+	c.valid++
 	c.notify(b, Invalid, s)
 	return victim, victimState, evicted
 }
@@ -131,13 +149,16 @@ func (c *Cache) Fill(b directory.BlockID, s LineState) (victim directory.BlockID
 // Invalidate drops block from the cache (invalidation request from home).
 // It returns the state the line was in so the protocol can detect races
 // (invalidating an Invalid line is allowed and returns Invalid).
+//
+//simcheck:noalloc
 func (c *Cache) Invalidate(b directory.BlockID) LineState {
 	l, ok := c.lines[b]
 	if !ok || l.state == Invalid {
 		return Invalid
 	}
 	prev := l.state
-	delete(c.lines, b)
+	l.state = Invalid
+	c.valid--
 	c.stats.Invalidates++
 	c.notify(b, prev, Invalid)
 	return prev
@@ -160,22 +181,27 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ValidLines returns the number of valid lines currently held.
 func (c *Cache) ValidLines() int { return c.validCount() }
 
-func (c *Cache) validCount() int { return len(c.lines) }
+func (c *Cache) validCount() int { return c.valid }
 
 func (c *Cache) evictLRU() (directory.BlockID, LineState) {
 	var victim directory.BlockID
-	var vs LineState
+	var vl *line
 	first := true
 	var oldest uint64
 	for b, l := range c.lines {
+		if l.state == Invalid {
+			continue
+		}
 		if first || l.lru < oldest || (l.lru == oldest && b < victim) {
-			victim, vs, oldest = b, l.state, l.lru
+			victim, vl, oldest = b, l, l.lru
 			first = false
 		}
 	}
 	if first {
 		panic("cache: evictLRU on empty cache")
 	}
-	delete(c.lines, victim)
+	vs := vl.state
+	vl.state = Invalid
+	c.valid--
 	return victim, vs
 }

@@ -1,0 +1,73 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/directory"
+	"repro/internal/grouping"
+	"repro/internal/topology"
+)
+
+// TestOpPoolAllocsPerHit pins the pendingOp free list: once the pool and the
+// engine slab are warm, a read hit's full issue-hit-complete cycle (newOp
+// through finishHit/freeOp) allocates nothing. This is the allocation
+// ratchet for the processor-side hot path — a regression here means an op
+// stopped being recycled or a closure crept back into the issue path.
+func TestOpPoolAllocsPerHit(t *testing.T) {
+	m := NewMachine(DefaultParams(4, grouping.UIUA))
+	n := topology.NodeID(0)
+	b := directory.BlockID(1)
+	done := 0
+	onDone := func() { done++ }
+	readOnce := func() {
+		m.Read(n, b, onDone)
+		m.Engine.Run()
+	}
+	// The first read misses and fills; every later read hits. Warm until
+	// simulated time has swept the engine's 1024-bucket calendar several
+	// times over, so every bucket slice, the op pool, and the latency
+	// sample have grown to steady-state capacity.
+	for m.Engine.Now() < 1<<13 {
+		readOnce()
+	}
+	warm := done
+	if avg := testing.AllocsPerRun(200, readOnce); avg != 0 {
+		t.Fatalf("allocs per pooled read hit = %v, want 0", avg)
+	}
+	if done <= warm {
+		t.Fatal("no operations completed during the measured runs")
+	}
+}
+
+// TestMsgPoolAllocsPerMiss pins the msg free list: once warm, a full read
+// miss — readReq worm to the home, directory lookup, readReply worm back,
+// fill and completion — recycles its two pooled messages, its pendingOp and
+// both worms, allocating nothing. The line is invalidated locally between
+// rounds so every measured read takes the whole protocol path.
+func TestMsgPoolAllocsPerMiss(t *testing.T) {
+	m := NewMachine(DefaultParams(4, grouping.UIUA))
+	n := topology.NodeID(0)
+	b := directory.BlockID(1) // home is not node 0: the miss crosses the mesh
+	if m.Home(b) == n {
+		t.Fatal("test wants a remote home")
+	}
+	done := 0
+	onDone := func() { done++ }
+	missOnce := func() {
+		m.Read(n, b, onDone)
+		m.Engine.Run()
+		m.Cache(n).Invalidate(b)
+	}
+	// Warm until simulated time has swept the engine's bucket calendar
+	// several times over (see TestOpPoolAllocsPerHit).
+	for m.Engine.Now() < 1<<14 {
+		missOnce()
+	}
+	warm := done
+	if avg := testing.AllocsPerRun(200, missOnce); avg != 0 {
+		t.Fatalf("allocs per pooled read miss = %v, want 0", avg)
+	}
+	if done <= warm {
+		t.Fatal("no operations completed during the measured runs")
+	}
+}

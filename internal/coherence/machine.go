@@ -108,6 +108,8 @@ type server struct {
 
 // do schedules fn to run after the server has finished earlier work plus
 // cost cycles of its own, and accounts the cost as occupancy.
+//
+//simcheck:noalloc
 func (s *server) do(cost sim.Time, fn func()) {
 	start := s.engine.Now()
 	if s.busyUntil > start {
@@ -125,6 +127,8 @@ func (s *server) do(cost sim.Time, fn func()) {
 // doCall is do for a pre-bound callback: the same occupancy accounting,
 // but scheduling (fn, arg, i) directly so the hot protocol paths run
 // without a per-task closure allocation.
+//
+//simcheck:noalloc
 func (s *server) doCall(cost sim.Time, fn func(any, int32), arg any, i int32) {
 	start := s.engine.Now()
 	if s.busyUntil > start {
@@ -194,9 +198,13 @@ func (m *Machine) server(n topology.NodeID) *server { return m.servers[n] }
 
 // send builds and injects a unicast protocol message. The caller must
 // already have paid SendOccupancy on the sender's server.
+//
+//simcheck:noalloc
 func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
 	m.Metrics.MsgsSent[src]++
-	m.trace(src, "msg.send", payload.block, "%v -> node %d", t, dst)
+	if m.tracer != nil {
+		m.trace(src, "msg.send", payload.block, "%v -> node %d", t, dst) //simcheck:allow noalloc -- tracing-enabled path only
+	}
 	base := m.Params.Scheme.Base()
 	vn := vnFor(t)
 	w := m.Net.NewWorm()
@@ -235,10 +243,14 @@ func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
 
 // sendGroup injects a multidestination invalidation worm (multicast or
 // i-reserve, per the scheme) for one group of a transaction.
+//
+//simcheck:noalloc
 func (m *Machine) sendGroup(txn *invalTxn, gi int) {
 	m.Metrics.MsgsSent[txn.home]++
 	g := txn.groups[gi]
-	m.trace(txn.home, "msg.send", txn.block, "inval worm txn %d group %d -> %d members", txn.id, gi, len(g.Members))
+	if m.tracer != nil {
+		m.trace(txn.home, "msg.send", txn.block, "inval worm txn %d group %d -> %d members", txn.id, gi, len(g.Members)) //simcheck:allow noalloc -- tracing-enabled path only
+	}
 	kind := network.Multicast
 	if m.Params.Scheme.GatherAck() {
 		kind = network.Reserve
@@ -257,6 +269,7 @@ func (m *Machine) sendGroup(txn *invalTxn, gi int) {
 	w.HeaderFlits = m.Params.Net.HeaderFlits(len(g.Members))
 	w.PayloadFlits = payload
 	w.TxnID = txn.id
+	//simcheck:allow noalloc -- multicast payload is deliberately unpooled (aliased by every delivery)
 	w.Tag = &msg{typ: inval, block: txn.block, from: txn.home, txn: txn, groupIdx: gi, gen: txn.gen}
 	w.Expendable = true
 	m.Net.Inject(w)
@@ -267,10 +280,14 @@ func (m *Machine) sendGroup(txn *invalTxn, gi int) {
 
 // sendGather injects the i-gather worm for group gi, launched by the
 // group's last member back to the home node.
+//
+//simcheck:noalloc
 func (m *Machine) sendGather(txn *invalTxn, gi int) {
 	g := txn.groups[gi]
 	m.Metrics.MsgsSent[g.Last()]++
-	m.trace(g.Last(), "msg.send", txn.block, "gather worm txn %d group %d -> home %d", txn.id, gi, txn.home)
+	if m.tracer != nil {
+		m.trace(g.Last(), "msg.send", txn.block, "gather worm txn %d group %d -> home %d", txn.id, gi, txn.home) //simcheck:allow noalloc -- tracing-enabled path only
+	}
 	w := m.Net.NewWorm()
 	// The gather worm retraces the group path backwards (reply network =
 	// reverse base routing, so the path stays BRCP-conformed).
@@ -281,6 +298,7 @@ func (m *Machine) sendGather(txn *invalTxn, gi int) {
 	// Pick-up points: every member except the launcher, plus the home as
 	// final destination.
 	if m.scratchPick == nil {
+		//simcheck:allow noalloc -- one-time scratch buffer, reused thereafter
 		m.scratchPick = make([]bool, m.Mesh.Nodes())
 	}
 	pick := m.scratchPick
@@ -344,6 +362,8 @@ func destFlagsInto(dests []bool, path []topology.NodeID, members []topology.Node
 // payloadFlits returns the payload size of a message type. Under the
 // write-update protocol a writeReq carries the written data, and the
 // update worms (typ inval with an update transaction) carry it onward.
+//
+//simcheck:noalloc
 func (m *Machine) payloadFlits(t msgType) int {
 	if t.carriesData() {
 		return m.Params.dataFlits()
@@ -358,6 +378,8 @@ func (m *Machine) payloadFlits(t msgType) int {
 // recovery-fallback inval of a write-update transaction carries the data
 // the lost multidestination update worm carried. Everything else defers to
 // the type-only sizing.
+//
+//simcheck:noalloc
 func (m *Machine) payloadFlitsFor(t msgType, pm *msg) int {
 	if pm != nil && pm.retry && pm.txn != nil && pm.txn.update {
 		return m.Params.dataFlits()
@@ -386,9 +408,12 @@ func vnFor(t msgType) network.VN {
 
 // queueFor returns (creating if needed) the per-block home transaction
 // queue.
+//
+//simcheck:noalloc
 func (m *Machine) queueFor(b directory.BlockID) *blockQueue {
 	q := m.pending[b]
 	if q == nil {
+		//simcheck:allow noalloc -- one queue per block, created once and kept
 		q = &blockQueue{}
 		m.pending[b] = q
 	}
@@ -397,6 +422,8 @@ func (m *Machine) queueFor(b directory.BlockID) *blockQueue {
 
 // releaseBlock completes the in-flight transaction on b and starts the next
 // queued request, if any.
+//
+//simcheck:noalloc
 func (m *Machine) releaseBlock(b directory.BlockID) {
 	q := m.queueFor(b)
 	if !q.busy {
@@ -414,6 +441,9 @@ func (m *Machine) releaseBlock(b directory.BlockID) {
 // newMsg returns a protocol message from the free pool (or a fresh one).
 // Pool-allocated messages behave identically to literals; only freeMsg has
 // aliasing rules.
+//
+//simcheck:pool acquire
+//simcheck:noalloc
 func (m *Machine) newMsg() *msg {
 	if k := len(m.freeMsgs) - 1; k >= 0 {
 		pm := m.freeMsgs[k]
@@ -421,6 +451,7 @@ func (m *Machine) newMsg() *msg {
 		m.freeMsgs = m.freeMsgs[:k]
 		return pm
 	}
+	//simcheck:allow noalloc -- cold pool fill; steady state reuses freeMsgs
 	return &msg{}
 }
 
@@ -431,6 +462,9 @@ func (m *Machine) newMsg() *msg {
 // worm and tree messages thread through software forwarding, so those are
 // left to the garbage collector. The pool is bounded so a burst cannot pin
 // memory.
+//
+//simcheck:pool release
+//simcheck:noalloc
 func (m *Machine) freeMsg(pm *msg) {
 	*pm = msg{}
 	if len(m.freeMsgs) < 1024 {

@@ -38,6 +38,9 @@ type pendingOp struct {
 }
 
 // newOp returns a pendingOp from the free pool (or a fresh one).
+//
+//simcheck:pool acquire
+//simcheck:noalloc
 func (m *Machine) newOp() *pendingOp {
 	if k := len(m.freeOps) - 1; k >= 0 {
 		op := m.freeOps[k]
@@ -45,11 +48,15 @@ func (m *Machine) newOp() *pendingOp {
 		m.freeOps = m.freeOps[:k]
 		return op
 	}
+	//simcheck:allow noalloc -- cold pool fill; steady state reuses freeOps
 	return &pendingOp{}
 }
 
 // freeOp recycles a completed operation (hit, or after its fill and
 // deferred afterFill work have run). The pool is bounded.
+//
+//simcheck:pool release
+//simcheck:noalloc
 func (m *Machine) freeOp(op *pendingOp) {
 	for j := range op.afterFill {
 		op.afterFill[j] = nil
@@ -64,6 +71,8 @@ func (m *Machine) freeOp(op *pendingOp) {
 
 // finishHit completes an operation that hit in the cache (or the store
 // buffer) at the end of its cache-access stage.
+//
+//simcheck:noalloc
 func (m *Machine) finishHit(n topology.NodeID, op *pendingOp) {
 	now := m.Engine.Now()
 	if op.write {
@@ -83,21 +92,29 @@ func (m *Machine) finishHit(n topology.NodeID, op *pendingOp) {
 // Under sequential consistency it holds at most one entry; under release
 // consistency one read plus any number of buffered writes (each to a
 // distinct block).
+//
+//simcheck:noalloc
 func (m *Machine) ops(n topology.NodeID) map[directory.BlockID]*pendingOp {
 	if m.opsTable == nil {
+		//simcheck:allow noalloc -- lazy one-time table init
 		m.opsTable = make([]map[directory.BlockID]*pendingOp, m.Mesh.Nodes())
 	}
 	if m.opsTable[n] == nil {
+		//simcheck:allow noalloc -- lazy one-time per-node map init
 		m.opsTable[n] = make(map[directory.BlockID]*pendingOp)
 	}
 	return m.opsTable[n]
 }
 
 // op returns node n's outstanding operation on block b, or nil.
+//
+//simcheck:noalloc
 func (m *Machine) op(n topology.NodeID, b directory.BlockID) *pendingOp {
 	return m.ops(n)[b]
 }
 
+//
+//simcheck:noalloc
 func (m *Machine) addOp(n topology.NodeID, op *pendingOp) {
 	tab := m.ops(n)
 	if tab[op.block] != nil {
@@ -109,6 +126,8 @@ func (m *Machine) addOp(n topology.NodeID, op *pendingOp) {
 	tab[op.block] = op
 }
 
+//
+//simcheck:noalloc
 func (m *Machine) removeOp(n topology.NodeID, b directory.BlockID) {
 	delete(m.ops(n), b)
 }
@@ -117,6 +136,8 @@ func (m *Machine) removeOp(n topology.NodeID, b directory.BlockID) {
 // when the value is usable. Reads hit in Shared or Modified lines; under
 // release consistency a read of a block with a buffered write outstanding
 // by the same node is forwarded from the store buffer.
+//
+//simcheck:noalloc
 func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 	issue := m.Engine.Now()
 	m.trace(n, "op.issue", b, "read")
@@ -133,6 +154,8 @@ func (m *Machine) Read(n topology.NodeID, b directory.BlockID, done func()) {
 // Write performs a shared-memory write by node n to block b, invoking done
 // when exclusive ownership is granted (sequential consistency: the write
 // completes only after every sharer has acknowledged invalidation).
+//
+//simcheck:noalloc
 func (m *Machine) Write(n topology.NodeID, b directory.BlockID, done func()) {
 	issue := m.Engine.Now()
 	m.trace(n, "op.issue", b, "write")
@@ -245,10 +268,14 @@ func (m *Machine) pendingWrites(n topology.NodeID) *writeBuffer {
 
 // deliver is the network's delivery callback: it dispatches every worm
 // arrival to the protocol handler for its message type.
+//
+//simcheck:noalloc
 func (m *Machine) deliver(d network.Delivery) {
 	pm := d.Worm.Tag.(*msg)
 	m.Metrics.MsgsRecv[d.Node]++
-	m.trace(d.Node, "msg.recv", pm.block, "%v from node %d (final=%v)", pm.typ, d.Worm.Source(), d.Final)
+	if m.tracer != nil {
+		m.trace(d.Node, "msg.recv", pm.block, "%v from node %d (final=%v)", pm.typ, d.Worm.Source(), d.Final) //simcheck:allow noalloc -- tracing-enabled path only
+	}
 	if m.Rec != nil {
 		flag := trace.FlagNone
 		if d.Final {
@@ -295,6 +322,8 @@ func (m *Machine) deliver(d network.Delivery) {
 // homeHandle runs a read or write request at the home once the block is
 // free of earlier transactions. The block is "busy" from here until
 // releaseBlock.
+//
+//simcheck:noalloc
 func (m *Machine) homeHandle(home topology.NodeID, pm *msg) {
 	m.server(home).doCall(m.Params.DirLookup, m.fnHomeLookup, pm, int32(home))
 }
@@ -581,6 +610,7 @@ func (m *Machine) requesterReply(n topology.NodeID, pm *msg) {
 // Handlers that are the terminal consumer of a single-delivery message
 // recycle it with freeMsg; see freeMsg for the aliasing rules.
 func (m *Machine) initHandlers() {
+	//simcheck:noalloc
 	m.fnReadIssue = func(a any, i int32) {
 		op := a.(*pendingOp)
 		n := topology.NodeID(i)
@@ -604,6 +634,7 @@ func (m *Machine) initHandlers() {
 		m.addOp(n, op)
 		m.server(n).doCall(m.Params.SendOccupancy, m.fnSendReadReq, op, int32(n))
 	}
+	//simcheck:noalloc
 	m.fnSendReadReq = func(a any, i int32) {
 		op := a.(*pendingOp)
 		n := topology.NodeID(i)
@@ -611,6 +642,7 @@ func (m *Machine) initHandlers() {
 		rq.typ, rq.block, rq.from, rq.tok = readReq, op.block, n, op.tok
 		m.send(readReq, n, m.Home(op.block), rq)
 	}
+	//simcheck:noalloc
 	m.fnWriteIssue = func(a any, i int32) {
 		op := a.(*pendingOp)
 		n := topology.NodeID(i)
@@ -626,6 +658,7 @@ func (m *Machine) initHandlers() {
 		m.addOp(n, op)
 		m.server(n).doCall(m.Params.SendOccupancy, m.fnSendWriteReq, op, int32(n))
 	}
+	//simcheck:noalloc
 	m.fnSendWriteReq = func(a any, i int32) {
 		op := a.(*pendingOp)
 		n := topology.NodeID(i)
@@ -633,6 +666,7 @@ func (m *Machine) initHandlers() {
 		rq.typ, rq.block, rq.from, rq.hasCopy, rq.tok = writeReq, op.block, n, op.hasCopy, op.tok
 		m.send(writeReq, n, m.Home(op.block), rq)
 	}
+	//simcheck:noalloc
 	m.fnHomeRecv = func(a any, _ int32) {
 		pm := a.(*msg)
 		q := m.queueFor(pm.block)
@@ -643,6 +677,7 @@ func (m *Machine) initHandlers() {
 		q.busy = true
 		m.homeHandle(m.homes.Home(pm.block), pm)
 	}
+	//simcheck:noalloc
 	m.fnHomeLookup = func(a any, i int32) {
 		pm := a.(*msg)
 		home := topology.NodeID(i)
@@ -656,6 +691,7 @@ func (m *Machine) initHandlers() {
 			m.homeWrite(home, e, pm)
 		}
 	}
+	//simcheck:noalloc
 	m.fnHomeReadReply = func(a any, i int32) {
 		pm := a.(*msg)
 		b, requester, home := pm.block, pm.from, topology.NodeID(i)
@@ -665,6 +701,7 @@ func (m *Machine) initHandlers() {
 		m.releaseBlock(b)
 		m.freeMsg(pm)
 	}
+	//simcheck:noalloc
 	m.fnRecvInvalAck = func(a any, _ int32) {
 		pm := a.(*msg)
 		if pm.txn.rec {
@@ -674,6 +711,7 @@ func (m *Machine) initHandlers() {
 		}
 		m.freeMsg(pm)
 	}
+	//simcheck:noalloc
 	m.fnRecvGatherAck = func(a any, _ int32) {
 		pm := a.(*msg)
 		if pm.txn.rec {
@@ -686,6 +724,7 @@ func (m *Machine) initHandlers() {
 	// sharerInvalBody is the sharer-side invalidation work previously
 	// inlined in sharerInvalNow; pm is the (shared, multicast) inval
 	// message and is never freed here.
+	//simcheck:noalloc
 	sharerInvalBody := func(pm *msg, n topology.NodeID, final bool) {
 		txn := pm.txn
 		if !txn.update {
@@ -714,12 +753,15 @@ func (m *Machine) initHandlers() {
 		// are absorbed by the network.)
 		m.Net.PostAck(n, txn.id)
 	}
+	//simcheck:noalloc
 	m.fnSharerInvalMid = func(a any, i int32) {
 		sharerInvalBody(a.(*msg), topology.NodeID(i), false)
 	}
+	//simcheck:noalloc
 	m.fnSharerInvalFinal = func(a any, i int32) {
 		sharerInvalBody(a.(*msg), topology.NodeID(i), true)
 	}
+	//simcheck:noalloc
 	m.fnSendInvalAck = func(a any, i int32) {
 		pm := a.(*msg)
 		n := topology.NodeID(i)
@@ -727,6 +769,7 @@ func (m *Machine) initHandlers() {
 		ack.typ, ack.block, ack.from, ack.txn = invalAck, pm.block, n, pm.txn
 		m.send(invalAck, n, pm.txn.home, ack)
 	}
+	//simcheck:noalloc
 	m.fnSendGather = func(a any, _ int32) {
 		pm := a.(*msg)
 		txn := pm.txn
@@ -735,6 +778,7 @@ func (m *Machine) initHandlers() {
 		}
 		m.sendGather(txn, pm.groupIdx)
 	}
+	//simcheck:noalloc
 	m.fnRequesterReply = func(a any, i int32) {
 		pm := a.(*msg)
 		n := topology.NodeID(i)
@@ -763,6 +807,7 @@ func (m *Machine) initHandlers() {
 			}
 			victim, vs, evicted := m.caches[n].Fill(pm.block, state)
 			if evicted && vs == cache.ModifiedLine {
+				//simcheck:allow noalloc -- modified-line eviction is the cold path
 				m.server(n).do(m.Params.SendOccupancy, func() {
 					m.send(writeback, n, m.Home(victim),
 						&msg{typ: writeback, block: victim, from: n, ownGen: m.ownGenOf(n, victim)})
@@ -770,7 +815,9 @@ func (m *Machine) initHandlers() {
 			}
 		}
 		now := m.Engine.Now()
-		m.trace(n, "op.done", pm.block, "%v after %d cycles", pm.typ, now-simTime(op.issue))
+		if m.tracer != nil {
+			m.trace(n, "op.done", pm.block, "%v after %d cycles", pm.typ, now-simTime(op.issue)) //simcheck:allow noalloc -- tracing-enabled path only
+		}
 		if m.Rec != nil {
 			flag := trace.FlagNone
 			if pm.typ == writeReply {

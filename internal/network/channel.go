@@ -73,6 +73,8 @@ func newVCSet(lanes int) *vcSet {
 	return &vcSet{chans: make([]channel, lanes)}
 }
 
+//
+//simcheck:noalloc
 func (s *vcSet) hasFree() bool {
 	for i := range s.chans {
 		if !s.chans[i].busy {
@@ -84,6 +86,8 @@ func (s *vcSet) hasFree() bool {
 
 // tryAcquire grants a free lane, or returns nil when every lane is busy
 // (the caller then queues a waiter).
+//
+//simcheck:noalloc
 func (s *vcSet) tryAcquire(now sim.Time) *channel {
 	for i := range s.chans {
 		c := &s.chans[i]
@@ -99,6 +103,8 @@ func (s *vcSet) tryAcquire(now sim.Time) *channel {
 // release frees lane c at time now. If a waiter is queued the lane passes
 // directly to it: the waiter is returned (granted == true) with the lane
 // already re-acquired, and the caller must dispatch it.
+//
+//simcheck:noalloc
 func (s *vcSet) release(c *channel, now sim.Time) (wt waiter, granted bool) {
 	if !c.busy {
 		panic("network: release of idle channel")
@@ -130,9 +136,13 @@ func newConsumptionPool(n int) *consumptionPool {
 	return &consumptionPool{total: n}
 }
 
+//
+//simcheck:noalloc
 func (p *consumptionPool) hasFree() bool { return p.inUse < p.total }
 
 // tryAcquire takes a token when one is free.
+//
+//simcheck:noalloc
 func (p *consumptionPool) tryAcquire() bool {
 	if p.inUse >= p.total {
 		return false
@@ -146,6 +156,8 @@ func (p *consumptionPool) tryAcquire() bool {
 
 // release returns a token. If a waiter is queued the token passes directly
 // to it (granted == true) and the caller must dispatch it.
+//
+//simcheck:noalloc
 func (p *consumptionPool) release() (wt waiter, granted bool) {
 	if p.inUse <= 0 {
 		panic("network: release of idle consumption channel")

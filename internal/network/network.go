@@ -243,6 +243,9 @@ func (n *Network) Stats() Stats { return n.stats }
 // protocol layer must not retain the pointer past the delivery callback.
 // Worms constructed directly as literals are never pooled and stay
 // inspectable after completion.
+//
+//simcheck:pool acquire
+//simcheck:noalloc
 func (n *Network) NewWorm() *Worm {
 	if k := len(n.freeWorms) - 1; k >= 0 {
 		w := n.freeWorms[k]
@@ -250,11 +253,15 @@ func (n *Network) NewWorm() *Worm {
 		n.freeWorms = n.freeWorms[:k]
 		return w
 	}
+	//simcheck:allow noalloc -- cold pool fill; steady state reuses freeWorms
 	return &Worm{pooled: true}
 }
 
 // recycleWorm resets a retired pooled worm, reclaiming its owned buffers,
 // and returns it to the free pool.
+//
+//simcheck:pool release
+//simcheck:noalloc
 func (n *Network) recycleWorm(w *Worm) {
 	if w.ownsPath {
 		w.pathBuf = w.Path[:0]
@@ -274,8 +281,12 @@ func (n *Network) recycleWorm(w *Worm) {
 	n.freeWorms = append(n.freeWorms, w)
 }
 
+//
+//simcheck:noalloc
 func (n *Network) wormRef(w *Worm) { w.refs++ }
 
+//
+//simcheck:noalloc
 func (n *Network) wormUnref(w *Worm) {
 	w.refs--
 	if w.refs == 0 && w.pooled && (w.state == wormDone || w.state == wormKilled) {
@@ -285,18 +296,24 @@ func (n *Network) wormUnref(w *Worm) {
 
 // schedWorm schedules fn(w, i) after d, holding a reference on w until the
 // callback wrapper releases it.
+//
+//simcheck:noalloc
 func (n *Network) schedWorm(d sim.Time, fn func(any, int32), w *Worm, i int32) {
 	w.refs++
 	n.Engine.AfterCall(d, fn, w, i)
 }
 
 // schedWormAt is schedWorm with an absolute fire time.
+//
+//simcheck:noalloc
 func (n *Network) schedWormAt(t sim.Time, fn func(any, int32), w *Worm, i int32) {
 	w.refs++
 	n.Engine.AtCall(t, fn, w, i)
 }
 
 // linkSet returns the virtual channel set from Path[i] to Path[i+1] of w.
+//
+//simcheck:noalloc
 func (n *Network) linkSet(w *Worm, i int) *vcSet {
 	from, to := w.Path[i], w.Path[i+1]
 	set := n.links[w.VN][from][n.portBetween(from, to)]
@@ -310,6 +327,8 @@ func (n *Network) linkSet(w *Worm, i int) *vcSet {
 // from the ID delta alone. Paths are validated hop-contiguous at Inject and
 // torus dimensions are >= 3 by construction, so the delta is unambiguous
 // (checking the row deltas first also covers degenerate 1-wide meshes).
+//
+//simcheck:noalloc
 func (n *Network) portBetween(from, to topology.NodeID) topology.Port {
 	switch int(to) - int(from) {
 	case n.meshW:
@@ -338,6 +357,8 @@ func (n *Network) portBetween(from, to topology.NodeID) topology.Port {
 
 // Inject launches w at the current simulation time. The worm's Path, Dest,
 // Kind, VN, HeaderFlits and PayloadFlits must be filled in.
+//
+//simcheck:noalloc
 func (n *Network) Inject(w *Worm) {
 	if n.OnDeliver == nil {
 		panic("network: OnDeliver not set")
@@ -350,6 +371,7 @@ func (n *Network) Inject(w *Worm) {
 	w.state = wormInjecting
 	npath := len(w.Path)
 	if cap(w.held) < npath {
+		//simcheck:allow noalloc -- amortized capacity growth on a pooled worm
 		w.held = make([]sim.Time, npath)
 	} else {
 		w.held = w.held[:npath]
@@ -358,6 +380,7 @@ func (n *Network) Inject(w *Worm) {
 		}
 	}
 	if cap(w.lanes) < npath {
+		//simcheck:allow noalloc -- amortized capacity growth on a pooled worm
 		w.lanes = make([]*channel, npath)
 	} else {
 		w.lanes = w.lanes[:npath]
@@ -399,6 +422,8 @@ func (n *Network) Inject(w *Worm) {
 // grantInjection runs when w is granted an injection-port lane: at the
 // source (reinject == false) or at a re-injection router for a VCT-parked
 // gather worm (reinject == true, i is the park index).
+//
+//simcheck:noalloc
 func (n *Network) grantInjection(w *Worm, i int32, s *vcSet, lane *channel, wasBlocked, reinject bool) {
 	now := n.Engine.Now()
 	if w.state == wormKilled {
@@ -435,6 +460,8 @@ func (n *Network) grantInjection(w *Worm, i int32, s *vcSet, lane *channel, wasB
 
 // headerAt runs when w's header flit arrives at the router of Path[i]
 // (for i == 0, when it enters the source router from the interface).
+//
+//simcheck:noalloc
 func (n *Network) headerAt(w *Worm, i int) {
 	if w.state == wormKilled {
 		return
@@ -468,6 +495,8 @@ func (n *Network) headerAt(w *Worm, i int) {
 
 // serviceNode performs destination duties at Path[i] (absorb / reserve /
 // collect) and then moves the header onward.
+//
+//simcheck:noalloc
 func (n *Network) serviceNode(w *Worm, i int) {
 	if w.state == wormKilled {
 		return
@@ -493,6 +522,8 @@ func (n *Network) serviceNode(w *Worm, i int) {
 
 // acquireCons competes for a consumption-channel token at Path[i]; act says
 // how the worm continues once granted (see grantCons).
+//
+//simcheck:noalloc
 func (n *Network) acquireCons(w *Worm, i int, act uint8) {
 	w.state = wormBlocked
 	pool := n.cons[w.Path[i]]
@@ -510,6 +541,8 @@ func (n *Network) acquireCons(w *Worm, i int, act uint8) {
 // grantCons runs when w holds a consumption-channel token at Path[i]: the
 // final drain (actConsFinal) or an intermediate absorb, after which reserve
 // worms additionally claim an i-ack buffer entry.
+//
+//simcheck:noalloc
 func (n *Network) grantCons(w *Worm, i int32, pool *consumptionPool, act uint8, wasBlocked bool) {
 	if w.state == wormKilled {
 		n.releaseCons(pool)
@@ -544,6 +577,8 @@ func (n *Network) grantCons(w *Worm, i int32, pool *consumptionPool, act uint8, 
 
 // iackReserved continues a reserve worm after its i-ack buffer entry is
 // allocated at Path[i].
+//
+//simcheck:noalloc
 func (n *Network) iackReserved(w *Worm, i int32, file *iackFile, wasBlocked bool) {
 	if w.state == wormKilled {
 		// The worm died while its reservation was queued on a full buffer
@@ -563,6 +598,8 @@ func (n *Network) iackReserved(w *Worm, i int32, file *iackFile, wasBlocked bool
 // destination: proceed immediately when the i-ack is posted, otherwise
 // stall in place (blocking mode) or park in the buffer's message field
 // (VCT deferred-delivery mode).
+//
+//simcheck:noalloc
 func (n *Network) gatherCollect(w *Worm, i int) {
 	file := n.iack[w.Path[i]]
 	if ok, wt, granted := file.collect(w.TxnID); ok {
@@ -603,6 +640,8 @@ func (n *Network) gatherCollect(w *Worm, i int) {
 // aborted transactions (whose entries were purged) are absorbed; posts may
 // also be lost outright by fault injection, leaving the entry unposted
 // until the home node's timeout recovers the transaction.
+//
+//simcheck:noalloc
 func (n *Network) PostAck(node topology.NodeID, txn uint64) {
 	if n.abortedTxns[txn] {
 		n.stats.StaleAcks++
@@ -642,6 +681,8 @@ func (n *Network) PostAck(node topology.NodeID, txn uint64) {
 
 // reinjectGather re-launches a VCT-parked gather worm from the router where
 // it was parked.
+//
+//simcheck:noalloc
 func (n *Network) reinjectGather(w *Worm) {
 	i := w.hopIdx
 	inj := n.injection[w.VN][w.Path[i]]
@@ -656,6 +697,8 @@ func (n *Network) reinjectGather(w *Worm) {
 
 // requestNext moves w's header from Path[i] toward Path[i+1], or begins the
 // final drain when i is the last hop.
+//
+//simcheck:noalloc
 func (n *Network) requestNext(w *Worm, i int) {
 	if w.state == wormKilled {
 		return
@@ -694,6 +737,8 @@ func (n *Network) requestNext(w *Worm, i int) {
 
 // acquireLink competes for the virtual-channel set from Path[i] to
 // Path[i+1] and advances the header on grant.
+//
+//simcheck:noalloc
 func (n *Network) acquireLink(w *Worm, i int) {
 	if w.state == wormKilled {
 		return
@@ -715,6 +760,8 @@ func (n *Network) acquireLink(w *Worm, i int) {
 // grantLink runs when w is granted a lane on the link from Path[i] to
 // Path[i+1]: the header advances and vacated channels release behind the
 // tail.
+//
+//simcheck:noalloc
 func (n *Network) grantLink(w *Worm, i int32, s *vcSet, lane *channel, wasBlocked bool) {
 	now := n.Engine.Now()
 	if w.state == wormKilled {
@@ -742,6 +789,8 @@ func (n *Network) grantLink(w *Worm, i int32, s *vcSet, lane *channel, wasBlocke
 
 // dispatchVC resumes a worm granted a virtual-channel lane (the lane is
 // already re-acquired by release's direct hand-off).
+//
+//simcheck:noalloc
 func (n *Network) dispatchVC(s *vcSet, wt waiter, lane *channel) {
 	switch wt.act {
 	case actInject:
@@ -757,6 +806,8 @@ func (n *Network) dispatchVC(s *vcSet, wt waiter, lane *channel) {
 }
 
 // releaseLane frees lane c of set s and dispatches the next waiter, if any.
+//
+//simcheck:noalloc
 func (n *Network) releaseLane(s *vcSet, c *channel, now sim.Time) {
 	if wt, ok := s.release(c, now); ok {
 		n.dispatchVC(s, wt, c)
@@ -764,6 +815,8 @@ func (n *Network) releaseLane(s *vcSet, c *channel, now sim.Time) {
 }
 
 // dispatchCons resumes a worm granted a consumption-channel token.
+//
+//simcheck:noalloc
 func (n *Network) dispatchCons(pool *consumptionPool, wt waiter) {
 	n.grantCons(wt.w, wt.i, pool, wt.act, true)
 	n.wormUnref(wt.w)
@@ -771,6 +824,8 @@ func (n *Network) dispatchCons(pool *consumptionPool, wt waiter) {
 
 // releaseCons returns a consumption token and dispatches the next waiter,
 // if any.
+//
+//simcheck:noalloc
 func (n *Network) releaseCons(pool *consumptionPool) {
 	if wt, ok := pool.release(); ok {
 		n.dispatchCons(pool, wt)
@@ -779,6 +834,8 @@ func (n *Network) releaseCons(pool *consumptionPool) {
 
 // dispatchReserve resumes a reserve worm whose queued i-ack buffer
 // reservation was just unblocked by a freed entry.
+//
+//simcheck:noalloc
 func (n *Network) dispatchReserve(file *iackFile, wt waiter) {
 	if !file.reserve(wt.w.TxnID) {
 		panic("network: i-ack entry hand-off failed")
@@ -790,6 +847,8 @@ func (n *Network) dispatchReserve(file *iackFile, wt waiter) {
 // drain consumes the worm at its final destination. The consumption pool
 // token is held until the tail is consumed; held channels release in tail
 // order.
+//
+//simcheck:noalloc
 func (n *Network) drain(w *Worm) {
 	w.state = wormDraining
 	if n.Rec != nil {
@@ -815,6 +874,8 @@ func (n *Network) drain(w *Worm) {
 	n.schedWormAt(end, n.fnDrainEnd, w, 0)
 }
 
+//
+//simcheck:noalloc
 func (n *Network) finishWorm(w *Worm) {
 	w.state = wormDone
 	n.outstanding--
@@ -831,6 +892,8 @@ func (n *Network) finishWorm(w *Worm) {
 // injection channel, otherwise the link into Path[j]) and performs the
 // tail-pass duties at node j: delivering forward-and-absorb copies and
 // freeing the consumption channel held there.
+//
+//simcheck:noalloc
 func (n *Network) releaseIndex(w *Worm, j int, now sim.Time) {
 	if j != w.heldFrom {
 		panic("network: out-of-order channel release")

@@ -160,6 +160,9 @@ type consRef struct {
 // marks Path as pool-owned. Callers append the route and assign the result
 // to w.Path before Inject; the buffer's grown capacity is reclaimed when
 // the worm recycles.
+//
+//simcheck:pool borrow
+//simcheck:noalloc
 func (w *Worm) TakePathBuf() []topology.NodeID {
 	w.ownsPath = true
 	return w.pathBuf[:0]
@@ -168,9 +171,13 @@ func (w *Worm) TakePathBuf() []topology.NodeID {
 // TakeDestBuf returns the worm's reusable destination-flag buffer, sized to
 // n and cleared to false, and marks Dest as pool-owned. Callers set flags
 // and assign it to w.Dest before Inject.
+//
+//simcheck:pool borrow
+//simcheck:noalloc
 func (w *Worm) TakeDestBuf(n int) []bool {
 	w.ownsDest = true
 	if cap(w.destBuf) < n {
+		//simcheck:allow noalloc -- amortized capacity growth on a pooled worm
 		w.destBuf = make([]bool, n)
 	} else {
 		w.destBuf = w.destBuf[:n]

@@ -126,10 +126,14 @@ func (s *equivScript) remove(label int) {
 }
 
 // TestEngineEquivalenceRandomized drives the calendar-queue engine and the
-// reference heap in lockstep through randomized scripts across 200 seeds,
-// demanding identical pop order and identical drain points.
+// reference heap in lockstep through randomized scripts across 200 seeds
+// (40 under -short, sized so the race-detector CI soak stays inside its
+// time budget), demanding identical pop order and identical drain points.
 func TestEngineEquivalenceRandomized(t *testing.T) {
-	const seeds = 200
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {

@@ -133,11 +133,15 @@ func (e *Engine) Pending() int { return e.live }
 // At schedules fn to run at absolute time t. Scheduling in the past (t less
 // than Now) panics: it always indicates a model bug, never a recoverable
 // runtime condition.
+//
+//simcheck:noalloc
 func (e *Engine) At(t Time, fn func()) Handle {
 	return e.schedule(t, fn, nil, nil, 0)
 }
 
 // After schedules fn to run d cycles from now.
+//
+//simcheck:noalloc
 func (e *Engine) After(d Time, fn func()) Handle {
 	return e.schedule(e.now+d, fn, nil, nil, 0)
 }
@@ -145,16 +149,22 @@ func (e *Engine) After(d Time, fn func()) Handle {
 // AtCall schedules fn(arg, i) at absolute time t. It is the
 // closure-free scheduling path: callers keep one long-lived fn and pass
 // per-event state through arg and i, so the hot path allocates nothing.
+//
+//simcheck:noalloc
 func (e *Engine) AtCall(t Time, fn func(arg any, i int32), arg any, i int32) Handle {
 	return e.schedule(t, nil, fn, arg, i)
 }
 
 // AfterCall schedules fn(arg, i) to run d cycles from now, without
 // allocating a closure.
+//
+//simcheck:noalloc
 func (e *Engine) AfterCall(d Time, fn func(arg any, i int32), arg any, i int32) Handle {
 	return e.schedule(e.now+d, nil, fn, arg, i)
 }
 
+//
+//simcheck:noalloc
 func (e *Engine) schedule(t Time, fn func(), fnArg func(any, int32), arg any, argI int32) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -188,6 +198,8 @@ func (e *Engine) schedule(t Time, fn func(), fnArg func(any, int32), arg any, ar
 // insertBucket files idx under time t. All times currently bucketed lie in
 // the half-open width-numBuckets window above now, so t's bucket either is
 // empty or already holds exactly time t.
+//
+//simcheck:noalloc
 func (e *Engine) insertBucket(idx int32, t Time) {
 	bi := int32(t) & bucketMask
 	if len(e.buckets[bi]) == 0 && bi != e.cur {
@@ -216,6 +228,8 @@ func (e *Engine) insertBucket(idx int32, t Time) {
 // generation check catches all three). Cancellation is lazy — the slot is
 // reclaimed when its bucket or the overflow heap drains past it — but
 // Pending reflects it immediately.
+//
+//simcheck:noalloc
 func (e *Engine) Cancel(h Handle) {
 	if h.gen == 0 || h.slot < 0 || int(h.slot) >= len(e.events) {
 		return
@@ -232,6 +246,8 @@ func (e *Engine) Cancel(h Handle) {
 // Cancelled reports whether h refers to an event that was cancelled and not
 // yet recycled. Once the slot drains, Cancelled returns false again — use
 // it right after Cancel, not as long-term state.
+//
+//simcheck:noalloc
 func (e *Engine) Cancelled(h Handle) bool {
 	if h.gen == 0 || h.slot < 0 || int(h.slot) >= len(e.events) {
 		return false
@@ -253,6 +269,8 @@ func (e *Engine) SetProbe(fn func(at Time, fired uint64, pending int)) { e.probe
 
 // freeSlot recycles a consumed or cancelled slot. The generation bump
 // invalidates every outstanding Handle to it.
+//
+//simcheck:noalloc
 func (e *Engine) freeSlot(idx int32) {
 	ev := &e.events[idx]
 	ev.gen++
@@ -266,6 +284,8 @@ func (e *Engine) freeSlot(idx int32) {
 }
 
 // closeBucket retires the drained current bucket.
+//
+//simcheck:noalloc
 func (e *Engine) closeBucket() {
 	bi := e.cur
 	e.buckets[bi] = e.buckets[bi][:0]
@@ -278,6 +298,8 @@ func (e *Engine) closeBucket() {
 // times all lie in [base, base+numBuckets) — base trails now in steady
 // state and leads it transiently right after a rebase — so the first set
 // bit in circular scan order from base's bucket is the earliest.
+//
+//simcheck:noalloc
 func (e *Engine) scanBuckets() (int32, bool) {
 	s := int32(e.base) & bucketMask
 	wi := s >> 6
@@ -295,6 +317,8 @@ func (e *Engine) scanBuckets() (int32, bool) {
 // sortBucket orders the freshly selected bucket by sequence. Only chaos
 // mode needs it: schedule order already appends FIFO-sorted sequences, and
 // overflow migration feeds buckets in (time, seq) heap order.
+//
+//simcheck:noalloc
 func (e *Engine) sortBucket(bi int32) {
 	b := e.buckets[bi]
 	for i := 1; i < len(b); i++ {
@@ -314,6 +338,8 @@ func (e *Engine) sortBucket(bi int32) {
 // address a live bucketed event, or the buckets are empty and the overflow
 // heap's top is live (not yet migrated). It never advances base, so peeking
 // past a RunUntil limit perturbs nothing.
+//
+//simcheck:noalloc
 func (e *Engine) nextTime() (Time, bool) {
 	for {
 		if e.cur >= 0 {
@@ -355,6 +381,8 @@ func (e *Engine) nextTime() (Time, bool) {
 
 // rebase jumps the window to t (the overflow top's fire time) and migrates
 // every overflow event inside the new window into buckets.
+//
+//simcheck:noalloc
 func (e *Engine) rebase(t Time) {
 	e.base = t
 	e.migrate()
@@ -365,6 +393,8 @@ func (e *Engine) rebase(t Time) {
 // earlier than any bucketed event. Heap pops come out in (time, seq) order,
 // so migrated buckets stay FIFO-sorted; migrated times are strictly after
 // the current fire time, so migration never touches the draining bucket.
+//
+//simcheck:noalloc
 func (e *Engine) migrate() {
 	limit := e.base + numBuckets
 	for len(e.overflow) > 0 {
@@ -384,6 +414,8 @@ func (e *Engine) migrate() {
 
 // Step executes the single earliest pending event. It returns false when the
 // queue is empty.
+//
+//simcheck:noalloc
 func (e *Engine) Step() bool {
 	for {
 		_, ok := e.nextTime()
@@ -427,6 +459,8 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains or Halt is called. It returns
 // the number of events executed.
+//
+//simcheck:noalloc
 func (e *Engine) Run() uint64 {
 	start := e.fired
 	e.halted = false
@@ -438,6 +472,8 @@ func (e *Engine) Run() uint64 {
 // RunUntil executes events with fire time <= limit. Events scheduled beyond
 // the limit remain queued; the clock is advanced to limit if the simulation
 // ran dry earlier. It returns the number of events executed.
+//
+//simcheck:noalloc
 func (e *Engine) RunUntil(limit Time) uint64 {
 	start := e.fired
 	e.halted = false
@@ -455,6 +491,8 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 }
 
 // pushOverflow adds a slot to the overflow heap.
+//
+//simcheck:noalloc
 func (e *Engine) pushOverflow(idx int32) {
 	e.overflow = append(e.overflow, idx)
 	i := len(e.overflow) - 1
@@ -469,6 +507,8 @@ func (e *Engine) pushOverflow(idx int32) {
 }
 
 // popOverflow removes the heap top.
+//
+//simcheck:noalloc
 func (e *Engine) popOverflow() {
 	n := len(e.overflow) - 1
 	e.overflow[0] = e.overflow[n]
@@ -491,6 +531,8 @@ func (e *Engine) popOverflow() {
 	}
 }
 
+//
+//simcheck:noalloc
 func (e *Engine) overflowLess(a, b int32) bool {
 	ea, eb := &e.events[a], &e.events[b]
 	if ea.at != eb.at {

@@ -181,6 +181,8 @@ func NewRecorder(capacity int) *Recorder {
 }
 
 // Emit appends ev, overwriting the oldest event if the ring is full.
+//
+//simcheck:noalloc
 func (r *Recorder) Emit(ev Event) {
 	r.buf[r.n&r.mask] = ev
 	r.n++
