@@ -10,7 +10,8 @@
 //
 // Experiments: latency, homemsgs (E5, home messages per transaction),
 // traffic, meshsize, buffers, hotspot, placement, cons, table4, table5,
-// faults, occupancy (E27, the trace-derived busy-time profile), all.
+// faults, degraded (E28, graceful degradation under permanent link death),
+// occupancy (E27, the trace-derived busy-time profile), all.
 //
 // Sweeps run on a worker pool (-parallel, default all cores); the tables
 // are byte-identical at any worker count. Long sweeps can checkpoint
@@ -101,10 +102,11 @@ func main() {
 		"congestion":  func() *report.Table { return experiments.FigCongestion(*k, *d, 8) },
 		"threehop":    experiments.FigThreeHop,
 		"faults":      func() *report.Table { return experiments.FigFaultRecovery(*k, *d, *trials) },
+		"degraded":    func() *report.Table { return experiments.FigDegradedMesh(*k, *d, *trials) },
 	}
 	order := []string{"table4", "table5", "latency", "homemsgs", "traffic",
 		"meshsize", "buffers", "hotspot", "placement", "homes", "cons", "vcs", "limdir",
-		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop", "faults", "occupancy"}
+		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop", "faults", "degraded", "occupancy"}
 
 	emit := func(t *report.Table) {
 		if *csv {

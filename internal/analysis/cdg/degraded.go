@@ -1,0 +1,157 @@
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Degraded-fabric verification. When links or routers die permanently the
+// protocol layer routes around the holes with degraded paths (PathAvoiding),
+// multi-leg relay routes (RelayRoute) and re-realized group paths
+// (PathThroughAvoiding). The safety argument has two halves:
+//
+//  1. Deadlock freedom. Every degraded leg is a conformed path of the same
+//     base discipline, so its dependencies are a subset of the healthy CDG's
+//     edges; the degraded graph is the healthy graph minus every edge that
+//     crosses a dead resource, and removing edges from an acyclic graph
+//     cannot create a cycle. Relay pivots break inter-leg dependencies by
+//     store-and-forward: a worm is fully consumed at the pivot and the next
+//     leg is a fresh injection, so no channel chain spans two legs.
+//
+//  2. Coverage. The degraded router must still be the abstraction's shadow:
+//     every leg of every relay route between live routers, and every
+//     re-realized worm path, must conform and have all its dependency edges
+//     present in the degraded graph. And every pair of live routers must
+//     remain mutually reachable (the fault injector only kills resources
+//     whose loss keeps the survivors connected).
+//
+// VerifyDegraded checks both halves mechanically for one (base, mesh, dead
+// set) triple; VerifyAllDegraded sweeps every base over a range of mesh
+// sizes with deterministically seeded dead sets.
+
+// VerifyDegraded builds the degraded dependency graph for base b on a k x k
+// mesh with the given dead set, checks it acyclic, and cross-validates the
+// degraded router against it: for every ordered pair of live routers a relay
+// route must exist, each of its legs must conform and be edge-covered by the
+// degraded graph (request direction and retraced reply direction), and every
+// re-realizable multidestination waypoint family must verify the same way.
+func VerifyDegraded(b routing.Base, k int, dead *topology.DeadSet) Result {
+	m := topology.NewSquareMesh(k)
+	g := BuildDegraded(b, m, dead)
+	request, reply := disciplines(b)
+	res := Result{
+		Base: b, K: k,
+		Vertices: g.Vertices(), Edges: g.Edges(), Cycle: g.Cycle(),
+		ConsChannels: 4,
+		DeadLinks:    len(dead.Links()),
+		DeadRouters:  len(dead.Routers()),
+	}
+	if request.split {
+		res.ConsChannels = 8
+	}
+
+	checkLeg := func(path []topology.NodeID) bool {
+		moves := routing.Moves(m, path)
+		if !b.Conforms(moves) {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("NONCONFORMED degraded leg from %v", m.Coord(path[0])))
+			return false
+		}
+		for i := range moves {
+			if dead.LinkDead(path[i], path[i+1]) {
+				res.Problems = append(res.Problems,
+					fmt.Sprintf("DEAD link %v-%v on degraded leg", path[i], path[i+1]))
+				return false
+			}
+		}
+		if bad := pathCovered(g, request, path, moves); bad != "" {
+			res.Problems = append(res.Problems, bad)
+			return false
+		}
+		// The retraced (gather / reply) direction on the reply network.
+		if bad := pathCovered(g, reply, reversed(path), oppositeReversed(moves)); bad != "" {
+			res.Problems = append(res.Problems, bad)
+			return false
+		}
+		return true
+	}
+
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			s, d := topology.NodeID(src), topology.NodeID(dst)
+			if s == d || dead.RouterDead(s) || dead.RouterDead(d) {
+				continue
+			}
+			legs, ok := b.RelayRoute(m, s, d, dead)
+			if !ok {
+				res.Problems = append(res.Problems,
+					fmt.Sprintf("UNREACHABLE live pair %v -> %v", m.Coord(s), m.Coord(d)))
+				continue
+			}
+			res.UnicastPaths++
+			for _, leg := range legs {
+				if !checkLeg(leg) {
+					break
+				}
+			}
+		}
+	}
+
+	for _, wps := range wormWaypointSets(m) {
+		live := true
+		for _, wp := range wps {
+			if dead.RouterDead(wp) {
+				live = false
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		path, err := b.PathThroughAvoiding(m, wps, dead)
+		if err != nil {
+			continue // no live conformed realization; the scheme falls back
+		}
+		if len(path) < 2 {
+			continue
+		}
+		if checkLeg(path) {
+			res.WormPaths++
+		}
+	}
+	return res
+}
+
+// DeadSetFor derives the deterministic dead set a fault config with the
+// given seed and hard-failure counts resolves to on a k x k mesh — the same
+// victim selection the simulator's injector performs (connectivity
+// preserving, hashed order), evaluated at its final state (all deaths
+// occurred).
+func DeadSetFor(k int, deadLinks, deadRouters int, seed uint64) *topology.DeadSet {
+	inj := faults.New(faults.Config{
+		Seed:        seed,
+		DeadLinks:   deadLinks,
+		DeadRouters: deadRouters,
+	})
+	inj.BindTopology(topology.NewSquareMesh(k))
+	return inj.FinalDeadSet()
+}
+
+// VerifyAllDegraded verifies every base scheme on every k x k mesh for k in
+// [2, maxK], each against a deterministically seeded dead set of deadLinks
+// dead links. The per-k seed is derived from seed so different mesh sizes
+// get independent victim selections.
+func VerifyAllDegraded(maxK, deadLinks int, seed uint64) []Result {
+	var out []Result
+	for _, b := range Bases() {
+		for k := 2; k <= maxK; k++ {
+			dead := DeadSetFor(k, deadLinks, 0, sim.DeriveSeed(seed, uint64(k)))
+			out = append(out, VerifyDegraded(b, k, dead))
+		}
+	}
+	return out
+}

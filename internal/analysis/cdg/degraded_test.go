@@ -1,0 +1,170 @@
+package cdg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestBuildDegradedNilMatchesBuild pins the zero-perturbation contract at
+// the analysis layer: an empty dead set must produce exactly the healthy
+// graph — same vertex set, same edge set — for every base.
+func TestBuildDegradedNilMatchesBuild(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	for _, b := range Bases() {
+		healthy := Build(b, m)
+		nilDead := BuildDegraded(b, m, nil)
+		emptyDead := BuildDegraded(b, m, topology.NewDeadSet())
+		for name, g := range map[string]*Graph{"nil": nilDead, "empty": emptyDead} {
+			if g.Vertices() != healthy.Vertices() || g.Edges() != healthy.Edges() {
+				t.Errorf("%v: BuildDegraded(%s dead) = %d vertices / %d edges, healthy has %d / %d",
+					b, name, g.Vertices(), g.Edges(), healthy.Vertices(), healthy.Edges())
+			}
+		}
+	}
+}
+
+// TestBuildDegradedIsSubgraph checks the structural half of the deadlock
+// argument: the degraded graph's edges are a strict subset of the healthy
+// graph's (removing edges from an acyclic graph cannot create a cycle).
+func TestBuildDegradedIsSubgraph(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	dead := topology.NewDeadSet()
+	dead.AddLink(m.ID(topology.Coord{X: 1, Y: 1}), m.ID(topology.Coord{X: 2, Y: 1}))
+	dead.AddRouter(m.ID(topology.Coord{X: 3, Y: 3}))
+	for _, b := range Bases() {
+		healthy := Build(b, m)
+		degraded := BuildDegraded(b, m, dead)
+		if degraded.Edges() >= healthy.Edges() {
+			t.Errorf("%v: degraded graph has %d edges, healthy %d — dead resources removed nothing",
+				b, degraded.Edges(), healthy.Edges())
+		}
+		for from, succs := range degraded.succ {
+			for _, to := range succs {
+				if !healthy.HasEdge(degraded.names[from], degraded.names[to]) {
+					t.Errorf("%v: degraded edge %s -> %s absent from healthy graph",
+						b, degraded.names[from], degraded.names[to])
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyDegradedSeededSweep is the degraded analogue of
+// TestVerifyAllAcyclic: every base on meshes up to 6x6 (4x4 under -short)
+// with 1, 2 and 4 seeded dead links must verify cleanly — acyclic, every
+// live pair reachable over conformed relay legs, every leg edge-covered.
+func TestVerifyDegradedSeededSweep(t *testing.T) {
+	maxK := 6
+	if testing.Short() {
+		maxK = 4
+	}
+	for _, deadLinks := range []int{1, 2, 4} {
+		results := VerifyAllDegraded(maxK, deadLinks, 0xCD6DEAD)
+		if len(results) != 3*(maxK-1) {
+			t.Fatalf("deadLinks=%d: %d results, want %d", deadLinks, len(results), 3*(maxK-1))
+		}
+		for _, r := range results {
+			if !r.OK() {
+				t.Errorf("deadLinks=%d: %s", deadLinks, r)
+			}
+			// Victim selection preserves connectivity but can resolve fewer
+			// links than requested on tiny meshes; it must never exceed it.
+			if r.DeadLinks > deadLinks {
+				t.Errorf("%v %dx%d: resolved %d dead links, requested %d",
+					r.Base, r.K, r.K, r.DeadLinks, deadLinks)
+			}
+			if r.K >= 4 && r.DeadLinks == 0 {
+				t.Errorf("%v %dx%d: no link died (seeded selection resolved nothing)", r.Base, r.K, r.K)
+			}
+			// Dead links leave every router alive: all ordered pairs checked.
+			if want := r.K * r.K * (r.K*r.K - 1); r.UnicastPaths != want {
+				t.Errorf("%v %dx%d: checked %d live pairs, want %d", r.Base, r.K, r.K, r.UnicastPaths, want)
+			}
+		}
+	}
+}
+
+// TestVerifyDegradedDeadRouter verifies the severest class: a dead router
+// excises its node entirely. Pairs touching it are skipped, everything else
+// must remain mutually reachable and covered.
+func TestVerifyDegradedDeadRouter(t *testing.T) {
+	m := topology.NewSquareMesh(5)
+	center := m.ID(topology.Coord{X: 2, Y: 2})
+	dead := topology.NewDeadSet()
+	dead.AddRouter(center)
+	for _, b := range Bases() {
+		r := VerifyDegraded(b, 5, dead)
+		if !r.OK() {
+			t.Errorf("%s", r)
+		}
+		live := m.Nodes() - 1
+		if want := live * (live - 1); r.UnicastPaths != want {
+			t.Errorf("%v: checked %d live pairs, want %d", b, r.UnicastPaths, want)
+		}
+		if r.DeadRouters != 1 {
+			t.Errorf("%v: DeadRouters = %d, want 1", b, r.DeadRouters)
+		}
+	}
+}
+
+// TestVerifyDegradedDetectsUnreachable establishes the reachability check is
+// not vacuous: a dead set that severs the mesh into two components (legal to
+// construct by hand, never produced by the injector) must be reported.
+func TestVerifyDegradedDetectsUnreachable(t *testing.T) {
+	m := topology.NewSquareMesh(3)
+	dead := topology.NewDeadSet()
+	// Cut the middle column's vertical seam: kill every link crossing x=0|1.
+	for y := 0; y < 3; y++ {
+		dead.AddLink(m.ID(topology.Coord{X: 0, Y: y}), m.ID(topology.Coord{X: 1, Y: y}))
+	}
+	r := VerifyDegraded(routing.ECube, 3, dead)
+	if r.OK() {
+		t.Fatal("VerifyDegraded accepted a disconnected fabric")
+	}
+	found := false
+	for _, p := range r.Problems {
+		if strings.Contains(p, "UNREACHABLE") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no UNREACHABLE problem reported; got %v", r.Problems)
+	}
+}
+
+// TestDeadSetForDeterministic pins that the analysis layer and the simulator
+// resolve identical victims from one seed: two independent derivations of
+// the same (k, counts, seed) triple agree exactly.
+func TestDeadSetForDeterministic(t *testing.T) {
+	a := DeadSetFor(8, 4, 1, 0xFEED)
+	b := DeadSetFor(8, 4, 1, 0xFEED)
+	if !reflect.DeepEqual(a.Links(), b.Links()) || !reflect.DeepEqual(a.Routers(), b.Routers()) {
+		t.Fatalf("DeadSetFor not deterministic: %v/%v vs %v/%v", a.Links(), a.Routers(), b.Links(), b.Routers())
+	}
+	if len(a.Links()) != 4 || len(a.Routers()) != 1 {
+		t.Fatalf("resolved %d links / %d routers, want 4 / 1 on an 8x8 mesh", len(a.Links()), len(a.Routers()))
+	}
+	c := DeadSetFor(8, 4, 1, 0xFEED+1)
+	if reflect.DeepEqual(a.Links(), c.Links()) && reflect.DeepEqual(a.Routers(), c.Routers()) {
+		t.Fatal("different seeds resolved identical victim sets")
+	}
+}
+
+// TestDegradedResultString pins the degraded annotation in the -cdg report.
+func TestDegradedResultString(t *testing.T) {
+	dead := topology.NewDeadSet()
+	m := topology.NewSquareMesh(4)
+	dead.AddLink(m.ID(topology.Coord{X: 0, Y: 0}), m.ID(topology.Coord{X: 1, Y: 0}))
+	r := VerifyDegraded(routing.ECube, 4, dead)
+	if !strings.Contains(r.String(), "[degraded: 1 dead links, 0 dead routers]") {
+		t.Errorf("Result.String() = %q, missing degraded annotation", r.String())
+	}
+	if h := Verify(routing.ECube, 4); strings.Contains(h.String(), "degraded") {
+		t.Errorf("healthy Result.String() = %q mentions degradation", h.String())
+	}
+}

@@ -144,6 +144,22 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 			}
 		}
 	}
+	if m.hard != nil && len(remote) > 0 {
+		// Crashed sharers cannot acknowledge; invalidate them implicitly at
+		// the directory instead of wasting a send-and-timeout round on each.
+		// Dropping them from the remote list is sufficient: the entry's
+		// sharer set is rebuilt wholesale when the transaction grants.
+		now := m.Engine.Now()
+		live := remote[:0]
+		for _, s := range remote {
+			if m.hard.CrashedAt(s, now) {
+				m.implicitInval(s, b)
+				continue
+			}
+			live = append(live, s)
+		}
+		remote = live
+	}
 	if len(remote) == 0 && !homeCopy {
 		onDone()
 		return
@@ -160,8 +176,20 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 		start:     m.Engine.Now(),
 		onDone:    onDone,
 	}
+	var fallback []topology.NodeID
 	if len(remote) > 0 && m.Params.Scheme != grouping.UMC {
-		txn.groups = grouping.Groups(m.Params.Scheme, m.Mesh, home, remote)
+		if ds := m.deadNow(); !ds.Empty() && m.Params.Scheme.MultidestRequest() {
+			// Degraded fabric: keep the groups whose paths survive, re-realize
+			// severed ones around the failure, and invalidate the rest over
+			// the unicast fallback path. (UI-UA needs no special casing: its
+			// unicast sends detour in m.send.)
+			txn.groups, fallback = grouping.GroupsAvoiding(m.Params.Scheme, m.Mesh, home, remote, ds)
+			if len(fallback) > 0 {
+				m.Metrics.Fallbacks++
+			}
+		} else {
+			txn.groups = grouping.Groups(m.Params.Scheme, m.Mesh, home, remote)
+		}
 	}
 	if m.tracer != nil {
 		m.trace(home, "txn.start", b, "txn %d: %d sharers, %d groups (update=%v broadcast=%v)",
@@ -181,11 +209,12 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 		txn.pendingAcks = len(kids)
 		txn.homeMsgs = 2 * len(kids)
 	case m.Params.Scheme.GatherAck():
-		txn.pendingAcks = len(txn.groups)
-		txn.homeMsgs = len(txn.groups) + txn.pendingAcks
+		// Fallback sharers answer with unicast acks even under MI-MA.
+		txn.pendingAcks = len(txn.groups) + len(fallback)
+		txn.homeMsgs = len(txn.groups) + len(fallback) + txn.pendingAcks
 	default:
 		txn.pendingAcks = len(remote)
-		txn.homeMsgs = len(txn.groups) + txn.pendingAcks
+		txn.homeMsgs = len(txn.groups) + len(fallback) + txn.pendingAcks
 	}
 	if m.Params.Recovery.Enabled && m.Params.Scheme != grouping.UMC {
 		txn.rec = true
@@ -251,6 +280,20 @@ func (m *Machine) startInval(home topology.NodeID, e *directory.Entry, b directo
 				return
 			}
 			m.sendGroup(txn, gi)
+		})
+	}
+	for _, s := range fallback {
+		s := s
+		m.server(home).do(m.Params.SendOccupancy, func() {
+			if txn.rec && (txn.gen != 0 || txn.completed) {
+				return
+			}
+			// retry marks the inval as unicast-acked regardless of the
+			// scheme's framework — the same degradation the recovery path
+			// uses, applied up front because no live group covers s.
+			m.send(inval, home, s, &msg{
+				typ: inval, block: b, from: home, txn: txn, retry: true, gen: txn.gen,
+			})
 		})
 	}
 }

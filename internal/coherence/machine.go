@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/directory"
+	"repro/internal/grouping"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -61,6 +62,10 @@ type Machine struct {
 	// scratchPick is a per-node scratch bitmap reused by sendGather's
 	// pick-up-point marking (cleared after each use).
 	scratchPick []bool
+	// hard is the bound hard-fault injector when the run carries permanent
+	// failures (nil otherwise); the protocol layer consults it to route new
+	// traffic around dead links and to suppress crashed nodes.
+	hard network.HardFaultInjector
 
 	// Bound protocol handlers (initHandlers), scheduled through
 	// server.doCall so the per-delivery hot paths allocate no closures.
@@ -171,6 +176,20 @@ func NewMachine(p Params) *Machine {
 	m.Net = network.New(engine, mesh, p.Net)
 	m.Net.OnDeliver = m.deliver
 	m.Net.Fault = p.Fault
+	if hf, ok := p.Fault.(network.HardFaultInjector); ok && hf.HardFaults() {
+		if p.Scheme == grouping.UMC {
+			panic("coherence: hard faults are unsupported under the U-tree comparator (tree messages have no recovery path)")
+		}
+		if p.DataForwarding {
+			panic("coherence: hard faults are unsupported with data forwarding enabled")
+		}
+		if !p.Recovery.Enabled {
+			panic("coherence: hard faults require Recovery.Enabled (degraded transactions complete via the retry path)")
+		}
+		hf.BindTopology(mesh)
+		m.Net.Hard = hf
+		m.hard = hf
+	}
 	for i := 0; i < mesh.Nodes(); i++ {
 		m.caches = append(m.caches, cache.New(p.CacheLines))
 		m.dirs = append(m.dirs, directory.New(mesh.Nodes()))
@@ -218,6 +237,9 @@ func (m *Machine) send(t msgType, src, dst topology.NodeID, payload *msg) {
 		}
 	} else {
 		path = base.UnicastPathInto(w.TakePathBuf(), m.Mesh, src, dst)
+	}
+	if m.hard != nil {
+		path = m.degradeUnicastPath(t, vn, src, dst, payload, path)
 	}
 	dests := w.TakeDestBuf(len(path))
 	dests[len(path)-1] = true

@@ -283,6 +283,12 @@ func (m *Machine) deliver(d network.Delivery) {
 		}
 		m.recMsg(trace.KindMsgRecv, flag, d.Node, d.Worm.ID, pm, 0)
 	}
+	if d.Final && len(pm.relay) > 0 {
+		// Degraded multi-leg route: this node is a relay pivot, not the
+		// message's destination — forward the next leg instead of handling.
+		m.relayForward(d.Node, pm)
+		return
+	}
 	switch pm.typ {
 	case readReq, writeReq:
 		m.server(d.Node).doCall(m.Params.RecvOccupancy, m.fnHomeRecv, pm, 0)
@@ -727,6 +733,14 @@ func (m *Machine) initHandlers() {
 	//simcheck:noalloc
 	sharerInvalBody := func(pm *msg, n topology.NodeID, final bool) {
 		txn := pm.txn
+		if m.hard != nil && m.hard.CrashedAt(n, m.Engine.Now()) {
+			// Fail-silent crash: the node neither invalidates nor
+			// acknowledges — no unicast ack, no i-ack post, no gather
+			// launch. The home's timeout notices the silence and the
+			// retry path invalidates the crashed sharer implicitly at
+			// the directory (see txnDeadline).
+			return
+		}
 		if !txn.update {
 			m.caches[n].Invalidate(pm.block)
 		}

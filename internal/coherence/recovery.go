@@ -70,6 +70,16 @@ func (m *Machine) txnDeadline(t *invalTxn) {
 		m.recTxn(trace.KindTxnRetry, t, uint64(t.retries), uint64(killed))
 	}
 	for _, s := range targets {
+		if m.hard != nil && m.hard.CrashedAt(s, m.Engine.Now()) {
+			// The sharer crashed (or its router died) since the groups were
+			// formed: it will never acknowledge. Invalidate it implicitly at
+			// the directory — the crashed node's copy is unreachable and its
+			// processor issues nothing more, so dropping it from the unacked
+			// set is the only way the transaction can complete.
+			delete(t.unacked, s)
+			m.implicitInval(s, t.block)
+			continue
+		}
 		s := s
 		m.server(t.home).do(m.Params.SendOccupancy, func() {
 			if t.completed || !t.unacked[s] {
@@ -86,7 +96,12 @@ func (m *Machine) txnDeadline(t *invalTxn) {
 	}
 	// The home's own copy, if still pending, is invalidated by the local
 	// controller task armed at start — no network crossing, no resend.
-	m.armTxnDeadline(t)
+	// Implicit invalidations above may have drained the unacked set; complete
+	// now rather than burning another timeout round.
+	t.checkRecovered(m)
+	if !t.completed {
+		m.armTxnDeadline(t)
+	}
 }
 
 // sharerAcked records confirmation that sharer n invalidated (or refreshed)

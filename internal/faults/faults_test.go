@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 
 	"repro/internal/network"
@@ -118,5 +120,57 @@ func TestSeedsDecorrelated(t *testing.T) {
 	}
 	if diff == 0 {
 		t.Fatal("seeds 1 and 2 produced identical drop schedules")
+	}
+}
+
+// TestConfigFieldsParticipate sweeps every Config field by reflection: each
+// field, set alone to a nonzero value, must change the config's JSON form
+// (the sweep checkpoint fingerprint serializes faults configs — a field
+// invisible to JSON would let a resumed sweep silently run different
+// faults), and must flip Enabled() unless it is a pure parameter. The
+// allowlist pins exactly which fields are parameters: Seed (selects, never
+// injects), the two transient-duration knobs, and the hard-failure death
+// window. A new Config field added without wiring it into Enabled() or the
+// JSON form fails here.
+func TestConfigFieldsParticipate(t *testing.T) {
+	paramOnly := map[string]bool{
+		"Seed":             true,
+		"LinkStallCycles":  true,
+		"RouterSlowCycles": true,
+		"DeathWindow":      true,
+	}
+	zeroJSON, err := json.Marshal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		var cfg Config
+		fv := reflect.ValueOf(&cfg).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Float64:
+			fv.SetFloat(0.5)
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(3)
+		case reflect.Uint64:
+			fv.SetUint(7)
+		default:
+			t.Fatalf("field %s: unhandled kind %v — extend this test", f.Name, f.Type.Kind())
+		}
+		got, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) == string(zeroJSON) {
+			t.Errorf("field %s does not serialize: checkpoint fingerprints cannot see it", f.Name)
+		}
+		if cfg.Enabled() != !paramOnly[f.Name] {
+			if paramOnly[f.Name] {
+				t.Errorf("field %s alone reports Enabled; parameters must not inject faults", f.Name)
+			} else {
+				t.Errorf("field %s alone does not report Enabled: the injector would ignore it", f.Name)
+			}
+		}
 	}
 }

@@ -1,0 +1,286 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The injector satisfies the network's hard-fault contract.
+var _ network.HardFaultInjector = (*Injector)(nil)
+
+// hardSchedule is the resolved permanent-failure plan for one bound mesh:
+// which links and routers die, which nodes crash, and at which cycle each
+// failure takes effect. Everything is a pure function of (Config, mesh), so
+// two machines with the same seed and topology meet identical failures.
+type hardSchedule struct {
+	// events is the link/router death schedule sorted by (cycle, kind, id).
+	events []hardEvent
+	// cursor is the first event not yet applied to current; DeadAt advances
+	// it monotonically with simulation time.
+	cursor int
+	// current accumulates applied deaths; nil until the first one fires.
+	current *topology.DeadSet
+	// final is the fully-applied set, for static (end-state) analysis.
+	final *topology.DeadSet
+	// crashAt maps each crashing node (explicit crashes plus nodes behind
+	// dead routers) to its crash cycle.
+	crashAt map[topology.NodeID]sim.Time
+	// crashes lists crashAt's keys in sorted order.
+	crashes []topology.NodeID
+	// deadLinks / deadRouters list the resolved victims in sorted order.
+	deadLinks   []topology.LinkKey
+	deadRouters []topology.NodeID
+}
+
+type hardEvent struct {
+	cycle  sim.Time
+	router bool
+	link   topology.LinkKey
+	node   topology.NodeID
+}
+
+// BindTopology resolves the config's hard-failure counts against a concrete
+// mesh. It must be called once, before simulation starts, on any injector
+// whose config has hard faults; the transient fault hooks work without it.
+//
+// Victim selection is greedy in splitmix-hashed order and
+// connectivity-preserving: a router or link whose removal would disconnect
+// the surviving live subgraph is skipped, so the resolved victim count can
+// fall short of the requested count on meshes too small to absorb it (a 2x2
+// mesh can lose one link but not two). Crashed nodes are drawn from nodes
+// whose router survives. Death cycles are hashed uniformly into
+// [0, DeathWindow]; a zero window kills everything at cycle 0.
+func (inj *Injector) BindTopology(m *topology.Mesh) {
+	hs := &hardSchedule{
+		final:   topology.NewDeadSet(),
+		crashAt: map[topology.NodeID]sim.Time{},
+	}
+	inj.hard = hs
+	deadRouters := map[topology.NodeID]bool{}
+	deadLinks := map[topology.LinkKey]bool{}
+	connected := func() bool { return liveConnected(m, deadRouters, deadLinks) }
+
+	// Routers first: their deaths also remove links, shrinking the link
+	// candidate pool before link selection runs.
+	for _, n := range inj.hashedNodes(m, saltDeadRouter) {
+		if len(hs.deadRouters) >= inj.cfg.DeadRouters {
+			break
+		}
+		deadRouters[n] = true
+		if !connected() {
+			delete(deadRouters, n)
+			continue
+		}
+		hs.deadRouters = append(hs.deadRouters, n)
+	}
+	sort.Slice(hs.deadRouters, func(i, j int) bool { return hs.deadRouters[i] < hs.deadRouters[j] })
+
+	for _, k := range inj.hashedLinks(m) {
+		if len(hs.deadLinks) >= inj.cfg.DeadLinks {
+			break
+		}
+		if deadRouters[k.A] || deadRouters[k.B] {
+			continue // already dead via its router
+		}
+		deadLinks[k] = true
+		if !connected() {
+			delete(deadLinks, k)
+			continue
+		}
+		hs.deadLinks = append(hs.deadLinks, k)
+	}
+	sort.Slice(hs.deadLinks, func(i, j int) bool {
+		if hs.deadLinks[i].A != hs.deadLinks[j].A {
+			return hs.deadLinks[i].A < hs.deadLinks[j].A
+		}
+		return hs.deadLinks[i].B < hs.deadLinks[j].B
+	})
+
+	picked := 0
+	for _, n := range inj.hashedNodes(m, saltCrash) {
+		if picked >= inj.cfg.CrashedNodes {
+			break
+		}
+		if deadRouters[n] {
+			continue
+		}
+		hs.crashAt[n] = inj.deathCycle(saltCrash, uint64(n))
+		picked++
+	}
+
+	for _, n := range hs.deadRouters {
+		cycle := inj.deathCycle(saltDeadRouter, uint64(n))
+		hs.events = append(hs.events, hardEvent{cycle: cycle, router: true, node: n})
+		hs.final.AddRouter(n)
+		// A dead router crashes the node behind it at the same cycle.
+		hs.crashAt[n] = cycle
+	}
+	for _, k := range hs.deadLinks {
+		hs.events = append(hs.events, hardEvent{
+			cycle: inj.deathCycle(saltDeadLink, uint64(k.A), uint64(k.B)), link: k})
+		hs.final.AddLink(k.A, k.B)
+	}
+	sort.SliceStable(hs.events, func(i, j int) bool { return hs.events[i].cycle < hs.events[j].cycle })
+
+	hs.crashes = make([]topology.NodeID, 0, len(hs.crashAt))
+	for n := range hs.crashAt {
+		hs.crashes = append(hs.crashes, n)
+	}
+	sort.Slice(hs.crashes, func(i, j int) bool { return hs.crashes[i] < hs.crashes[j] })
+}
+
+// deathCycle hashes one failure's activation cycle into [0, DeathWindow].
+func (inj *Injector) deathCycle(salt uint64, vals ...uint64) sim.Time {
+	if inj.cfg.DeathWindow <= 0 {
+		return 0
+	}
+	h := inj.mix(saltDeathCycle^salt, vals...)
+	return sim.Time(h % uint64(inj.cfg.DeathWindow+1))
+}
+
+// hashedNodes returns every mesh node ordered by its hash under salt.
+func (inj *Injector) hashedNodes(m *topology.Mesh, salt uint64) []topology.NodeID {
+	out := make([]topology.NodeID, m.Nodes())
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return inj.mix(salt, uint64(out[i])) < inj.mix(salt, uint64(out[j]))
+	})
+	return out
+}
+
+// hashedLinks returns every mesh link ordered by its hash.
+func (inj *Injector) hashedLinks(m *topology.Mesh) []topology.LinkKey {
+	seen := map[topology.LinkKey]bool{}
+	var out []topology.LinkKey
+	for id := 0; id < m.Nodes(); id++ {
+		v := topology.NodeID(id)
+		for _, p := range []topology.Port{topology.East, topology.West, topology.North, topology.South} {
+			if w, ok := m.Neighbor(v, p); ok {
+				k := topology.MakeLinkKey(v, w)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, k)
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return inj.mix(saltDeadLink, uint64(out[i].A), uint64(out[i].B)) <
+			inj.mix(saltDeadLink, uint64(out[j].A), uint64(out[j].B))
+	})
+	return out
+}
+
+// liveConnected reports whether the mesh nodes with live routers form a
+// connected subgraph over the live links (and that at least two survive).
+func liveConnected(m *topology.Mesh, deadRouters map[topology.NodeID]bool, deadLinks map[topology.LinkKey]bool) bool {
+	live := m.Nodes() - len(deadRouters)
+	if live < 2 {
+		return false
+	}
+	start := topology.NodeID(-1)
+	for id := 0; id < m.Nodes(); id++ {
+		if !deadRouters[topology.NodeID(id)] {
+			start = topology.NodeID(id)
+			break
+		}
+	}
+	seen := make([]bool, m.Nodes())
+	seen[start] = true
+	queue := []topology.NodeID{start}
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range []topology.Port{topology.East, topology.West, topology.North, topology.South} {
+			w, ok := m.Neighbor(v, p)
+			if !ok || seen[w] || deadRouters[w] || deadLinks[topology.MakeLinkKey(v, w)] {
+				continue
+			}
+			seen[w] = true
+			count++
+			queue = append(queue, w)
+		}
+	}
+	return count == live
+}
+
+// HardFaults reports whether this injector carries permanent failures.
+func (inj *Injector) HardFaults() bool { return inj.cfg.HardFaults() }
+
+// DeadAt returns the set of links and routers dead at cycle now, or nil
+// while nothing has died yet. The returned set grows monotonically; callers
+// must treat it as read-only and must not retain it across simulated time.
+// now must be nondecreasing across calls (simulation time is).
+func (inj *Injector) DeadAt(now sim.Time) *topology.DeadSet {
+	hs := inj.hard
+	if hs == nil {
+		return nil
+	}
+	for hs.cursor < len(hs.events) && hs.events[hs.cursor].cycle <= now {
+		ev := hs.events[hs.cursor]
+		hs.cursor++
+		if hs.current == nil {
+			hs.current = topology.NewDeadSet()
+		}
+		if ev.router {
+			hs.current.AddRouter(ev.node)
+		} else {
+			hs.current.AddLink(ev.link.A, ev.link.B)
+		}
+	}
+	return hs.current
+}
+
+// CrashedAt reports whether node n's processor interface has crashed by
+// cycle now (explicit crash or dead router).
+func (inj *Injector) CrashedAt(n topology.NodeID, now sim.Time) bool {
+	if inj.hard == nil {
+		return false
+	}
+	t, ok := inj.hard.crashAt[n]
+	return ok && t <= now
+}
+
+// FinalDeadSet returns the fully-applied dead set (every scheduled death,
+// regardless of cycle), or nil when the injector is unbound. Static analysis
+// (the degraded CDG verifier) checks against this end state.
+func (inj *Injector) FinalDeadSet() *topology.DeadSet {
+	if inj.hard == nil {
+		return nil
+	}
+	return inj.hard.final
+}
+
+// Crashes returns, in sorted order, every node that crashes at some point
+// of the schedule (explicit crashes plus nodes behind dead routers), with
+// no regard to cycle. Test harnesses use it to assign crashing nodes
+// passive roles.
+func (inj *Injector) Crashes() []topology.NodeID {
+	if inj.hard == nil {
+		return nil
+	}
+	return inj.hard.crashes
+}
+
+// DeadLinksResolved and DeadRoutersResolved return the resolved victims in
+// sorted order (possibly fewer than requested on tiny meshes).
+func (inj *Injector) DeadLinksResolved() []topology.LinkKey {
+	if inj.hard == nil {
+		return nil
+	}
+	return inj.hard.deadLinks
+}
+
+// DeadRoutersResolved returns the resolved dead routers in sorted order.
+func (inj *Injector) DeadRoutersResolved() []topology.NodeID {
+	if inj.hard == nil {
+		return nil
+	}
+	return inj.hard.deadRouters
+}

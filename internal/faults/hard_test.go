@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// bindHard builds an injector with the given hard-failure counts bound to a
+// k x k mesh.
+func bindHard(seed uint64, k, deadLinks, deadRouters, crashes int, window sim.Time) *Injector {
+	inj := New(Config{
+		Seed:         seed,
+		DeadLinks:    deadLinks,
+		DeadRouters:  deadRouters,
+		CrashedNodes: crashes,
+		DeathWindow:  window,
+	})
+	inj.BindTopology(topology.NewSquareMesh(k))
+	return inj
+}
+
+// TestBindTopologyDeterministic: the resolved victim sets are a pure
+// function of (seed, mesh) — rebinding reproduces them exactly, and a
+// different seed draws different victims.
+func TestBindTopologyDeterministic(t *testing.T) {
+	a := bindHard(0xFACE, 8, 4, 1, 2, 4096)
+	b := bindHard(0xFACE, 8, 4, 1, 2, 4096)
+	if got, want := a.DeadLinksResolved(), b.DeadLinksResolved(); len(got) != len(want) {
+		t.Fatalf("link counts differ: %v vs %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("links differ: %v vs %v", got, want)
+			}
+		}
+	}
+	if got, want := a.DeadRoutersResolved(), b.DeadRoutersResolved(); len(got) != 1 || len(want) != 1 || got[0] != want[0] {
+		t.Fatalf("routers differ: %v vs %v", got, want)
+	}
+	if got, want := a.Crashes(), b.Crashes(); len(got) != len(want) {
+		t.Fatalf("crash sets differ: %v vs %v", got, want)
+	}
+
+	c := bindHard(0xFACE+1, 8, 4, 1, 2, 4096)
+	same := len(c.DeadLinksResolved()) == len(a.DeadLinksResolved())
+	if same {
+		for i, k := range a.DeadLinksResolved() {
+			if c.DeadLinksResolved()[i] != k {
+				same = false
+				break
+			}
+		}
+	}
+	if same && c.DeadRoutersResolved()[0] == a.DeadRoutersResolved()[0] {
+		t.Error("two seeds drew identical victim sets; selection is not seed-driven")
+	}
+}
+
+// TestBindTopologyPreservesConnectivity: victim selection must never sever
+// the live subgraph — every pair of live routers stays mutually reachable
+// over live links, even when far more deaths are requested than a small
+// mesh can absorb (the resolved count falls short instead).
+func TestBindTopologyPreservesConnectivity(t *testing.T) {
+	for _, tc := range []struct{ k, links, routers int }{
+		{4, 10, 3},
+		{2, 4, 1}, // a 2x2 mesh can lose one link, never two
+		{8, 20, 6},
+	} {
+		inj := bindHard(0xC0FFEE, tc.k, tc.links, tc.routers, 0, 0)
+		m := topology.NewSquareMesh(tc.k)
+		ds := inj.FinalDeadSet()
+
+		// BFS over live links from the first live router.
+		start := topology.NodeID(-1)
+		live := 0
+		for id := 0; id < m.Nodes(); id++ {
+			if !ds.RouterDead(topology.NodeID(id)) {
+				if start < 0 {
+					start = topology.NodeID(id)
+				}
+				live++
+			}
+		}
+		if live < 2 {
+			t.Fatalf("k=%d: fewer than two live routers", tc.k)
+		}
+		seen := map[topology.NodeID]bool{start: true}
+		queue := []topology.NodeID{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, p := range []topology.Port{topology.East, topology.West, topology.North, topology.South} {
+				if w, ok := m.Neighbor(v, p); ok && !seen[w] && !ds.LinkDead(v, w) {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(seen) != live {
+			t.Errorf("k=%d links=%d routers=%d: live subgraph disconnected (%d of %d reachable)",
+				tc.k, tc.links, tc.routers, len(seen), live)
+		}
+		if got := len(inj.DeadLinksResolved()); got > tc.links {
+			t.Errorf("k=%d: resolved %d links, requested %d", tc.k, got, tc.links)
+		}
+	}
+}
+
+// TestDeadAtMonotonicCursor: DeadAt applies deaths in cycle order, the
+// returned set only grows, the end-of-window set matches FinalDeadSet, and
+// a zero window kills everything at cycle 0.
+func TestDeadAtMonotonicCursor(t *testing.T) {
+	inj := bindHard(0xAB1E, 6, 3, 1, 0, 4096)
+	prevLinks, prevRouters := 0, 0
+	for _, now := range []sim.Time{0, 512, 1024, 2048, 4096, 8192} {
+		ds := inj.DeadAt(now)
+		nl, nr := 0, 0
+		if ds != nil {
+			nl, nr = len(ds.Links()), len(ds.Routers())
+		}
+		if nl < prevLinks || nr < prevRouters {
+			t.Fatalf("dead set shrank at cycle %d: %d/%d -> %d/%d", now, prevLinks, prevRouters, nl, nr)
+		}
+		prevLinks, prevRouters = nl, nr
+	}
+	final := inj.FinalDeadSet()
+	if prevLinks != len(final.Links()) || prevRouters != len(final.Routers()) {
+		t.Fatalf("dead set at end of window (%d links, %d routers) != final (%d, %d)",
+			prevLinks, prevRouters, len(final.Links()), len(final.Routers()))
+	}
+
+	zero := bindHard(0xAB1E, 6, 3, 1, 0, 0)
+	ds := zero.DeadAt(0)
+	if ds == nil || len(ds.Links()) != len(zero.FinalDeadSet().Links()) {
+		t.Error("zero DeathWindow did not kill everything at cycle 0")
+	}
+}
+
+// TestCrashedAt: crashes activate at their hashed cycle and stay; nodes
+// behind a dead router crash at the router's death cycle; an unbound
+// injector reports nothing crashed.
+func TestCrashedAt(t *testing.T) {
+	inj := bindHard(0xCAFE, 6, 0, 1, 2, 4096)
+	crashes := inj.Crashes()
+	if want := 3; len(crashes) != want { // 2 explicit + 1 behind the dead router
+		t.Fatalf("Crashes() = %v, want %d nodes", crashes, want)
+	}
+	deadRouter := inj.DeadRoutersResolved()[0]
+	foundRouter := false
+	for _, n := range crashes {
+		if n == deadRouter {
+			foundRouter = true
+		}
+		if inj.CrashedAt(n, 0) && !inj.CrashedAt(n, 4096) {
+			t.Errorf("node %d crashed at 0 but not at end of window", n)
+		}
+		if !inj.CrashedAt(n, 4096) {
+			t.Errorf("node %d not crashed by end of window", n)
+		}
+	}
+	if !foundRouter {
+		t.Errorf("dead router %d's node missing from Crashes() %v", deadRouter, crashes)
+	}
+	for id := 0; id < 36; id++ {
+		n := topology.NodeID(id)
+		isCrash := false
+		for _, c := range crashes {
+			if c == n {
+				isCrash = true
+			}
+		}
+		if !isCrash && inj.CrashedAt(n, 1<<40) {
+			t.Errorf("unscheduled node %d reports crashed", n)
+		}
+	}
+
+	unbound := New(Config{Seed: 1, DropRate: 0.1})
+	if unbound.CrashedAt(0, 1<<40) {
+		t.Error("unbound injector reports a crash")
+	}
+	if unbound.DeadAt(1<<40) != nil || unbound.FinalDeadSet() != nil || unbound.Crashes() != nil {
+		t.Error("unbound injector reports hard-fault state")
+	}
+}

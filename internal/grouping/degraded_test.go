@@ -1,0 +1,72 @@
+package grouping
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestGroupsAvoidingEmptyDeadIsIdentity(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	sharers := []topology.NodeID{1, 2, 5, 6, 9, 11, 14}
+	for _, s := range AllSchemes {
+		want := Groups(s, m, 0, sharers)
+		got, fb := GroupsAvoiding(s, m, 0, sharers, nil)
+		if len(fb) != 0 {
+			t.Fatalf("%v: fallback %v on healthy mesh", s, fb)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: GroupsAvoiding(nil) != Groups", s)
+		}
+	}
+}
+
+func TestGroupsAvoidingRerealizesOrFallsBack(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	sharers := []topology.NodeID{1, 5, 9, 13, 2, 6} // columns 1 and 2
+	dead := topology.NewDeadSet()
+	dead.AddLink(5, 9) // severs column-1 worms mid-column
+	for _, s := range AllSchemes {
+		groups, fallback := GroupsAvoiding(s, m, 0, sharers, dead)
+		// Every sharer is covered exactly once, by a live group or fallback.
+		covered := map[topology.NodeID]int{}
+		for _, g := range groups {
+			if !g.PathLive(dead) {
+				t.Fatalf("%v: returned group with dead path %v", s, g.Path)
+			}
+			if g.Conformed && !g.Base.Conforms(routing.Moves(m, g.Path)) {
+				t.Fatalf("%v: re-realized path %v not conformed", s, g.Path)
+			}
+			for _, sh := range g.Members {
+				covered[sh]++
+			}
+		}
+		for _, sh := range fallback {
+			covered[sh]++
+		}
+		for _, sh := range sharers {
+			if covered[sh] != 1 {
+				t.Fatalf("%v: sharer %v covered %d times", s, sh, covered[sh])
+			}
+		}
+	}
+}
+
+func TestGroupsAvoidingFallbackSorted(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	// Cut both vertical links of column 1 above row 0 twice over so no
+	// conformed re-realization exists for a full-column group.
+	dead := topology.NewDeadSet()
+	dead.AddLink(1, 5)
+	dead.AddLink(5, 9)
+	dead.AddLink(9, 13)
+	sharers := []topology.NodeID{1, 5, 9, 13}
+	_, fallback := GroupsAvoiding(MIUAEC, m, 0, sharers, dead)
+	for i := 1; i < len(fallback); i++ {
+		if fallback[i-1] >= fallback[i] {
+			t.Fatalf("fallback not sorted: %v", fallback)
+		}
+	}
+}

@@ -63,6 +63,11 @@ type Collector struct {
 	// (MI→UI); DupAcks counts duplicate acknowledgments absorbed by the
 	// idempotent recovery bookkeeping. All zero on fault-free runs.
 	Retries, Fallbacks, DupAcks uint64
+	// ImplicitInvals counts sharers invalidated implicitly at the directory
+	// because the node had crashed (hard faults); Relays counts degraded
+	// multi-leg messages re-injected at a relay pivot. Both zero unless a
+	// hard-fault schedule is active.
+	ImplicitInvals, Relays uint64
 }
 
 // NewCollector returns a collector for a machine with n nodes.
@@ -95,6 +100,8 @@ func (c *Collector) Merge(other *Collector) {
 	c.Retries += other.Retries
 	c.Fallbacks += other.Fallbacks
 	c.DupAcks += other.DupAcks
+	c.ImplicitInvals += other.ImplicitInvals
+	c.Relays += other.Relays
 	if n := len(other.Occupancy); len(c.Occupancy) < n {
 		c.Occupancy = append(c.Occupancy, make([]sim.Time, n-len(c.Occupancy))...)
 		c.MsgsSent = append(c.MsgsSent, make([]uint64, n-len(c.MsgsSent))...)

@@ -716,3 +716,98 @@ func TestMultidestSoakConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestDiagnoseGolden pins the exact liveness-watchdog dump formats: the
+// quiesced line, a freshly injected worm waiting on its injection channel,
+// and a stalled gather naming its missing i-ack. The dump is what a wedged
+// run hands the operator (and what the chaos soaks print on failure), so its
+// shape is a contract, not a detail.
+func TestDiagnoseGolden(t *testing.T) {
+	r := newRig(t, 8, nil)
+	if got, want := r.n.Diagnose(), "network: quiesced, no worms in flight"; got != want {
+		t.Fatalf("quiesced Diagnose = %q, want %q", got, want)
+	}
+
+	// A just-injected worm has not won its injection channel yet.
+	w := r.unicastWorm(routing.ECube, Request, r.at(0, 0), r.at(3, 2), 0)
+	r.n.Inject(w)
+	if got, want := r.n.Diagnose(), "network: 1 worm(s) in flight\n"+
+		"  worm 0 (unicast, request vn) at hop 0/5 of (0,0)->(3,2): waiting for its injection channel\n"; got != want {
+		t.Fatalf("queued Diagnose = %q, want %q", got, want)
+	}
+	r.e.Run()
+
+	// The blocking-gather scenario: the gather stalls at its first member
+	// waiting for an i-ack that was never posted.
+	home := r.at(0, 2)
+	s1, s2 := r.at(3, 2), r.at(3, 5)
+	const txn = 33
+	r.n.Inject(r.multiWorm(t, Reserve, Request, routing.ECube,
+		[]topology.NodeID{home, s1, s2}, 0, txn))
+	r.e.Run()
+	gpath, _ := routing.ECube.PathThrough(r.m, []topology.NodeID{home, s1, s2})
+	rev := make([]topology.NodeID, len(gpath))
+	for i, nd := range gpath {
+		rev[len(gpath)-1-i] = nd
+	}
+	dests := make([]bool, len(rev))
+	for i, nd := range rev {
+		if i > 0 && (nd == s1 || nd == home) {
+			dests[i] = true
+		}
+	}
+	r.n.Inject(&Worm{Kind: Gather, VN: Reply, Path: rev, Dest: dests,
+		HeaderFlits: r.n.Cfg.HeaderFlits(2), TxnID: txn})
+	r.e.Run()
+	if got, want := r.n.Diagnose(), "network: 1 worm(s) in flight\n"+
+		"  worm 2 (gather, reply vn) at hop 3/6 of (3,5)->(0,2): gather stalled at (3,2): i-ack for txn 33 not posted\n"; got != want {
+		t.Fatalf("stalled-gather Diagnose = %q, want %q", got, want)
+	}
+	r.n.PostAck(s1, txn)
+	r.e.Run()
+}
+
+// TestPurgeWormIdempotent pins the double-purge contract: purging the same
+// worm twice at a dead link is a complete no-op the second time — channels
+// are released once, the worm is retired once, and Stats.Purged counts one
+// purge, not two. (Both directions of a dead link can observe the same
+// stranded worm in one cycle, so the purge path must tolerate re-entry.)
+func TestPurgeWormIdempotent(t *testing.T) {
+	r := newRig(t, 4, nil)
+	w := r.unicastWorm(routing.ECube, Request, r.at(0, 0), r.at(3, 0), 0)
+	w.Expendable = true
+	r.n.Inject(w)
+	if r.n.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d after inject", r.n.Outstanding())
+	}
+
+	r.n.purgeWorm(w, 1)
+	if got := r.n.Stats().Purged; got != 1 {
+		t.Fatalf("Purged = %d after first purge, want 1", got)
+	}
+	if r.n.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after purge, want 0", r.n.Outstanding())
+	}
+
+	// Second purge (same hop or another): a no-op, counted zero times.
+	r.n.purgeWorm(w, 1)
+	r.n.purgeWorm(w, 2)
+	r.n.killWorm(w)
+	if got := r.n.Stats().Purged; got != 1 {
+		t.Fatalf("Purged = %d after double purge, want 1", got)
+	}
+	if r.n.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after double purge", r.n.Outstanding())
+	}
+
+	// The fabric is intact: fresh traffic still flows over the same links.
+	r.got = nil
+	r.n.Inject(r.unicastWorm(routing.ECube, Request, r.at(0, 0), r.at(3, 0), 0))
+	r.e.Run()
+	if len(r.got) != 1 || !r.got[0].Final {
+		t.Fatalf("post-purge delivery = %+v, want one final", r.got)
+	}
+	if r.n.Outstanding() != 0 {
+		t.Fatal("network not quiesced after post-purge traffic")
+	}
+}

@@ -55,6 +55,10 @@ func (c RunConfig) String() string {
 		fault = fmt.Sprintf("drop=%g ackloss=%g stall=%g slow=%g seed=%#x",
 			c.Fault.DropRate, c.Fault.AckLossRate, c.Fault.LinkStallRate,
 			c.Fault.RouterSlowRate, c.Fault.Seed)
+		if c.Fault.HardFaults() {
+			fault += fmt.Sprintf(" deadlinks=%d deadrouters=%d crashes=%d window=%d",
+				c.Fault.DeadLinks, c.Fault.DeadRouters, c.Fault.CrashedNodes, c.Fault.DeathWindow)
+		}
 	}
 	return fmt.Sprintf("%dx%d %v %v lines=%d chaos=%d recovery=%v fault={%s} ops=%d",
 		c.Width, c.Height, c.Scheme, c.Consistency, c.CacheLines, c.ChaosSeed,
@@ -68,8 +72,13 @@ type RunResult struct {
 	Config    RunConfig
 	History   *History
 	Completed int
-	Cycles    uint64
-	Failures  []string
+	// Skipped counts operations abandoned because their node's processor
+	// crashed before they could issue (hard-fault runs only): a fail-silent
+	// processor issues nothing, so its remaining program order is dropped
+	// rather than failed.
+	Skipped  int
+	Cycles   uint64
+	Failures []string
 }
 
 // OK reports whether the run passed every oracle.
@@ -80,6 +89,9 @@ func (r *RunResult) Report() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "run %s\n", r.Config)
 	fmt.Fprintf(&sb, "  completed=%d cycles=%d po=%v\n", r.Completed, r.Cycles, r.History.PO)
+	if r.Skipped > 0 {
+		fmt.Fprintf(&sb, "  skipped=%d (issued after a processor crash)\n", r.Skipped)
+	}
 	blocks := make([]int, 0, len(r.History.Commit))
 	for b := range r.History.Commit {
 		blocks = append(blocks, b)
@@ -146,12 +158,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			p.Recovery.MaxRetries = cfg.MaxRetries
 		}
 	}
+	var inj *faults.Injector
 	if cfg.Fault != nil {
 		// faults.New returns a typed-nil *Injector for a no-op config;
 		// storing that in the interface field would make it non-nil and
 		// crash the network on a nil receiver.
-		if inj := faults.New(*cfg.Fault); inj != nil {
-			p.Fault = inj
+		if i := faults.New(*cfg.Fault); i != nil {
+			p.Fault = i
+			inj = i
 		}
 	}
 	m := coherence.NewMachine(p)
@@ -252,6 +266,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if idx[n] >= len(perNode[n]) {
 			return
 		}
+		if inj != nil && inj.CrashedAt(topology.NodeID(n), m.Engine.Now()) {
+			// The node's processor crashed (fail-silent): the rest of its
+			// program order is abandoned, not failed. Ops already in flight
+			// completed before this point — issue is re-entered only from
+			// their completion callbacks.
+			res.Skipped += len(perNode[n]) - idx[n]
+			idx[n] = len(perNode[n])
+			return
+		}
 		op := perNode[n][idx[n]]
 		idx[n]++
 		node := topology.NodeID(n)
@@ -324,8 +347,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	res.History = &History{Streams: streams, Commit: commit, PO: po}
 
-	if completed != len(cfg.Ops) {
-		fail("only %d/%d operations completed:\n%s", completed, len(cfg.Ops), m.Net.Diagnose())
+	if want := len(cfg.Ops) - res.Skipped; completed != want {
+		fail("only %d/%d operations completed (%d skipped by crashes):\n%s",
+			completed, want, res.Skipped, m.Net.Diagnose())
 		return res, nil
 	}
 	if !m.Quiesced() {

@@ -1,0 +1,201 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func allBases() []Base { return []Base{ECube, WestFirst, PlanarAdaptive} }
+
+// checkPath asserts path runs src->dst over live neighbor links and conforms.
+func checkPath(t *testing.T, b Base, m *topology.Mesh, path []topology.NodeID,
+	src, dst topology.NodeID, dead *topology.DeadSet) {
+	t.Helper()
+	if len(path) == 0 || path[0] != src || path[len(path)-1] != dst {
+		t.Fatalf("%v: path %v does not run %v->%v", b, path, src, dst)
+	}
+	for i := 1; i < len(path); i++ {
+		if dead.LinkDead(path[i-1], path[i]) {
+			t.Fatalf("%v: path %v crosses dead link %v-%v", b, path, path[i-1], path[i])
+		}
+	}
+	if !b.Conforms(Moves(m, path)) {
+		t.Fatalf("%v: path %v does not conform", b, path)
+	}
+}
+
+func TestPathAvoidingEmptyDeadMatchesUnicast(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	for _, b := range allBases() {
+		for src := 0; src < m.Nodes(); src++ {
+			for dst := 0; dst < m.Nodes(); dst++ {
+				s, d := topology.NodeID(src), topology.NodeID(dst)
+				got, ok := b.PathAvoiding(m, s, d, nil)
+				if !ok {
+					t.Fatalf("%v: no path %v->%v on healthy mesh", b, s, d)
+				}
+				want := b.UnicastPath(m, s, d)
+				if len(got) != len(want) {
+					t.Fatalf("%v: healthy PathAvoiding %v->%v = %v, want base path %v", b, s, d, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v: healthy PathAvoiding %v->%v = %v, want base path %v", b, s, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathAvoidingDetours(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	// Kill the east link out of node 0 (0-1). The adaptive bases can detour
+	// within one conformed path (e.g. north, east, ... for west-first; any
+	// monotone staircase for planar-adaptive reaches the upper-right block).
+	dead := topology.NewDeadSet()
+	dead.AddLink(0, 1)
+	path, ok := WestFirst.PathAvoiding(m, 0, 3, dead)
+	if !ok {
+		t.Fatal("west-first: no live conformed path 0->3 with 0-1 dead")
+	}
+	checkPath(t, WestFirst, m, path, 0, 3, dead)
+	path, ok = PlanarAdaptive.PathAvoiding(m, 0, 7, dead)
+	if !ok {
+		t.Fatal("planar-adaptive: no live conformed path 0->7 with 0-1 dead")
+	}
+	checkPath(t, PlanarAdaptive, m, path, 0, 7, dead)
+	// ECube's X-then-Y discipline cannot express the up-over-down detour for
+	// a same-row destination: PathAvoiding must report failure (RelayRoute
+	// handles the pair with a pivot).
+	if _, ok := ECube.PathAvoiding(m, 0, 1, dead); ok {
+		t.Fatal("ecube: unexpected single conformed path 0->1 with 0-1 dead")
+	}
+}
+
+func TestPathAvoidingDeadRouterUnreachable(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	dead := topology.NewDeadSet()
+	dead.AddRouter(5)
+	for _, b := range allBases() {
+		if _, ok := b.PathAvoiding(m, 0, 5, dead); ok {
+			t.Fatalf("%v: found a path to a dead router", b)
+		}
+		if _, ok := b.PathAvoiding(m, 5, 0, dead); ok {
+			t.Fatalf("%v: found a path from a dead router", b)
+		}
+		// Other pairs still route around the hole, via relays if the base's
+		// conformance cannot express the detour in one worm.
+		legs, ok := b.RelayRoute(m, 4, 6, dead)
+		if !ok {
+			t.Fatalf("%v: 4->6 unreachable around dead router 5", b)
+		}
+		cur := topology.NodeID(4)
+		for _, leg := range legs {
+			checkPath(t, b, m, leg, cur, leg[len(leg)-1], dead)
+			cur = leg[len(leg)-1]
+		}
+		if cur != 6 {
+			t.Fatalf("%v: relay legs end at %v, want 6", b, cur)
+		}
+	}
+}
+
+// Corner trap: kill links so that every conformed path from the corner is
+// severed for ECube, forcing RelayRoute to emit multiple legs for at least
+// some pair, while each leg stays individually conformed and live.
+func TestRelayRouteCoversAllLivePairs(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	dead := topology.NewDeadSet()
+	// 4x4 row-major: node 1 = (1,0), node 5 = (1,1).
+	dead.AddLink(1, 2)  // (1,0)-(2,0)
+	dead.AddLink(5, 6)  // (1,1)-(2,1)
+	dead.AddLink(9, 10) // (1,2)-(2,2): only row 3 crosses the cut
+	for _, b := range allBases() {
+		for src := 0; src < m.Nodes(); src++ {
+			for dst := 0; dst < m.Nodes(); dst++ {
+				s, d := topology.NodeID(src), topology.NodeID(dst)
+				legs, ok := b.RelayRoute(m, s, d, dead)
+				if !ok {
+					t.Fatalf("%v: RelayRoute %v->%v failed on connected degraded mesh", b, s, d)
+				}
+				cur := s
+				for _, leg := range legs {
+					checkPath(t, b, m, leg, cur, leg[len(leg)-1], dead)
+					cur = leg[len(leg)-1]
+				}
+				if cur != d {
+					t.Fatalf("%v: RelayRoute %v->%v legs end at %v", b, s, d, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestRelayRouteNeedsRelayForEcubeTrap(t *testing.T) {
+	// ECube conformance (X then Y) cannot express "go up, cross, come down",
+	// so cutting all eastward row crossings except one forces a relay when
+	// src and dst sit on opposite sides in a severed row.
+	m := topology.NewSquareMesh(4)
+	dead := topology.NewDeadSet()
+	dead.AddLink(1, 2)
+	dead.AddLink(5, 6)
+	dead.AddLink(9, 10)
+	legs, ok := ECube.RelayRoute(m, 0, 3, dead)
+	if !ok {
+		t.Fatal("ecube: RelayRoute 0->3 failed")
+	}
+	if len(legs) < 2 {
+		t.Fatalf("ecube: expected a multi-leg relay 0->3 across the cut, got %d leg(s): %v", len(legs), legs)
+	}
+}
+
+func TestPathThroughAvoidingRerealizesAroundDeadLink(t *testing.T) {
+	m := topology.NewSquareMesh(4)
+	for _, b := range allBases() {
+		waypoints := []topology.NodeID{0, 4, 8, 12} // west column, south to north
+		healthy, err := b.PathThrough(m, waypoints)
+		if err != nil {
+			t.Fatalf("%v: healthy PathThrough: %v", b, err)
+		}
+		// Empty dead set must reproduce the healthy choice.
+		same, err := b.PathThroughAvoiding(m, waypoints, nil)
+		if err != nil {
+			t.Fatalf("%v: PathThroughAvoiding(nil): %v", b, err)
+		}
+		if len(same) != len(healthy) {
+			t.Fatalf("%v: PathThroughAvoiding(nil) = %v, want %v", b, same, healthy)
+		}
+		// Kill a link on the column: the straight realization dies; the
+		// waypoint sequence itself is no longer realizable with one conformed
+		// worm (column legs have exactly one realization), so an error is the
+		// contract — callers split the group.
+		dead := topology.NewDeadSet()
+		dead.AddLink(4, 8)
+		if _, err := b.PathThroughAvoiding(m, waypoints, dead); err == nil {
+			t.Fatalf("%v: expected error re-realizing a severed column", b)
+		}
+	}
+}
+
+func TestPathThroughAvoidingPicksLiveRealization(t *testing.T) {
+	// A diagonal leg has XY and YX realizations; killing a link on the XY one
+	// must steer the search to YX where the base allows it.
+	m := topology.NewSquareMesh(4)
+	dead := topology.NewDeadSet()
+	dead.AddLink(0, 1) // kills XY realization of 0 -> 5
+	waypoints := []topology.NodeID{0, 5}
+	for _, b := range []Base{WestFirst, PlanarAdaptive} {
+		path, err := b.PathThroughAvoiding(m, waypoints, dead)
+		if err != nil {
+			t.Fatalf("%v: PathThroughAvoiding: %v", b, err)
+		}
+		checkPath(t, b, m, path, 0, 5, dead)
+	}
+	// ECube from the start state may also go Y-then-X (a Y run then X run is
+	// not XY-conformed; dfaStart->North->East fails), so ECube must error.
+	if _, err := ECube.PathThroughAvoiding(m, waypoints, dead); err == nil {
+		t.Fatal("ecube: expected no live conformed realization of 0->5 with 0-1 dead")
+	}
+}

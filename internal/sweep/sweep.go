@@ -72,6 +72,11 @@ type Measures struct {
 	// checkpoints without the fields load unchanged.
 	Retries float64 `json:"retries,omitempty"`
 	Drops   float64 `json:"drops,omitempty"`
+	// Fallbacks and Purges are the hard-fault degradation means (MI->UI
+	// group fallbacks and dead-link worm purges per trial); zero without
+	// hard faults, so old checkpoints load unchanged.
+	Fallbacks float64 `json:"fallbacks,omitempty"`
+	Purges    float64 `json:"purges,omitempty"`
 }
 
 // MeasuresOf extracts the serializable measures from an InvalResult.
@@ -85,6 +90,8 @@ func MeasuresOf(r workload.InvalResult) Measures {
 		Completed: r.Completed,
 		Retries:   r.Retries,
 		Drops:     r.Drops,
+		Fallbacks: r.Fallbacks,
+		Purges:    r.Purges,
 	}
 }
 

@@ -111,6 +111,12 @@ type InvalResult struct {
 	// without fault injection.
 	Retries float64
 	Drops   float64
+	// Fallbacks is the mean number of MI->UI degradations per trial (group
+	// severed by a dead resource or recovery-path retry) and Purges the mean
+	// number of worms purged at dead links per trial; both zero without
+	// hard-fault injection.
+	Fallbacks float64
+	Purges    float64
 	// Metrics is the machine's full collector, for callers that aggregate
 	// across experiments (the sweep engine merges these).
 	Metrics *metrics.Collector
@@ -164,7 +170,7 @@ func RunInval(cfg InvalConfig) InvalResult {
 	}
 
 	res := InvalResult{Config: cfg}
-	var homeMsgs, groups, flitHops, messages, retries, drops float64
+	var homeMsgs, groups, flitHops, messages, retries, drops, fallbacks, purges float64
 	for trial := 0; trial < cfg.Trials; trial++ {
 		if cfg.Interrupt != nil && cfg.Interrupt() {
 			break
@@ -181,6 +187,7 @@ func RunInval(cfg InvalConfig) InvalResult {
 			runOp(m, false, s, block)
 		}
 		before := m.Net.Stats()
+		beforeFallbacks := m.Metrics.Fallbacks
 		nInvals := len(m.Metrics.Invals)
 		runOp(m, true, writer, block)
 		after := m.Net.Stats()
@@ -195,6 +202,8 @@ func RunInval(cfg InvalConfig) InvalResult {
 		messages += float64(rec.Groups + acks)
 		retries += float64(rec.Retries)
 		drops += float64(after.Dropped - before.Dropped)
+		fallbacks += float64(m.Metrics.Fallbacks - beforeFallbacks)
+		purges += float64(after.Purged - before.Purged)
 		// Total flit-hops during the write minus the writeReq/writeReply
 		// pair, leaving the invalidation traffic.
 		flitHops += float64(after.FlitHops - before.FlitHops)
@@ -206,6 +215,8 @@ func RunInval(cfg InvalConfig) InvalResult {
 		res.Messages = messages / n
 		res.Retries = retries / n
 		res.Drops = drops / n
+		res.Fallbacks = fallbacks / n
+		res.Purges = purges / n
 	}
 	res.Metrics = m.Metrics
 	res.EngineEvents = m.Engine.Fired()
