@@ -12,7 +12,7 @@ COV_FLOOR_ORACLE := 85
 # Allowed fractional events/sec regression before bench-ratchet fails.
 RATCHET_THRESHOLD ?= 0.10
 
-.PHONY: all build test race vet lint check bench bench-json bench-ratchet equiv sweep oracle fuzz cover
+.PHONY: all build test race vet lint check bench bench-json bench-ratchet equiv sweep oracle fuzz cover smoke
 
 all: check
 
@@ -24,21 +24,25 @@ test:
 
 # The sweep engine's determinism tests double as its race-detector
 # certification: worker pools at parallel=8 must produce byte-identical
-# aggregates with no data races.
+# aggregates with no data races. The serving layer (worker pool, batcher,
+# coalescer) joins the same certification.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/sim/...
+	$(GO) test -race ./internal/sweep/... ./internal/sim/... ./internal/service/...
 
 vet:
 	$(GO) vet ./...
 
 # simcheck is the repository's own static-analysis suite (see README
-# "Static analysis"): four code-layer rules — determinism, maporder,
-# exhaustive, nogoroutine — over the whole module, plus the
+# "Static analysis"): the code-layer rules — determinism, maporder,
+# exhaustive, nogoroutine, lifetime, noalloc — over the whole module, the
 # channel-dependency-graph verification of routing deadlock freedom at the
-# paper's full 8x8 mesh size.
+# paper's full 8x8 mesh size, and an explicit all-rules pass over the
+# serving layer (explicit directories get every rule; the server's
+# intentional goroutines carry //simcheck:allow-file escapes).
 lint:
 	$(GO) run ./cmd/simcheck ./...
 	$(GO) run ./cmd/simcheck -cdg -mesh 8
+	$(GO) run ./cmd/simcheck ./internal/service ./cmd/dsmsimd ./cmd/dsmsimctl
 
 # oracle runs the protocol-correctness oracles end to end: the exhaustive
 # model checker over every scheme at the 2x2/2-block configuration, then a
@@ -102,3 +106,10 @@ bench: bench-json
 
 sweep:
 	$(GO) run ./cmd/invalsweep -experiment all
+
+# smoke drives the dsmsimd daemon end to end: serve the E4 latency table
+# byte-identical to the batch CLI, repeat it from the cache, run a point
+# job, then SIGTERM and assert a clean drain with the journal and results
+# persisted. See scripts/dsmsimd_smoke.sh.
+smoke:
+	bash scripts/dsmsimd_smoke.sh

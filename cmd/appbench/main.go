@@ -33,6 +33,9 @@ func main() {
 	)
 	flag.Parse()
 	experiments.Sweep.Parallel = *parallel
+	if err := experiments.Sweep.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	// First ctrl-C skips the cells not yet started and emits what finished
 	// (zero cells are flagged on stderr); a second one kills as usual.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

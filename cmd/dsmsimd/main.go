@@ -1,0 +1,119 @@
+// Command dsmsimd is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server that runs sweep points and whole paper experiments
+// through a priority job queue, a coalescing batcher and a
+// content-addressed result cache. Because every point is deterministic, a
+// result is an immutable value named by its fingerprint — identical
+// requests coalesce onto one engine run, repeats are cache hits, and the
+// tables the daemon serves are byte-identical to the invalsweep CLI's.
+//
+// SIGINT/SIGTERM drains gracefully: intake closes, in-flight jobs get the
+// -drain-grace budget to finish (their sweep checkpoints flush after every
+// completed point regardless), the job journal persists, and a restart
+// over the same -data directory resumes whatever was cut off.
+package main
+
+//simcheck:allow-file nogoroutine -- the daemon is a server; concurrency is confined to internal/service and net/http
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8077", "listen address")
+		workers    = flag.Int("workers", 4, "engine worker pool size")
+		batch      = flag.Int("batch", 16, "coalescing batch size (requests per flush)")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max time a batch waits before flushing (0 disables batching)")
+		queueDepth = flag.Int("queue-depth", 1024, "run queue bound; beyond it submissions get 503")
+		cache      = flag.Int("cache", 4096, "in-memory result cache entries (0 = unbounded)")
+		data       = flag.String("data", "", "data directory for the durable result store, job journal and checkpoints (empty = memory only)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
+		timeout    = flag.Duration("point-timeout", 0, "default per-point wall-clock budget (0 = none)")
+		k          = flag.Int("k", 16, "default mesh dimension for the experiment endpoint")
+		d          = flag.Int("d", 16, "default sharers for the experiment endpoint")
+		trials     = flag.Int("trials", 10, "default trials for the experiment endpoint")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		BatchSize:      *batch,
+		BatchWait:      *batchWait,
+		QueueDepth:     *queueDepth,
+		DataDir:        "",
+		DefaultTimeout: *timeout,
+	}
+	if *data != "" {
+		disk, err := service.NewDiskStore(filepath.Join(*data, "results"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Store = service.NewTieredStore(service.NewMemoryStore(*cache), disk)
+		cfg.DataDir = *data
+	} else {
+		cfg.Store = service.NewMemoryStore(*cache)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Route the experiment layer through the service so the experiment
+	// endpoint hits the same cache and coalescer as point jobs. The sweep
+	// options must validate like the batch CLIs' do.
+	service.WireExperiments(svc, ctx)
+	if err := experiments.Sweep.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := service.NewServer(svc)
+	srv.DefaultK, srv.DefaultD, srv.DefaultTrials = *k, *d, *trials
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dsmsimd: serving on %s (workers=%d batch=%d/%s cache=%d data=%q)\n",
+		*addr, *workers, *batch, *batchWait, *cache, *data)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "dsmsimd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsimd: http shutdown: %v\n", err)
+	}
+	if err := svc.Drain(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsimd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dsmsimd: drained cleanly")
+}

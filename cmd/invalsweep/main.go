@@ -54,9 +54,6 @@ func main() {
 	)
 	flag.Parse()
 
-	if *resume && *checkpoint == "" {
-		log.Fatal("-resume requires -checkpoint")
-	}
 	if *checkpoint != "" && *exp == "all" {
 		log.Fatal("-checkpoint needs a single -experiment (each experiment is its own sweep)")
 	}
@@ -65,6 +62,9 @@ func main() {
 		PointTimeout:   *timeout,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+	}
+	if err := experiments.Sweep.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	if *progress {
 		experiments.Sweep.OnProgress = sweep.Reporter(os.Stderr, time.Second)
@@ -75,38 +75,8 @@ func main() {
 	defer stop()
 	experiments.SweepContext = ctx
 
-	runners := map[string]func() *report.Table{
-		"latency":     func() *report.Table { return experiments.FigLatencyVsSharers(*k, *trials) },
-		"homemsgs":    func() *report.Table { return experiments.FigOccupancyVsSharers(*k, *trials) },
-		"occupancy":   func() *report.Table { return experiments.FigOccupancyProfile(*k, *d, 8) },
-		"traffic":     func() *report.Table { return experiments.FigTrafficVsSharers(*k, *trials) },
-		"meshsize":    func() *report.Table { return experiments.FigLatencyVsMeshSize(*d, *trials) },
-		"buffers":     func() *report.Table { return experiments.FigIAckBuffers(*k, *d, 4) },
-		"hotspot":     func() *report.Table { return experiments.FigHotSpot(*k, *d) },
-		"placement":   func() *report.Table { return experiments.AblationPlacement(*k, *d, *trials) },
-		"homes":       func() *report.Table { return experiments.FigHomePlacement(*k, *d, *trials) },
-		"cons":        func() *report.Table { return experiments.AblationConsumptionChannels(*k, *d, 4) },
-		"table4":      experiments.Table4,
-		"table5":      experiments.Table5,
-		"vcs":         func() *report.Table { return experiments.FigVirtualChannels(*k, *d, 8) },
-		"limdir":      func() *report.Table { return experiments.FigLimitedDirectory(8) },
-		"consistency": experiments.FigConsistency,
-		"forwarding":  experiments.FigDataForwarding,
-		"invalsize":   experiments.FigInvalSizeDistribution,
-		"update":      experiments.FigWriteUpdate,
-		"load":        func() *report.Table { return experiments.FigOfferedLoad(*k) },
-		"tree":        func() *report.Table { return experiments.FigSoftwareTree(*k, *trials) },
-		"torus":       func() *report.Table { return experiments.FigTorus(*k, *trials) },
-		"barrier":     experiments.FigWormBarrier,
-		"sharing":     experiments.FigSharingDependence,
-		"congestion":  func() *report.Table { return experiments.FigCongestion(*k, *d, 8) },
-		"threehop":    experiments.FigThreeHop,
-		"faults":      func() *report.Table { return experiments.FigFaultRecovery(*k, *d, *trials) },
-		"degraded":    func() *report.Table { return experiments.FigDegradedMesh(*k, *d, *trials) },
-	}
-	order := []string{"table4", "table5", "latency", "homemsgs", "traffic",
-		"meshsize", "buffers", "hotspot", "placement", "homes", "cons", "vcs", "limdir",
-		"consistency", "forwarding", "invalsize", "update", "load", "tree", "torus", "barrier", "sharing", "congestion", "threehop", "faults", "degraded", "occupancy"}
+	runners := experiments.Runners(*k, *d, *trials)
+	order := experiments.RunnerOrder
 
 	emit := func(t *report.Table) {
 		if *csv {

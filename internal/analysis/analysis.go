@@ -135,35 +135,57 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 }
 
 // allowSet records, per file and line, the rule names an //simcheck:allow
-// comment suppresses.
+// comment suppresses. Line 0 holds the file-scoped rules declared by
+// //simcheck:allow-file directives.
 type allowSet map[string]map[int][]string
 
-const allowPrefix = "//simcheck:allow"
+const (
+	allowPrefix = "//simcheck:allow"
+	// allowFilePrefix suppresses a rule for the whole file. It exists for
+	// packages whose entire purpose violates a rule — the serving layer's
+	// channel-based batcher under nogoroutine, say — where a per-line escape
+	// on every send, receive and select would bury the code. The directive
+	// still requires a written reason, and scoping it per file (not per
+	// package) keeps the exemption reviewable next to the code it covers.
+	allowFilePrefix = "//simcheck:allow-file"
+)
 
 // collectAllows scans every comment in the package for allow directives.
 func collectAllows(pkg *Package) allowSet {
 	set := allowSet{}
+	record := func(filename string, line int, rules []string) {
+		lines := set[filename]
+		if lines == nil {
+			lines = map[int][]string{}
+			set[filename] = lines
+		}
+		lines[line] = append(lines[line], rules...)
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, allowPrefix) {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				text, fileScope := c.Text, false
+				if strings.HasPrefix(text, allowFilePrefix) {
+					text, fileScope = strings.TrimPrefix(text, allowFilePrefix), true
+				} else {
+					text = strings.TrimPrefix(text, allowPrefix)
+				}
 				// The rule list is the first field; anything after it (an
 				// optional "-- reason") is commentary.
-				fields := strings.Fields(rest)
+				fields := strings.Fields(strings.TrimSpace(text))
 				if len(fields) == 0 {
 					continue
 				}
 				rules := strings.Split(fields[0], ",")
 				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					set[pos.Filename] = lines
+				if fileScope {
+					record(pos.Filename, 0, rules)
+				} else {
+					record(pos.Filename, pos.Line, rules)
 				}
-				lines[pos.Line] = append(lines[pos.Line], rules...)
 			}
 		}
 	}
@@ -171,13 +193,13 @@ func collectAllows(pkg *Package) allowSet {
 }
 
 // covers reports whether d is suppressed by an allow comment on its line or
-// the line directly above.
+// the line directly above, or by a file-scoped allow-file directive.
 func (s allowSet) covers(d Diagnostic) bool {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1, 0} {
 		for _, rule := range lines[line] {
 			if rule == d.Rule || rule == "all" {
 				return true

@@ -55,6 +55,10 @@ func TestFixtureDiagnostics(t *testing.T) {
 	}{
 		{"clean", nil},
 		{"allow", nil},
+		{"allowfile", nil},
+		{"allowfile_bad", []string{
+			"testdata/src/allowfile_bad/allowfile_bad.go:11: determinism",
+		}},
 		{"determinism_bad", []string{
 			"testdata/src/determinism_bad/bad.go:6: determinism",
 			"testdata/src/determinism_bad/bad.go:13: determinism",

@@ -1,0 +1,34 @@
+// Package allowfile exercises the //simcheck:allow-file directive: the
+// whole file is exempted from the nogoroutine rule (the serving-layer
+// idiom), while other rules stay in force — the wall-clock read below
+// still needs its own per-line escape.
+package allowfile
+
+//simcheck:allow-file nogoroutine -- fixture: concurrency is this file's purpose
+
+import (
+	"sync"
+	"time"
+)
+
+func fanOut(work []int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, len(work))
+	for _, w := range work {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results <- w * w
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for range work {
+		total += <-results
+	}
+	return total
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() //simcheck:allow determinism -- fixture: per-line escape still required
+}

@@ -1,0 +1,12 @@
+// Package allowfile_bad proves //simcheck:allow-file is rule-scoped: the
+// file-wide nogoroutine exemption does not cover the determinism violation,
+// which must still be reported.
+package allowfile_bad
+
+//simcheck:allow-file nogoroutine -- fixture: only this rule is exempted
+
+import "time"
+
+func leak() (chan int, int64) {
+	return make(chan int), time.Now().UnixNano()
+}

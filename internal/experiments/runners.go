@@ -1,0 +1,52 @@
+package experiments
+
+import "repro/internal/report"
+
+// RunnerOrder lists every named experiment in presentation order — the
+// order `invalsweep -experiment all` renders them. The serving daemon's
+// experiment endpoint resolves names against the same registry, which is
+// what makes a table served over HTTP byte-identical to the one the batch
+// CLI prints.
+var RunnerOrder = []string{
+	"table4", "table5", "latency", "homemsgs", "traffic",
+	"meshsize", "buffers", "hotspot", "placement", "homes", "cons", "vcs",
+	"limdir", "consistency", "forwarding", "invalsize", "update", "load",
+	"tree", "torus", "barrier", "sharing", "congestion", "threehop",
+	"faults", "degraded", "occupancy",
+}
+
+// Runners returns the named experiment table builders, parameterized by
+// the mesh dimension, sharer count and trial count the CLIs expose as
+// flags. Axes a figure fixes by design (writer counts, buffer sweep sizes)
+// keep their historical constants so recorded tables regenerate unchanged.
+func Runners(k, d, trials int) map[string]func() *report.Table {
+	return map[string]func() *report.Table{
+		"latency":     func() *report.Table { return FigLatencyVsSharers(k, trials) },
+		"homemsgs":    func() *report.Table { return FigOccupancyVsSharers(k, trials) },
+		"occupancy":   func() *report.Table { return FigOccupancyProfile(k, d, 8) },
+		"traffic":     func() *report.Table { return FigTrafficVsSharers(k, trials) },
+		"meshsize":    func() *report.Table { return FigLatencyVsMeshSize(d, trials) },
+		"buffers":     func() *report.Table { return FigIAckBuffers(k, d, 4) },
+		"hotspot":     func() *report.Table { return FigHotSpot(k, d) },
+		"placement":   func() *report.Table { return AblationPlacement(k, d, trials) },
+		"homes":       func() *report.Table { return FigHomePlacement(k, d, trials) },
+		"cons":        func() *report.Table { return AblationConsumptionChannels(k, d, 4) },
+		"table4":      Table4,
+		"table5":      Table5,
+		"vcs":         func() *report.Table { return FigVirtualChannels(k, d, 8) },
+		"limdir":      func() *report.Table { return FigLimitedDirectory(8) },
+		"consistency": FigConsistency,
+		"forwarding":  FigDataForwarding,
+		"invalsize":   FigInvalSizeDistribution,
+		"update":      FigWriteUpdate,
+		"load":        func() *report.Table { return FigOfferedLoad(k) },
+		"tree":        func() *report.Table { return FigSoftwareTree(k, trials) },
+		"torus":       func() *report.Table { return FigTorus(k, trials) },
+		"barrier":     FigWormBarrier,
+		"sharing":     FigSharingDependence,
+		"congestion":  func() *report.Table { return FigCongestion(k, d, 8) },
+		"threehop":    FigThreeHop,
+		"faults":      func() *report.Table { return FigFaultRecovery(k, d, trials) },
+		"degraded":    func() *report.Table { return FigDegradedMesh(k, d, trials) },
+	}
+}

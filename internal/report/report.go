@@ -5,6 +5,7 @@ package report
 
 import (
 	"cmp"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -109,6 +110,47 @@ func (t *Table) Rows() int { return len(t.rows) }
 
 // Cell returns the formatted cell at (row, col), for tests.
 func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// Title returns the table's title line.
+func (t *Table) Title() string { return t.title }
+
+// Columns returns a copy of the column headers.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// tableJSON is the wire form of a table: the already-formatted cells, so a
+// table round-tripped through JSON renders (String, CSV) byte-identically
+// to the original. The serving daemon's experiment endpoint uses it.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler with the {title, columns, rows}
+// wire form.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{Title: t.title, Columns: t.columns, Rows: t.rows}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a table sent in the
+// MarshalJSON wire form.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	for _, row := range j.Rows {
+		if len(row) != len(j.Columns) {
+			return fmt.Errorf("report: table row has %d cells, %d columns declared", len(row), len(j.Columns))
+		}
+	}
+	t.title, t.columns, t.rows = j.Title, j.Columns, j.Rows
+	return nil
+}
 
 // SortedKeys returns m's keys in ascending order: the disciplined way to
 // turn a map-keyed measure into rows. Go randomizes map iteration order per

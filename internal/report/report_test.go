@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -167,5 +168,53 @@ func TestMapTableDeterministicOrder(t *testing.T) {
 				t.Fatalf("run %d: row %d key = %q, want %q", run, i, tab.Cell(i, 0), k)
 			}
 		}
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable("T9: demo", "name", "value")
+	tab.Row("alpha", 1)
+	tab.Row("beta", 22.5)
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// The round-tripped table renders byte-identically — the property the
+	// serving daemon's byte-identity contract rests on.
+	if back.String() != tab.String() {
+		t.Fatalf("round trip changed rendering:\n%q\n%q", back.String(), tab.String())
+	}
+	if back.CSV() != tab.CSV() {
+		t.Fatalf("round trip changed CSV")
+	}
+	if back.Title() != "T9: demo" {
+		t.Fatalf("Title = %q", back.Title())
+	}
+}
+
+func TestTableJSONEmptyRows(t *testing.T) {
+	tab := NewTable("", "only")
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"rows":[]`) {
+		t.Fatalf("empty table rows must encode as [], got %s", data)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+}
+
+func TestTableJSONRejectsRaggedRows(t *testing.T) {
+	var back Table
+	bad := `{"title":"x","columns":["a","b"],"rows":[["1"],["1","2"]]}`
+	if err := json.Unmarshal([]byte(bad), &back); err == nil {
+		t.Fatal("ragged rows accepted")
 	}
 }

@@ -1,0 +1,128 @@
+package service
+
+//simcheck:allow-file nogoroutine -- wire types are shared with server goroutines
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/grouping"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// PointSpec is the wire form of one sweep point: schemes and patterns by
+// their presentation names ("MI-MA-pa", "clustered") so clients never deal
+// in internal enum values.
+type PointSpec struct {
+	K         int            `json:"k"`
+	Scheme    string         `json:"scheme"`
+	D         int            `json:"d"`
+	Pattern   string         `json:"pattern"`
+	Trials    int            `json:"trials"`
+	Seed      uint64         `json:"seed"`
+	ChaosSeed uint64         `json:"chaos_seed,omitempty"`
+	Faults    *faults.Config `json:"faults,omitempty"`
+}
+
+// JobRequest is the wire form of a job submission.
+type JobRequest struct {
+	ID        string      `json:"id,omitempty"`
+	Points    []PointSpec `json:"points"`
+	Priority  int         `json:"priority,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// Point compiles a PointSpec into an engine point at the given grid index.
+func (ps PointSpec) Point(index int) (sweep.Point, error) {
+	scheme, err := grouping.Parse(ps.Scheme)
+	if err != nil {
+		return sweep.Point{}, err
+	}
+	pattern, err := workload.ParsePattern(ps.Pattern)
+	if err != nil {
+		return sweep.Point{}, err
+	}
+	if ps.K < 2 {
+		return sweep.Point{}, fmt.Errorf("service: k=%d; want a mesh side >= 2", ps.K)
+	}
+	if ps.D < 1 || ps.D > ps.K*ps.K-2 {
+		return sweep.Point{}, fmt.Errorf("service: d=%d out of range for a %dx%d mesh (1..%d)", ps.D, ps.K, ps.K, ps.K*ps.K-2)
+	}
+	if ps.Trials < 1 {
+		return sweep.Point{}, fmt.Errorf("service: trials=%d; want >= 1", ps.Trials)
+	}
+	return sweep.Point{
+		Index:     index,
+		K:         ps.K,
+		Scheme:    scheme,
+		D:         ps.D,
+		Pattern:   pattern,
+		Trials:    ps.Trials,
+		Seed:      ps.Seed,
+		ChaosSeed: ps.ChaosSeed,
+		Faults:    ps.Faults,
+	}, nil
+}
+
+// Spec converts a job request into a validated JobSpec.
+func (jr JobRequest) Spec() (JobSpec, error) {
+	if len(jr.Points) == 0 {
+		return JobSpec{}, fmt.Errorf("service: job has no points")
+	}
+	spec := JobSpec{
+		ID:       jr.ID,
+		Priority: jr.Priority,
+		Timeout:  time.Duration(jr.TimeoutMS) * time.Millisecond,
+		Points:   make([]sweep.Point, len(jr.Points)),
+	}
+	for i, ps := range jr.Points {
+		p, err := ps.Point(i)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("point %d: %w", i, err)
+		}
+		spec.Points[i] = p
+	}
+	return spec, nil
+}
+
+// ExperimentRequest asks the daemon to run one named paper experiment
+// (the invalsweep CLI's -experiment names) and return its table.
+type ExperimentRequest struct {
+	Name   string `json:"name"`
+	K      int    `json:"k,omitempty"`
+	D      int    `json:"d,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	CSV    bool   `json:"csv,omitempty"`
+}
+
+// StatsResponse is the /v1/stats document.
+type StatsResponse struct {
+	Counters   Counters `json:"counters"`
+	HitRate    float64  `json:"hit_rate"`
+	QueueDepth int      `json:"queue_depth"`
+	StoreLen   int      `json:"store_len"`
+	Draining   bool     `json:"draining"`
+}
+
+// ResultResponse is the /v1/results/{fingerprint} document.
+type ResultResponse struct {
+	Fingerprint string         `json:"fingerprint"`
+	Measures    sweep.Measures `json:"measures"`
+}
+
+// ProgressEvent is one line of a streaming job response (NDJSON): progress
+// frames while the sweep runs, then exactly one terminal frame carrying the
+// result or the error.
+type ProgressEvent struct {
+	Type        string     `json:"type"` // "progress", "result" or "error"
+	Done        int        `json:"done,omitempty"`
+	Total       int        `json:"total,omitempty"`
+	Partial     int        `json:"partial,omitempty"`
+	Resumed     int        `json:"resumed,omitempty"`
+	Quarantined int        `json:"quarantined,omitempty"`
+	ElapsedMS   int64      `json:"elapsed_ms,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}

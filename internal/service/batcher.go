@@ -1,0 +1,152 @@
+package service
+
+//simcheck:allow-file nogoroutine -- the batcher is a channel pump; serving-layer concurrency is documented in DESIGN.md section 16
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// request is one in-flight point resolution: a point, where it came from,
+// and the channel its outcome is delivered on. The outcome channel is
+// buffered so a delivering worker never blocks on a waiter that gave up.
+type request struct {
+	p        sweep.Point
+	fp       string
+	job      string
+	priority int
+	enqueued time.Time
+	out      chan outcome
+}
+
+// outcome is what a waiter receives: the measures, how they were produced,
+// and the timing attribution for its metric row. coll is the engine's raw
+// metrics collector, handed to exactly one waiter (the run leader) so a
+// shared collector is never merged twice into one aggregate.
+type outcome struct {
+	m         sweep.Measures
+	coll      *metrics.Collector
+	source    Source
+	batchSize int
+	queueWait time.Duration
+	runTime   time.Duration
+	err       error
+}
+
+// batcher is the channel-based coalescing window: submissions accumulate
+// into a batch that flushes when it reaches size requests or when maxWait
+// elapses since the batch opened, whichever comes first. Flushing hands the
+// whole batch to dispatch, which groups identical fingerprints so one
+// engine run serves every waiter. A batch therefore trades a bounded
+// latency (maxWait) for the chance to dedup a burst of identical
+// submissions — the same queued-capacity-over-raw-speed lever the
+// multi-lane MIN study pulls.
+type batcher struct {
+	size     int
+	maxWait  time.Duration
+	clock    Clock
+	in       chan *request
+	dispatch func(batch []*request)
+	// onBatched, when non-nil, observes the batch length after every
+	// accepted request (deterministic test synchronization — the maxWait
+	// test advances its fake clock only once the batch provably holds the
+	// submissions it made).
+	onBatched func(n int)
+	// stopping is closed by stop to end intake; stopped is closed by the
+	// pump on exit. The intake channel itself is never closed, so a
+	// straggling submit races to an error, never to a panic.
+	stopping chan struct{}
+	stopped  chan struct{}
+}
+
+// newBatcher starts the batch pump. Close the in channel (via stop) to
+// flush the final partial batch and terminate.
+func newBatcher(size int, maxWait time.Duration, clock Clock, dispatch func([]*request)) *batcher {
+	if size < 1 {
+		size = 1
+	}
+	b := &batcher{
+		size:     size,
+		maxWait:  maxWait,
+		clock:    clock,
+		in:       make(chan *request),
+		dispatch: dispatch,
+		stopping: make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	go b.run() //simcheck:allow nogoroutine -- the batch pump goroutine
+	return b
+}
+
+// submit hands a request to the pump; it fails only when the service is
+// draining (pump stopped) or the caller's context ends first.
+func (b *batcher) submit(ctx context.Context, r *request) error {
+	select {
+	case b.in <- r:
+		return nil
+	case <-b.stopping:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// stop ends intake and waits for the pump to flush the final batch.
+func (b *batcher) stop() {
+	close(b.stopping)
+	<-b.stopped
+}
+
+// run is the pump: one goroutine owns the batch, so batching needs no
+// locks. A timer is armed when a batch opens and drained when it flushes.
+func (b *batcher) run() {
+	defer close(b.stopped)
+	var batch []*request
+	var timer Timer
+	var timeC <-chan time.Time
+	flush := func() {
+		if timer != nil {
+			if !timer.Stop() {
+				// The timer fired concurrently with a size-triggered flush;
+				// drain the tick so the next batch's timer channel is clean.
+				select {
+				case <-timer.C():
+				default:
+				}
+			}
+			timer, timeC = nil, nil
+		}
+		if len(batch) > 0 {
+			b.dispatch(batch)
+			batch = nil
+		}
+	}
+	for {
+		select {
+		case <-b.stopping:
+			flush()
+			return
+		case r := <-b.in:
+			batch = append(batch, r)
+			if b.onBatched != nil {
+				b.onBatched(len(batch))
+			}
+			if len(batch) == 1 && b.maxWait > 0 {
+				timer = b.clock.NewTimer(b.maxWait)
+				timeC = timer.C()
+			}
+			if len(batch) >= b.size {
+				flush()
+			}
+		case <-timeC:
+			timer, timeC = nil, nil
+			if len(batch) > 0 {
+				b.dispatch(batch)
+				batch = nil
+			}
+		}
+	}
+}

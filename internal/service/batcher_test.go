@@ -1,0 +1,256 @@
+package service
+
+//simcheck:allow-file nogoroutine -- batcher tests exercise the serving layer's concurrency
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// testPoint builds a small valid point; variant separates distinct contents.
+func testPoint(index, variant int) sweep.Point {
+	return sweep.Point{
+		Index: index, K: 4, Scheme: 1, D: 2 + variant%10,
+		Pattern: 0, Trials: 2, Seed: uint64(100 + variant),
+	}
+}
+
+// countingEngine is a fake RunPoint that counts executions and returns
+// deterministic measures derived from the point, so coalesced and cached
+// answers are distinguishable per point but identical within one.
+func countingEngine(runs *atomic.Int64) func(context.Context, sweep.Point) (sweep.Measures, *metrics.Collector) {
+	return func(ctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector) {
+		runs.Add(1)
+		return sweep.Measures{
+			HomeMsgs:  float64(p.D),
+			Messages:  float64(p.Seed),
+			Completed: p.Trials,
+		}, metrics.NewCollector(p.K * p.K)
+	}
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Tests that exercise Drain themselves leave the service already
+		// drained; only a fresh drain failing is a test failure.
+		if err := svc.Drain(ctx); err != nil && !errors.Is(err, ErrDraining) {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	return svc
+}
+
+// TestBatcherCoalescesIdenticalSubmissions is the coalescing contract: N
+// concurrent submissions of the identical point produce exactly one engine
+// run, one "run" source, and N-1 "coalesced" sources, all with identical
+// measures.
+func TestBatcherCoalescesIdenticalSubmissions(t *testing.T) {
+	const n = 8
+	var runs atomic.Int64
+	svc := newTestService(t, Config{
+		Workers:   2,
+		BatchSize: n, // the batch flushes exactly when all n have arrived
+		BatchWait: time.Hour,
+		Clock:     newFakeClock(),
+		RunPoint:  countingEngine(&runs),
+	})
+	p := testPoint(0, 1)
+
+	var wg sync.WaitGroup
+	sources := make([]Source, n)
+	results := make([]sweep.Measures, n)
+	colls := make([]*metrics.Collector, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, coll, src, err := svc.Resolve(context.Background(), p, 0, "t")
+			if err != nil {
+				t.Errorf("Resolve %d: %v", i, err)
+				return
+			}
+			sources[i], results[i], colls[i] = src, m, coll
+		}(i)
+	}
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine ran %d times; want exactly 1", got)
+	}
+	var ran, coalesced, collectors int
+	for i := 0; i < n; i++ {
+		switch sources[i] {
+		case SourceRun:
+			ran++
+		case SourceCoalesced:
+			coalesced++
+		default:
+			t.Fatalf("request %d served from %q", i, sources[i])
+		}
+		if colls[i] != nil {
+			collectors++
+		}
+		if !measuresEqual(results[i], results[0]) {
+			t.Fatalf("request %d got different measures", i)
+		}
+	}
+	if ran != 1 || coalesced != n-1 {
+		t.Fatalf("sources: %d run + %d coalesced; want 1 + %d", ran, coalesced, n-1)
+	}
+	if collectors != 1 {
+		t.Fatalf("%d requests received the engine collector; want exactly the run leader", collectors)
+	}
+	counters, _ := svc.Metrics().Snapshot()
+	if counters.DuplicateRuns != 0 {
+		t.Fatalf("DuplicateRuns = %d; want 0", counters.DuplicateRuns)
+	}
+}
+
+// TestBatcherDistinctPointsNeverCoalesce: different contents in one batch
+// each get their own engine run.
+func TestBatcherDistinctPointsNeverCoalesce(t *testing.T) {
+	const n = 4
+	var runs atomic.Int64
+	svc := newTestService(t, Config{
+		Workers:   2,
+		BatchSize: n,
+		BatchWait: time.Hour,
+		Clock:     newFakeClock(),
+		RunPoint:  countingEngine(&runs),
+	})
+
+	var wg sync.WaitGroup
+	sources := make([]Source, n)
+	measures := make([]sweep.Measures, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _, src, err := svc.Resolve(context.Background(), testPoint(0, i), 0, "t")
+			if err != nil {
+				t.Errorf("Resolve %d: %v", i, err)
+				return
+			}
+			sources[i], measures[i] = src, m
+		}(i)
+	}
+	wg.Wait()
+
+	if got := runs.Load(); got != n {
+		t.Fatalf("engine ran %d times for %d distinct points; want %d", got, n, n)
+	}
+	for i := 0; i < n; i++ {
+		if sources[i] != SourceRun {
+			t.Fatalf("request %d served from %q; distinct points must each run", i, sources[i])
+		}
+		if measures[i].Messages != float64(100+i) {
+			t.Fatalf("request %d got measures for another point (Messages=%v)", i, measures[i].Messages)
+		}
+	}
+}
+
+// TestBatcherMaxWaitFlushesPartialBatch: a batch smaller than BatchSize
+// flushes when the (fake) clock passes maxWait — no sleeps involved.
+func TestBatcherMaxWaitFlushesPartialBatch(t *testing.T) {
+	const n = 3
+	fc := newFakeClock()
+	var runs atomic.Int64
+	svc := newTestService(t, Config{
+		Workers:   2,
+		BatchSize: 100, // never reached; only the timer can flush
+		BatchWait: 10 * time.Millisecond,
+		Clock:     fc,
+		RunPoint:  countingEngine(&runs),
+	})
+
+	// Synchronize on batch occupancy so the clock advances only after the
+	// pump provably holds all n submissions.
+	full := make(chan struct{})
+	var once sync.Once
+	svc.batcher.onBatched = func(sz int) {
+		if sz == n {
+			once.Do(func() { close(full) })
+		}
+	}
+
+	p := testPoint(0, 7)
+	var wg sync.WaitGroup
+	sources := make([]Source, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, src, err := svc.Resolve(context.Background(), p, 0, "t")
+			if err != nil {
+				t.Errorf("Resolve %d: %v", i, err)
+				return
+			}
+			sources[i] = src
+		}(i)
+	}
+
+	select {
+	case <-full:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never filled with the test's submissions")
+	}
+	fc.Advance(10 * time.Millisecond) // the maxWait deadline, exactly
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine ran %d times; want 1 (partial batch coalesced)", got)
+	}
+	counters, _ := svc.Metrics().Snapshot()
+	if counters.Batches != 1 || counters.BatchedRequests != n {
+		t.Fatalf("batches=%d batchedRequests=%d; want 1 flush of %d", counters.Batches, counters.BatchedRequests, n)
+	}
+	var ran, coalesced int
+	for _, s := range sources {
+		switch s {
+		case SourceRun:
+			ran++
+		case SourceCoalesced:
+			coalesced++
+		}
+	}
+	if ran != 1 || coalesced != n-1 {
+		t.Fatalf("sources: %d run + %d coalesced; want 1 + %d", ran, coalesced, n-1)
+	}
+}
+
+// TestBatcherSizeOneWithoutWait: BatchWait=0 must degrade to unbatched
+// dispatch (flush every submission) rather than starve.
+func TestBatcherSizeOneWithoutWait(t *testing.T) {
+	var runs atomic.Int64
+	svc := newTestService(t, Config{
+		Workers:   1,
+		BatchSize: 64,
+		BatchWait: 0,
+		Clock:     newFakeClock(),
+		RunPoint:  countingEngine(&runs),
+	})
+	if svc.batcher.size != 1 {
+		t.Fatalf("BatchWait=0 left batch size %d; want 1 (no window, no batching)", svc.batcher.size)
+	}
+	_, _, src, err := svc.Resolve(context.Background(), testPoint(0, 3), 0, "t")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if src != SourceRun || runs.Load() != 1 {
+		t.Fatalf("single submission: source=%q runs=%d; want run/1", src, runs.Load())
+	}
+}

@@ -1,0 +1,43 @@
+package service
+
+//simcheck:allow-file nogoroutine -- timers expose channels; serving-layer concurrency is documented in DESIGN.md section 16
+
+import "time"
+
+// Clock abstracts wall time so the batcher's maxWait flush and the metric
+// timestamps are testable with a deterministic fake — the batcher tests
+// advance a fake clock instead of sleeping. The daemon runs on WallClock;
+// nothing in this package reads time any other way, which keeps the
+// simulation core's determinism discipline intact everywhere except this
+// one file.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the subset of time.Timer the batcher needs.
+type Timer interface {
+	// C returns the channel the timer fires on.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the timer was still
+	// pending.
+	Stop() bool
+}
+
+// WallClock returns the real wall clock.
+func WallClock() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() } //simcheck:allow determinism -- the serving layer's one wall-clock read
+
+func (wallClock) NewTimer(d time.Duration) Timer {
+	return wallTimer{t: time.NewTimer(d)} //simcheck:allow determinism -- batcher maxWait flush runs on wall time by design
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop() bool          { return w.t.Stop() }

@@ -1,0 +1,134 @@
+package service
+
+//simcheck:allow-file nogoroutine -- the fake clock synchronizes test goroutines
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock: timers fire only when Advance
+// moves the clock past their deadline, which makes time-dependent paths
+// (the batcher's maxWait flush) fully deterministic — no sleeps, no races
+// against the scheduler.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	c        chan time.Time
+	deadline time.Time
+	fired    bool
+	stopped  bool
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{c: make(chan time.Time, 1), deadline: f.now.Add(d)}
+	if d <= 0 {
+		t.fired = true
+		t.c <- f.now
+	} else {
+		f.timers = append(f.timers, t)
+	}
+	return &boundTimer{clock: f, t: t}
+}
+
+// Advance moves the clock and fires every due timer.
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	kept := f.timers[:0]
+	for _, t := range f.timers {
+		if !t.stopped && !t.fired && !t.deadline.After(f.now) {
+			t.fired = true
+			t.c <- f.now
+			continue
+		}
+		if !t.stopped && !t.fired {
+			kept = append(kept, t)
+		}
+	}
+	f.timers = kept
+}
+
+type boundTimer struct {
+	clock *fakeClock
+	t     *fakeTimer
+}
+
+func (b *boundTimer) C() <-chan time.Time { return b.t.c }
+
+func (b *boundTimer) Stop() bool {
+	b.clock.mu.Lock()
+	defer b.clock.mu.Unlock()
+	if b.t.fired || b.t.stopped {
+		return false
+	}
+	b.t.stopped = true
+	return true
+}
+
+func TestFakeClockFiresDueTimers(t *testing.T) {
+	fc := newFakeClock()
+	timer := fc.NewTimer(10 * time.Millisecond)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	fc.Advance(5 * time.Millisecond)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	fc.Advance(5 * time.Millisecond)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if timer.Stop() {
+		t.Fatal("Stop on a fired timer reported active")
+	}
+}
+
+func TestFakeClockStopPreventsFire(t *testing.T) {
+	fc := newFakeClock()
+	timer := fc.NewTimer(time.Millisecond)
+	if !timer.Stop() {
+		t.Fatal("Stop on a pending timer reported inactive")
+	}
+	fc.Advance(time.Minute)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestWallClockTimerFires(t *testing.T) {
+	c := WallClock()
+	timer := c.NewTimer(time.Millisecond)
+	select {
+	case <-timer.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+}

@@ -1,0 +1,92 @@
+package service
+
+//simcheck:allow-file nogoroutine -- journal writes happen from server goroutines under the service mutex
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// journalVersion is bumped when the jobs.json layout changes incompatibly.
+const journalVersion = 1
+
+// journalDoc is the on-disk job journal: the specs of every job that has
+// been accepted but not yet completed. It records *what* was running, never
+// partial results — determinism means a resumed job re-derives identical
+// bytes, and the per-job sweep checkpoints plus the result store make the
+// replay cheap (finished points are hits).
+type journalDoc struct {
+	Version int       `json:"version"`
+	Jobs    []JobSpec `json:"jobs"`
+}
+
+func (s *Service) journalPath() string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, "jobs.json")
+}
+
+// saveJournal rewrites jobs.json with every non-terminal job, atomically
+// (write-temp-rename, the checkpoint discipline). A no-op without DataDir.
+func (s *Service) saveJournal() error {
+	path := s.journalPath()
+	if path == "" {
+		return nil
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id, st := range s.jobs {
+		// Running jobs and jobs cut off mid-flight stay in the journal so a
+		// restart resumes them; cleanly finished or genuinely failed jobs
+		// leave it.
+		if st.status.State == "running" ||
+			(st.status.State == "failed" && strings.HasPrefix(st.status.Error, "interrupted:")) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	doc := journalDoc{Version: journalVersion, Jobs: make([]JobSpec, 0, len(ids))}
+	for _, id := range ids {
+		doc.Jobs = append(doc.Jobs, s.jobs[id].spec)
+	}
+	s.mu.Unlock()
+	return sweep.AtomicWriteJSON(path, doc)
+}
+
+// resumeJournal reloads jobs.json (if present) and resubmits its jobs.
+// Called once from New, before the service is visible to clients.
+func (s *Service) resumeJournal() error {
+	path := s.journalPath()
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: journal: %w", err)
+	}
+	var doc journalDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("service: corrupt journal %s: %w", path, err)
+	}
+	if doc.Version != journalVersion {
+		return fmt.Errorf("service: journal %s has version %d; want %d", path, doc.Version, journalVersion)
+	}
+	for _, spec := range doc.Jobs {
+		if _, err := s.Submit(spec); err != nil {
+			return fmt.Errorf("service: resume job %q: %w", spec.ID, err)
+		}
+	}
+	return nil
+}

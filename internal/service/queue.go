@@ -1,0 +1,106 @@
+package service
+
+//simcheck:allow-file nogoroutine -- the run queue hands work to the worker pool over a token channel
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// ErrQueueFull reports that the bounded run queue rejected a dispatch; the
+// HTTP layer maps it to 503 so load sheds at admission instead of growing
+// an unbounded backlog.
+var ErrQueueFull = errors.New("service: run queue full")
+
+// ErrDraining reports that the service stopped accepting work.
+var ErrDraining = errors.New("service: draining, not accepting new work")
+
+// run is one unique engine execution: the representative point plus every
+// request waiting on its result. waiters is guarded by the owning Service's
+// mutex (the queue only moves runs around).
+type run struct {
+	fp       string
+	p        sweep.Point
+	priority int
+	seq      uint64
+	budget   time.Duration
+	waiters  []*request
+	// running marks that a worker picked the run up; late waiters may
+	// still attach until done.
+	running bool
+}
+
+// runQueue is a bounded priority queue: higher priority first, FIFO within
+// a priority (seq breaks ties). Tokens mirror the heap size so workers can
+// block on a channel while the heap itself stays mutex-guarded.
+type runQueue struct {
+	mu     sync.Mutex
+	heap   runHeap
+	tokens chan struct{}
+}
+
+func newRunQueue(depth int) *runQueue {
+	if depth <= 0 {
+		depth = 1024
+	}
+	return &runQueue{tokens: make(chan struct{}, depth)}
+}
+
+// push enqueues a run; it fails with ErrQueueFull at the depth bound.
+func (q *runQueue) push(r *run) error {
+	select {
+	case q.tokens <- struct{}{}:
+	default:
+		return ErrQueueFull
+	}
+	q.mu.Lock()
+	heap.Push(&q.heap, r)
+	q.mu.Unlock()
+	return nil
+}
+
+// pop blocks for the highest-priority run, or returns nil when ctx ends.
+func (q *runQueue) pop(ctx context.Context) *run {
+	select {
+	case <-q.tokens:
+	case <-ctx.Done():
+		return nil
+	}
+	q.mu.Lock()
+	r := heap.Pop(&q.heap).(*run)
+	q.mu.Unlock()
+	return r
+}
+
+// depth returns the number of queued runs.
+func (q *runQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.heap.Len()
+}
+
+// runHeap implements heap.Interface: max priority first, then FIFO.
+type runHeap []*run
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*run)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}

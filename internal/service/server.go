@@ -1,0 +1,279 @@
+package service
+
+//simcheck:allow-file nogoroutine -- HTTP handlers run on net/http's goroutines by design
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+// Server is the HTTP face of a Service: JSON in, JSON (or CSV, or the
+// paper's aligned tables) out. Create with NewServer and mount Handler.
+type Server struct {
+	svc *Service
+	// Experiment defaults when a request leaves them zero — the invalsweep
+	// CLI's own defaults, so the daemon's tables match the batch tool's.
+	DefaultK, DefaultD, DefaultTrials int
+}
+
+// NewServer wraps a service.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, DefaultK: 16, DefaultD: 16, DefaultTrials: 10}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{fp}", s.handleResult)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	code := http.StatusOK
+	if s.svc.Draining() {
+		state = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
+}
+
+// handleSubmit accepts a job. Modes, by query parameter:
+//
+//	(default)  register the job, return its ID immediately (poll /v1/jobs/{id})
+//	?wait=1    block until the job finishes, return the JobResult
+//	?stream=1  block, streaming NDJSON progress frames, then the result
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var jr JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job request: " + err.Error()})
+		return
+	}
+	spec, err := jr.Spec()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	switch {
+	case r.URL.Query().Get("stream") == "1":
+		s.streamJob(w, r, spec)
+	case r.URL.Query().Get("wait") == "1":
+		res, err := s.svc.RunJob(r.Context(), spec, nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	default:
+		id, err := s.svc.Submit(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	}
+}
+
+// streamJob runs a job on the request goroutine, emitting one NDJSON
+// ProgressEvent per completed point (chunked transfer keeps the connection
+// live) and a terminal result or error frame.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, spec JobSpec) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev ProgressEvent) {
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := s.svc.RunJob(r.Context(), spec, func(p sweep.Progress) {
+		emit(ProgressEvent{
+			Type: "progress", Done: p.Done, Total: p.Total,
+			Partial: p.Partial, Resumed: p.Resumed, Quarantined: p.Quarantined,
+			ElapsedMS: p.Elapsed.Milliseconds(),
+		})
+	})
+	if err != nil {
+		emit(ProgressEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(ProgressEvent{Type: "result", Result: res})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("wait") == "1" {
+		st, err := s.svc.Wait(r.Context(), id)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	st, ok := s.svc.Status(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	m, ok, err := s.svc.Store().Get(fp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no result for fingerprint " + fp})
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Fingerprint: fp, Measures: m})
+}
+
+// handleMetrics serves the per-request metric log as flat CSV (the default)
+// or, with ?format=json, as a JSON document with the counters attached.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		counters, recs := s.svc.Metrics().Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"counters": counters,
+			"requests": recs,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, s.svc.Metrics().Table().CSV())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	counters, _ := s.svc.Metrics().Snapshot()
+	storeLen, err := s.svc.Store().Len()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Counters:   counters,
+		HitRate:    counters.HitRate(),
+		QueueDepth: s.svc.QueueDepth(),
+		StoreLen:   storeLen,
+		Draining:   s.svc.Draining(),
+	})
+}
+
+// handleExperiment runs one named paper experiment (the invalsweep CLI's
+// catalog) through the daemon's cache and returns the table byte-identical
+// to the CLI's output: aligned text (String()+"\n") or CSV. The experiment
+// layer's globals are wired to the service by the daemon at startup, so
+// repeated or concurrent identical requests coalesce like any other points.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad experiment request: " + err.Error()})
+		return
+	}
+	if s.svc.Draining() {
+		writeError(w, ErrDraining)
+		return
+	}
+	if req.K == 0 {
+		req.K = s.DefaultK
+	}
+	if req.D == 0 {
+		req.D = s.DefaultD
+	}
+	if req.Trials == 0 {
+		req.Trials = s.DefaultTrials
+	}
+	runners := experiments.Runners(req.K, req.D, req.Trials)
+	run, ok := runners[req.Name]
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown experiment %q", req.Name)})
+		return
+	}
+	table, err := runExperiment(run)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.CSV {
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, table.CSV())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Experiment", req.Name)
+	w.Header().Set("X-K", strconv.Itoa(req.K))
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, table.String())
+}
+
+// runExperiment converts the experiment layer's panic-on-error convention
+// into an error the HTTP layer can report.
+func runExperiment(run func() *report.Table) (t *report.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment failed: %v", r)
+		}
+	}()
+	return run(), nil
+}
+
+// WireExperiments points the experiment layer's package globals at the
+// service, so every Fig*/Table* call — including the daemon's experiment
+// endpoint — resolves its points through the cache and coalescer instead of
+// running the engine inline. Call once at daemon startup, before serving.
+func WireExperiments(svc *Service, ctx context.Context) {
+	experiments.SweepContext = ctx
+	experiments.Sweep.RunPoint = func(pctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector) {
+		m, coll, _, err := svc.Resolve(pctx, p, 0, "experiment")
+		if err != nil {
+			return sweep.Measures{}, nil
+		}
+		return m, coll
+	}
+}

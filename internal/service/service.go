@@ -1,0 +1,695 @@
+// Package service is the simulation-as-a-service layer: a long-running
+// daemon core that wraps the sweep engine behind a priority job queue, a
+// coalescing batcher and a content-addressed result cache.
+//
+// The whole design leans on one property the rest of the repository spent
+// eight PRs proving: every (config, seed) point is deterministic, so a
+// point's result is an immutable value named by its content hash
+// (sweep.Point.Fingerprint). That makes three classically hard serving
+// problems trivial here:
+//
+//   - Caching needs no invalidation: a stored result can never go stale.
+//   - Coalescing needs no consistency story: every waiter on a fingerprint
+//     gets the byte-identical answer the engine would have given it alone.
+//   - Crash recovery needs no replay log: re-running a lost point yields
+//     the same bytes, so the journal only records *what* was in flight,
+//     never partial state.
+//
+// A point request flows: Resolve -> cache probe -> batcher (size/maxWait
+// coalescing window) -> in-flight dedup -> priority run queue -> bounded
+// worker pool -> engine (sweep.RunPointDirect) -> store + fan-out to every
+// waiter. Jobs (point lists) run through sweep.Run with the service
+// substituted as Options.RunPoint, so job-level ordering, retry, progress
+// and checkpointing are the sweep engine's existing machinery, not a
+// reimplementation.
+package service
+
+//simcheck:allow-file nogoroutine -- the worker pool and job runner are goroutines by design; see DESIGN.md section 16
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// Config configures a Service. The zero value of any field picks a sane
+// default.
+type Config struct {
+	// Workers bounds the engine worker pool (default 4).
+	Workers int
+	// BatchSize flushes a coalescing batch when it holds this many
+	// requests (default 16).
+	BatchSize int
+	// BatchWait flushes a nonempty batch this long after it opened
+	// (default 2ms; <= 0 disables the window and flushes every submission
+	// immediately).
+	BatchWait time.Duration
+	// QueueDepth bounds the run queue; dispatches beyond it fail with
+	// ErrQueueFull (default 1024).
+	QueueDepth int
+	// Store is the result cache (default an unbounded MemoryStore).
+	Store ResultStore
+	// Clock abstracts time for tests (default WallClock).
+	Clock Clock
+	// RunPoint is the engine (default sweep.RunPointDirect; tests fake it).
+	RunPoint func(ctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector)
+	// DataDir, when nonempty, enables durability: the job journal
+	// (jobs.json) and per-job sweep checkpoints live here, so a drained or
+	// killed daemon resumes its unfinished jobs on restart.
+	DataDir string
+	// MetricCap bounds the per-request metric ring (default 4096).
+	MetricCap int
+	// DefaultTimeout bounds each point of a job that does not set its own
+	// timeout; 0 means none.
+	DefaultTimeout time.Duration
+}
+
+// JobSpec is one submitted job: an ordered list of points run as a sweep.
+type JobSpec struct {
+	// ID names the job; Submit assigns one when empty.
+	ID string `json:"id"`
+	// Points is the job's sweep grid (Index must equal position).
+	Points []sweep.Point `json:"points"`
+	// Priority orders the run queue (higher first, default 0).
+	Priority int `json:"priority"`
+	// Timeout is the per-point deadline, the sweep engine's PointTimeout
+	// path: an overrunning point retries once with a doubled budget, then
+	// quarantines. 0 uses the service default.
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// PointResult is one point's outcome within a JobResult.
+type PointResult struct {
+	Index       int            `json:"index"`
+	Fingerprint string         `json:"fingerprint"`
+	Source      Source         `json:"source"`
+	Measures    sweep.Measures `json:"measures"`
+	Partial     bool           `json:"partial,omitempty"`
+	Quarantined bool           `json:"quarantined,omitempty"`
+}
+
+// JobResult is a completed job.
+type JobResult struct {
+	ID        string        `json:"id"`
+	Results   []PointResult `json:"results"`
+	Completed int           `json:"completed"`
+	Partial   int           `json:"partial"`
+	// CacheHits / Coalesced / Runs / Resumed break down how the job's
+	// points were served.
+	CacheHits int `json:"cache_hits"`
+	Coalesced int `json:"coalesced"`
+	Runs      int `json:"runs"`
+	Resumed   int `json:"resumed"`
+}
+
+// JobStatus is the queryable state of a submitted job.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	State    string     `json:"state"` // "running", "done" or "failed"
+	Done     int        `json:"done"`
+	Total    int        `json:"total"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Priority int        `json:"priority"`
+}
+
+// Service is the daemon core. Create with New, stop with Drain.
+type Service struct {
+	cfg     Config
+	clock   Clock
+	store   ResultStore
+	metrics *MetricLog
+	batcher *batcher
+	queue   *runQueue
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	workers sync.WaitGroup
+	jobsWG  sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*run
+	jobs     map[string]*jobState
+	jobSeq   uint64
+	runSeq   uint64
+	draining bool
+}
+
+type jobState struct {
+	spec   JobSpec
+	status JobStatus
+	done   chan struct{}
+}
+
+// New starts a service: the batcher pump and the worker pool begin
+// immediately. If cfg.DataDir holds a journal from a previous run, its
+// unfinished jobs are resubmitted (their sweep checkpoints and the result
+// store make that cheap: finished points are hits, only lost work re-runs).
+func New(cfg Config) (*Service, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.BatchWait < 0 {
+		cfg.BatchWait = 0
+	}
+	if cfg.BatchWait == 0 && cfg.BatchSize > 1 {
+		// Without a wait bound a partial batch would starve; no window
+		// means no batching.
+		cfg.BatchSize = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock()
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemoryStore(0)
+	}
+	if cfg.RunPoint == nil {
+		cfg.RunPoint = sweep.RunPointDirect
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: data dir: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		store:    cfg.Store,
+		metrics:  NewMetricLog(cfg.MetricCap),
+		queue:    newRunQueue(cfg.QueueDepth),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		inflight: map[string]*run{},
+		jobs:     map[string]*jobState{},
+	}
+	s.batcher = newBatcher(cfg.BatchSize, cfg.BatchWait, cfg.Clock, s.dispatchBatch)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker() //simcheck:allow nogoroutine -- the bounded engine worker pool
+	}
+	if err := s.resumeJournal(); err != nil {
+		s.cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Metrics returns the service's metric log.
+func (s *Service) Metrics() *MetricLog { return s.metrics }
+
+// Store returns the result store.
+func (s *Service) Store() ResultStore { return s.store }
+
+// QueueDepth returns the current run-queue depth.
+func (s *Service) QueueDepth() int { return s.queue.depth() }
+
+// Draining reports whether the service has stopped accepting jobs.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Resolve serves one point: cache probe, then the coalescing batcher, then
+// (for the batch leader) an engine run on the worker pool. It blocks until
+// the result is available or ctx ends. The returned collector is non-nil
+// only for the request whose engine run produced the result.
+func (s *Service) Resolve(ctx context.Context, p sweep.Point, priority int, job string) (sweep.Measures, *metrics.Collector, Source, error) {
+	if p.Tune != nil {
+		return sweep.Measures{}, nil, "", errors.New("service: points with Tune functions are not cacheable; run them through the batch CLIs")
+	}
+	fp := p.Fingerprint()
+	enq := s.clock.Now()
+	if m, ok, err := s.store.Get(fp); err != nil {
+		return sweep.Measures{}, nil, "", err
+	} else if ok {
+		s.metrics.Record(RequestMetric{
+			Job: job, Fingerprint: fp, Source: SourceCache, Priority: priority,
+			QueueWaitMicros: s.clock.Now().Sub(enq).Microseconds(),
+		})
+		return m, nil, SourceCache, nil
+	}
+	req := &request{
+		p: p, fp: fp, job: job, priority: priority,
+		enqueued: enq,
+		out:      make(chan outcome, 1),
+	}
+	if err := s.batcher.submit(ctx, req); err != nil {
+		return sweep.Measures{}, nil, "", err
+	}
+	select {
+	case o := <-req.out:
+		if o.err != nil {
+			return sweep.Measures{}, nil, "", o.err
+		}
+		s.metrics.Record(RequestMetric{
+			Job: job, Fingerprint: fp, Source: o.source, Priority: priority,
+			BatchSize:       o.batchSize,
+			QueueWaitMicros: o.queueWait.Microseconds(),
+			RunMicros:       o.runTime.Microseconds(),
+			Partial:         o.m.Completed < p.Trials,
+		})
+		return o.m, o.coll, o.source, nil
+	case <-ctx.Done():
+		// The engine run (if any) continues for other waiters; this
+		// request's buffered outcome channel absorbs the late delivery.
+		return sweep.Measures{}, nil, "", ctx.Err()
+	}
+}
+
+// dispatchBatch is the batcher's flush hook: group the batch by
+// fingerprint, attach waiters to in-flight runs, and enqueue one new run
+// per novel fingerprint. Runs inside the single batcher goroutine.
+func (s *Service) dispatchBatch(batch []*request) {
+	s.metrics.RecordBatch(len(batch))
+	size := len(batch)
+	var fresh []*run
+	s.mu.Lock()
+	for _, r := range batch {
+		r := r
+		if rn, ok := s.inflight[r.fp]; ok {
+			rn.waiters = append(rn.waiters, r)
+			continue
+		}
+		// A result may have landed in the store between the cache probe
+		// and this flush (a just-finished identical run). Serve it now
+		// rather than re-running; the probe is cheap for the memory store.
+		if m, ok, err := s.store.Get(r.fp); err == nil && ok {
+			r.out <- outcome{m: m, source: SourceCache, batchSize: size,
+				queueWait: s.clock.Now().Sub(r.enqueued)}
+			continue
+		}
+		rn := &run{
+			fp: r.fp, p: r.p, priority: r.priority,
+			seq:     s.runSeq,
+			budget:  s.cfg.DefaultTimeout,
+			waiters: []*request{r},
+		}
+		s.runSeq++
+		s.inflight[r.fp] = rn
+		fresh = append(fresh, rn)
+	}
+	s.mu.Unlock()
+	for _, rn := range fresh {
+		if err := s.queue.push(rn); err != nil {
+			s.failRun(rn, err)
+		}
+	}
+}
+
+// failRun delivers an error to every waiter of a run and clears it from
+// the in-flight table.
+func (s *Service) failRun(rn *run, err error) {
+	s.mu.Lock()
+	delete(s.inflight, rn.fp)
+	waiters := rn.waiters
+	rn.waiters = nil
+	s.mu.Unlock()
+	for _, w := range waiters {
+		w.out <- outcome{err: err}
+	}
+}
+
+// worker is one engine executor: pop the highest-priority run, execute it
+// once, store the result if complete, fan it out to every waiter.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for {
+		rn := s.queue.pop(s.baseCtx)
+		if rn == nil {
+			return
+		}
+		s.mu.Lock()
+		rn.running = true
+		s.mu.Unlock()
+
+		if m, ok, err := s.store.Get(rn.fp); err == nil && ok {
+			// Shouldn't happen — dispatch dedups — but serving the stored
+			// value is always correct, so prefer it and count the anomaly.
+			s.metrics.RecordDuplicateRun()
+			s.deliver(rn, m, nil, 0, s.clock.Now())
+			continue
+		}
+
+		rctx := s.baseCtx
+		cancel := func() {}
+		if rn.budget > 0 {
+			rctx, cancel = context.WithTimeout(s.baseCtx, rn.budget)
+		}
+		started := s.clock.Now()
+		meas, coll := s.cfg.RunPoint(rctx, rn.p)
+		cancel()
+		runTime := s.clock.Now().Sub(started)
+
+		if meas.Completed >= rn.p.Trials {
+			if err := s.store.Put(rn.fp, meas); err != nil {
+				s.failRun(rn, err)
+				continue
+			}
+		}
+		s.deliver(rn, meas, coll, runTime, started)
+	}
+}
+
+// deliver fans a finished run out: the first waiter is the leader (source
+// "run", owns the collector), the rest coalesced.
+func (s *Service) deliver(rn *run, m sweep.Measures, coll *metrics.Collector, runTime time.Duration, started time.Time) {
+	s.mu.Lock()
+	delete(s.inflight, rn.fp)
+	waiters := rn.waiters
+	rn.waiters = nil
+	s.mu.Unlock()
+	for i, w := range waiters {
+		o := outcome{
+			m: m, source: SourceCoalesced,
+			batchSize: len(waiters),
+			queueWait: started.Sub(w.enqueued),
+			runTime:   runTime,
+		}
+		if i == 0 {
+			o.source = SourceRun
+			o.coll = coll
+		}
+		w.out <- o
+	}
+}
+
+// Submit registers a job and runs it asynchronously; use Wait or Status to
+// observe it. Fails with ErrDraining once a drain has begun.
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	if err := validateSpec(&spec); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	if spec.ID == "" {
+		s.jobSeq++
+		spec.ID = fmt.Sprintf("job-%06d", s.jobSeq)
+	}
+	if _, ok := s.jobs[spec.ID]; ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("service: duplicate job id %q", spec.ID)
+	}
+	st := &jobState{
+		spec: spec,
+		status: JobStatus{
+			ID: spec.ID, State: "running", Total: len(spec.Points),
+			Priority: spec.Priority,
+		},
+		done: make(chan struct{}),
+	}
+	s.jobs[spec.ID] = st
+	s.mu.Unlock()
+	s.metrics.RecordJob(true, false, false)
+	if err := s.saveJournal(); err != nil {
+		return "", err
+	}
+	s.jobsWG.Add(1)
+	go func() { //simcheck:allow nogoroutine -- one runner goroutine per accepted job
+		defer s.jobsWG.Done()
+		res, err := s.runJob(s.baseCtx, spec, nil)
+		s.finishJob(st, res, err)
+	}()
+	return spec.ID, nil
+}
+
+// RunJob runs a job synchronously on the caller's goroutine, streaming
+// sweep progress to onProgress (may be nil). The caller's ctx bounds the
+// wait; the service's own lifetime bounds the work.
+func (s *Service) RunJob(ctx context.Context, spec JobSpec, onProgress func(sweep.Progress)) (*JobResult, error) {
+	if err := validateSpec(&spec); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if spec.ID == "" {
+		s.jobSeq++
+		spec.ID = fmt.Sprintf("job-%06d", s.jobSeq)
+	}
+	if _, ok := s.jobs[spec.ID]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: duplicate job id %q", spec.ID)
+	}
+	st := &jobState{
+		spec: spec,
+		status: JobStatus{
+			ID: spec.ID, State: "running", Total: len(spec.Points),
+			Priority: spec.Priority,
+		},
+		done: make(chan struct{}),
+	}
+	s.jobs[spec.ID] = st
+	s.mu.Unlock()
+	s.metrics.RecordJob(true, false, false)
+	if err := s.saveJournal(); err != nil {
+		return nil, err
+	}
+	res, err := s.runJob(ctx, spec, onProgress)
+	s.finishJob(st, res, err)
+	return res, err
+}
+
+// validateSpec normalizes and checks a job spec.
+func validateSpec(spec *JobSpec) error {
+	if len(spec.Points) == 0 {
+		return errors.New("service: job has no points")
+	}
+	if spec.Timeout < 0 {
+		return fmt.Errorf("service: job timeout %v is negative", spec.Timeout)
+	}
+	for i := range spec.Points {
+		if spec.Points[i].Index != i {
+			return fmt.Errorf("service: point %d has Index %d (must equal position)", i, spec.Points[i].Index)
+		}
+		if spec.Points[i].Tune != nil {
+			return errors.New("service: points with Tune functions are not servable")
+		}
+	}
+	return nil
+}
+
+// runJob executes the job's points as a sweep with the service as the
+// point runner — the job queue rides on the sweep engine's worker
+// machinery, ordering, retry and checkpoint logic rather than duplicating
+// it.
+func (s *Service) runJob(ctx context.Context, spec JobSpec, onProgress func(sweep.Progress)) (*JobResult, error) {
+	timeout := spec.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	sources := make([]Source, len(spec.Points))
+	opts := sweep.Options{
+		// The sweep workers only wait on the service pool, so match its
+		// width: enough to keep every engine worker fed, no more.
+		Parallel:     s.cfg.Workers,
+		PointTimeout: timeout,
+		OnProgress:   onProgress,
+		RunPoint: func(pctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector) {
+			m, coll, src, err := s.Resolve(pctx, p, spec.Priority, spec.ID)
+			if err != nil {
+				// Resolve fails only on store errors, drain or context end;
+				// report the point as not-run so the sweep marks it partial.
+				sources[p.Index] = src
+				return sweep.Measures{}, nil
+			}
+			sources[p.Index] = src
+			return m, coll
+		},
+	}
+	if s.cfg.DataDir != "" {
+		opts.CheckpointPath = filepath.Join(s.cfg.DataDir, "ckpt-"+spec.ID+".json")
+		opts.Resume = true
+	}
+	sum, err := sweep.Run(ctx, spec.Points, opts)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	res := &JobResult{ID: spec.ID, Results: make([]PointResult, len(sum.Results))}
+	for i, r := range sum.Results {
+		src := sources[i]
+		if r.Resumed {
+			src = SourceResumed
+			s.metrics.Record(RequestMetric{
+				Job: spec.ID, Fingerprint: r.Point.Fingerprint(),
+				Source: SourceResumed, Priority: spec.Priority,
+			})
+		}
+		res.Results[i] = PointResult{
+			Index:       i,
+			Fingerprint: r.Point.Fingerprint(),
+			Source:      src,
+			Measures:    r.Measures,
+			Partial:     r.Partial,
+			Quarantined: r.Quarantined,
+		}
+		if r.Ran && !r.Partial {
+			res.Completed++
+		}
+		if r.Partial {
+			res.Partial++
+		}
+		switch src {
+		case SourceCache:
+			res.CacheHits++
+		case SourceCoalesced:
+			res.Coalesced++
+		case SourceRun:
+			res.Runs++
+		case SourceResumed:
+			res.Resumed++
+		default:
+			// Point never started (cancelled before dispatch).
+		}
+	}
+	return res, err
+}
+
+// finishJob records a job's terminal state and rewrites the journal
+// without it.
+func (s *Service) finishJob(st *jobState, res *JobResult, err error) {
+	s.mu.Lock()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		st.status.State = "failed"
+		st.status.Error = err.Error()
+	} else if err != nil {
+		// Cancelled (drain or client): journal keeps the spec so a restart
+		// resumes it; status reflects the interruption.
+		st.status.State = "failed"
+		st.status.Error = "interrupted: " + err.Error()
+	} else {
+		st.status.State = "done"
+	}
+	if res != nil {
+		st.status.Result = res
+		st.status.Done = res.Completed
+	}
+	close(st.done)
+	s.mu.Unlock()
+	s.metrics.RecordJob(false, err == nil, err != nil)
+	// Completed jobs leave the journal; interrupted ones stay for resume.
+	if err == nil {
+		if jerr := s.saveJournal(); jerr != nil {
+			fmt.Fprintf(os.Stderr, "service: journal save: %v\n", jerr)
+		}
+		if s.cfg.DataDir != "" {
+			// The per-job checkpoint is subsumed by the result store once
+			// the job finished cleanly.
+			os.Remove(filepath.Join(s.cfg.DataDir, "ckpt-"+st.spec.ID+".json"))
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends.
+func (s *Service) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	st, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-st.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.status, nil
+}
+
+// Status returns a job's current state.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return st.status, true
+}
+
+// Jobs lists every known job, by ID.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.jobs[id].status)
+	}
+	return out
+}
+
+// Drain performs graceful shutdown: stop accepting jobs, give in-flight
+// jobs until ctx ends to finish, then cancel them (the sweep engine stops
+// at trial boundaries and its checkpoints flush after every completed
+// point), stop the batcher and the worker pool, and write the final
+// journal. A later New over the same DataDir resumes whatever was cut off.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() { //simcheck:allow nogoroutine -- drain watcher
+		s.jobsWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		// Grace expired: cancel in-flight work and wait for it to unwind.
+		s.cancel()
+		<-finished
+	}
+	s.cancel()
+	s.batcher.stop()
+	s.workers.Wait()
+	// Any runs stranded in the queue after cancellation get a terminal
+	// answer so no waiter hangs.
+	for {
+		rn := func() *run {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.queue.heap.Len() == 0 {
+				return nil
+			}
+			return s.queue.heap[0]
+		}()
+		if rn == nil {
+			break
+		}
+		popped := s.queue.pop(context.Background())
+		if popped == nil {
+			break
+		}
+		s.failRun(popped, ErrDraining)
+	}
+	return s.saveJournal()
+}

@@ -1,0 +1,375 @@
+package service
+
+//simcheck:allow-file nogoroutine -- service tests exercise the serving layer's concurrency
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// enginePoint is a real, small engine point for end-to-end determinism
+// checks (4x4 mesh, 2 sharers, 2 trials — milliseconds of work).
+func enginePoint() sweep.Point {
+	return sweep.Point{Index: 0, K: 4, Scheme: 1, D: 2, Pattern: 0, Trials: 2, Seed: 7}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestDeterminismGate is the end-to-end identity the whole service design
+// rests on: a fresh direct engine run, a service run, a cache hit, and a
+// coalesced result are all byte-identical.
+func TestDeterminismGate(t *testing.T) {
+	p := enginePoint()
+	direct, _ := sweep.RunPointDirect(context.Background(), p)
+	want := mustJSON(t, direct)
+
+	svc := newTestService(t, Config{
+		Workers: 2, BatchSize: 2, BatchWait: time.Hour, Clock: newFakeClock(),
+	})
+
+	// Two concurrent identical submissions: one run + one coalesced.
+	var wg sync.WaitGroup
+	got := make([]sweep.Measures, 2)
+	srcs := make([]Source, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _, src, err := svc.Resolve(context.Background(), p, 0, "gate")
+			if err != nil {
+				t.Errorf("Resolve: %v", err)
+				return
+			}
+			got[i], srcs[i] = m, src
+		}(i)
+	}
+	wg.Wait()
+
+	// A third submission after completion: a cache hit.
+	cached, _, cachedSrc, err := svc.Resolve(context.Background(), p, 0, "gate")
+	if err != nil {
+		t.Fatalf("cached Resolve: %v", err)
+	}
+	if cachedSrc != SourceCache {
+		t.Fatalf("post-completion source = %q; want cache", cachedSrc)
+	}
+	if srcs[0] == srcs[1] {
+		t.Fatalf("concurrent sources %q/%q; want one run and one coalesced", srcs[0], srcs[1])
+	}
+	for i, m := range []sweep.Measures{got[0], got[1], cached} {
+		if mustJSON(t, m) != want {
+			t.Fatalf("result %d differs from the direct engine run", i)
+		}
+	}
+}
+
+// TestLoadCoalescing is the issue's load gate: 64 concurrent clients over 8
+// distinct points must see >= 85%% cache+coalesce hit rate, exactly 8
+// engine runs, and zero duplicate runs.
+func TestLoadCoalescing(t *testing.T) {
+	const clients, points = 64, 8
+	var runs atomic.Int64
+	svc := newTestService(t, Config{
+		Workers:   4,
+		BatchSize: 16,
+		BatchWait: 5 * time.Millisecond, // wall clock: exercises the real timer path
+		RunPoint: func(ctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector) {
+			runs.Add(1)
+			time.Sleep(time.Millisecond) // hold the in-flight window open
+			return sweep.Measures{Messages: float64(p.Seed), Completed: p.Trials}, nil
+		},
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := testPoint(0, i%points)
+			m, _, _, err := svc.Resolve(context.Background(), p, 0, "load")
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if m.Messages != float64(100+i%points) {
+				t.Errorf("client %d got another point's result", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := runs.Load(); got != points {
+		t.Fatalf("engine ran %d times for %d distinct points; want exactly %d (zero duplicates)", got, points, points)
+	}
+	counters, _ := svc.Metrics().Snapshot()
+	if counters.DuplicateRuns != 0 {
+		t.Fatalf("DuplicateRuns = %d; want 0", counters.DuplicateRuns)
+	}
+	if counters.Requests != clients {
+		t.Fatalf("Requests = %d; want %d", counters.Requests, clients)
+	}
+	if hr := counters.HitRate(); hr < 0.85 {
+		t.Fatalf("hit rate %.3f; want >= 0.85 (cache %d + coalesced %d of %d)",
+			hr, counters.CacheHits, counters.Coalesced, counters.Requests)
+	}
+}
+
+// TestJobRunsThroughSweepEngine: a job resolves every point through the
+// cache/coalescer while keeping sweep.Run's index-ordered results, and a
+// repeated job is served entirely from the cache.
+func TestJobRunsThroughSweepEngine(t *testing.T) {
+	var runs atomic.Int64
+	svc := newTestService(t, Config{
+		Workers: 2, BatchSize: 1, BatchWait: 0,
+		RunPoint: countingEngine(&runs),
+	})
+	points := make([]sweep.Point, 4)
+	for i := range points {
+		points[i] = testPoint(i, i%2) // two distinct contents, each twice
+	}
+	res, err := svc.RunJob(context.Background(), JobSpec{Points: points}, nil)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if res.Completed != len(points) {
+		t.Fatalf("Completed = %d; want %d", res.Completed, len(points))
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("engine ran %d times; want 2 (two distinct contents)", got)
+	}
+	for i, pr := range res.Results {
+		if pr.Index != i {
+			t.Fatalf("result %d has index %d; job results must stay index-ordered", i, pr.Index)
+		}
+		if pr.Fingerprint != points[i].Fingerprint() {
+			t.Fatalf("result %d fingerprint mismatch", i)
+		}
+	}
+	if res.Runs+res.CacheHits+res.Coalesced != len(points) {
+		t.Fatalf("source breakdown %d+%d+%d does not cover %d points",
+			res.Runs, res.CacheHits, res.Coalesced, len(points))
+	}
+
+	// The identical job again: nothing runs, everything hits.
+	res2, err := svc.RunJob(context.Background(), JobSpec{Points: points}, nil)
+	if err != nil {
+		t.Fatalf("repeat RunJob: %v", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("repeat job ran the engine (total %d runs); want all cache hits", got)
+	}
+	if res2.CacheHits != len(points) {
+		t.Fatalf("repeat job CacheHits = %d; want %d", res2.CacheHits, len(points))
+	}
+	if mustJSON(t, res2.Results[0].Measures) != mustJSON(t, res.Results[0].Measures) {
+		t.Fatal("cached job result differs from the original")
+	}
+}
+
+// TestSubmitValidation: malformed specs are rejected at admission.
+func TestSubmitValidation(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1, BatchSize: 1})
+	if _, err := svc.Submit(JobSpec{}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+	if _, err := svc.Submit(JobSpec{Points: []sweep.Point{testPoint(1, 0)}}); err == nil {
+		t.Fatal("job with misnumbered Index accepted")
+	}
+	if _, err := svc.Submit(JobSpec{Points: []sweep.Point{testPoint(0, 0)}, Timeout: -time.Second}); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+}
+
+// TestDrainPersistsAndResumesJobs is the graceful-drain contract: a drain
+// that cuts a job off journals its spec, and a new service over the same
+// data directory finishes it — with already-completed points served from
+// the store rather than re-run.
+func TestDrainPersistsAndResumesJobs(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	var phase1Runs atomic.Int64
+	blockingEngine := func(ctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector) {
+		if p.Index == 0 {
+			phase1Runs.Add(1)
+			return sweep.Measures{Messages: float64(p.Seed), Completed: p.Trials}, nil
+		}
+		// Later points block until cancelled — the job is mid-flight.
+		select {
+		case <-release:
+			return sweep.Measures{Messages: float64(p.Seed), Completed: p.Trials}, nil
+		case <-ctx.Done():
+			return sweep.Measures{}, nil
+		}
+	}
+	disk, err := NewDiskStore(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := New(Config{
+		Workers: 1, BatchSize: 1, DataDir: dir, Store: disk,
+		RunPoint: blockingEngine,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	points := []sweep.Point{testPoint(0, 0), testPoint(1, 1)}
+	id, err := svc1.Submit(JobSpec{ID: "drainy", Points: points})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Wait until point 0 finished (it is in the store) so the drain cuts
+	// the job at a known place.
+	deadline := time.Now().Add(10 * time.Second)
+	fp0 := points[0].Fingerprint()
+	for {
+		if _, ok, _ := disk.Get(fp0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("point 0 never reached the store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain with an already-expired grace: cancel immediately.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := svc1.Drain(expired); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st, ok := svc1.Status(id)
+	if !ok || st.State != "failed" {
+		t.Fatalf("drained job state = %+v; want interrupted/failed", st)
+	}
+
+	// The journal must still carry the job spec.
+	data, err := os.ReadFile(filepath.Join(dir, "jobs.json"))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	var doc journalDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("journal decode: %v", err)
+	}
+	if len(doc.Jobs) != 1 || doc.Jobs[0].ID != "drainy" {
+		t.Fatalf("journal jobs = %+v; want the interrupted job", doc.Jobs)
+	}
+
+	// Restart over the same directory with an unblocked engine. The
+	// resumed job must finish without re-running point 0.
+	close(release)
+	var phase2Runs atomic.Int64
+	svc2, err := New(Config{
+		Workers: 1, BatchSize: 1, DataDir: dir, Store: disk,
+		RunPoint: func(ctx context.Context, p sweep.Point) (sweep.Measures, *metrics.Collector) {
+			if p.Index == 0 {
+				t.Error("resumed job re-ran point 0 despite the stored result")
+			}
+			phase2Runs.Add(1)
+			return sweep.Measures{Messages: float64(p.Seed), Completed: p.Trials}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	st2, err := svc2.Wait(wctx, "drainy")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st2.State != "done" || st2.Result == nil {
+		t.Fatalf("resumed job state = %+v; want done with a result", st2)
+	}
+	if st2.Result.Results[0].Measures.Messages != float64(100) {
+		t.Fatal("resumed job lost point 0's measures")
+	}
+	if err := svc2.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+	// Cleanly finished: the journal no longer lists the job.
+	data, err = os.ReadFile(filepath.Join(dir, "jobs.json"))
+	if err != nil {
+		t.Fatalf("journal after finish: %v", err)
+	}
+	doc = journalDoc{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("journal decode: %v", err)
+	}
+	if len(doc.Jobs) != 0 {
+		t.Fatalf("journal still lists %d jobs after clean finish", len(doc.Jobs))
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestQueueFullShedsLoad: a full run queue rejects new work instead of
+// queueing unboundedly.
+func TestQueueFullShedsLoad(t *testing.T) {
+	q := newRunQueue(2)
+	if err := q.push(&run{seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(&run{seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(&run{seq: 3}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third push on depth-2 queue: err=%v; want ErrQueueFull", err)
+	}
+}
+
+// TestQueuePriorityOrder: higher priority pops first; FIFO within equal
+// priority.
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newRunQueue(8)
+	q.push(&run{fp: "low", priority: 0, seq: 0})
+	q.push(&run{fp: "hi", priority: 5, seq: 1})
+	q.push(&run{fp: "low2", priority: 0, seq: 2})
+	order := []string{}
+	for i := 0; i < 3; i++ {
+		order = append(order, q.pop(context.Background()).fp)
+	}
+	want := []string{"hi", "low", "low2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v; want %v", order, want)
+		}
+	}
+}
+
+// TestDrainingRejectsSubmissions: after Drain begins, new jobs fail with
+// ErrDraining.
+func TestDrainingRejectsSubmissions(t *testing.T) {
+	svc, err := New(Config{Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := svc.Submit(JobSpec{Points: []sweep.Point{testPoint(0, 0)}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain: err=%v; want ErrDraining", err)
+	}
+	if _, _, _, err := svc.Resolve(context.Background(), testPoint(0, 0), 0, ""); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Resolve after drain: err=%v; want ErrDraining", err)
+	}
+}

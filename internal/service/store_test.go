@@ -1,0 +1,164 @@
+package service
+
+//simcheck:allow-file nogoroutine -- store tests cover the serving layer
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func meas(v float64) sweep.Measures {
+	return sweep.Measures{HomeMsgs: v, Completed: 2}
+}
+
+func TestMemoryStoreRoundTrip(t *testing.T) {
+	s := NewMemoryStore(0)
+	if _, ok, _ := s.Get("aa"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put("aa", meas(1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	m, ok, err := s.Get("aa")
+	if err != nil || !ok || m.HomeMsgs != 1 {
+		t.Fatalf("Get = %+v %v %v; want hit with HomeMsgs=1", m, ok, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d; want 1", n)
+	}
+}
+
+func TestMemoryStoreImmutable(t *testing.T) {
+	s := NewMemoryStore(0)
+	if err := s.Put("aa", meas(1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("aa", meas(1)); err != nil {
+		t.Fatalf("idempotent re-Put must succeed: %v", err)
+	}
+	if err := s.Put("aa", meas(2)); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("conflicting Put: err=%v; want ErrImmutable (a nondeterminism leak)", err)
+	}
+}
+
+func TestMemoryStoreLRUEviction(t *testing.T) {
+	s := NewMemoryStore(2)
+	s.Put("aa", meas(1))
+	s.Put("bb", meas(2))
+	// Touch aa so bb is the least recently used.
+	if _, ok, _ := s.Get("aa"); !ok {
+		t.Fatal("aa missing before eviction")
+	}
+	s.Put("cc", meas(3))
+	if _, ok, _ := s.Get("bb"); ok {
+		t.Fatal("bb survived eviction; LRU should have dropped it")
+	}
+	if _, ok, _ := s.Get("aa"); !ok {
+		t.Fatal("aa (recently used) was evicted")
+	}
+	if _, ok, _ := s.Get("cc"); !ok {
+		t.Fatal("cc (just inserted) missing")
+	}
+	if n, _ := s.Len(); n != 2 {
+		t.Fatalf("Len = %d; want capacity 2", n)
+	}
+}
+
+func TestDiskStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatalf("NewDiskStore: %v", err)
+	}
+	fp := strings.Repeat("ab", 32)
+	if err := s1.Put(fp, meas(7)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// A second store over the same directory sees the entry: the directory
+	// IS the cache, so a daemon restart starts warm.
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	m, ok, err := s2.Get(fp)
+	if err != nil || !ok || m.HomeMsgs != 7 {
+		t.Fatalf("Get after reopen = %+v %v %v; want hit with HomeMsgs=7", m, ok, err)
+	}
+	if err := s2.Put(fp, meas(8)); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("conflicting Put on disk: err=%v; want ErrImmutable", err)
+	}
+	if n, _ := s2.Len(); n != 1 {
+		t.Fatalf("Len = %d; want 1", n)
+	}
+}
+
+func TestDiskStoreRejectsUnsafeFingerprints(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDiskStore: %v", err)
+	}
+	for _, fp := range []string{"", "../escape", "ABCDEF", "aa/bb", "deadbeef.json"} {
+		if err := s.Put(fp, meas(1)); err == nil {
+			t.Fatalf("Put(%q) accepted a non-hex fingerprint", fp)
+		}
+		if _, _, err := s.Get(fp); err == nil {
+			t.Fatalf("Get(%q) accepted a non-hex fingerprint", fp)
+		}
+	}
+}
+
+func TestDiskStoreRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatalf("NewDiskStore: %v", err)
+	}
+	fp := strings.Repeat("cd", 32)
+	if err := os.WriteFile(filepath.Join(dir, fp+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(fp); err == nil {
+		t.Fatal("Get on a corrupt entry reported success")
+	}
+}
+
+func TestTieredStorePromotesOnBackHit(t *testing.T) {
+	front := NewMemoryStore(0)
+	back := NewMemoryStore(0)
+	s := NewTieredStore(front, back)
+	fp := strings.Repeat("ef", 32)
+	if err := back.Put(fp, meas(5)); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := s.Get(fp)
+	if err != nil || !ok || m.HomeMsgs != 5 {
+		t.Fatalf("tiered Get = %+v %v %v; want back-store hit", m, ok, err)
+	}
+	if _, ok, _ := front.Get(fp); !ok {
+		t.Fatal("back-store hit was not promoted to the front store")
+	}
+}
+
+func TestTieredStoreWritesThrough(t *testing.T) {
+	front := NewMemoryStore(0)
+	back := NewMemoryStore(0)
+	s := NewTieredStore(front, back)
+	fp := strings.Repeat("01", 32)
+	if err := s.Put(fp, meas(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := front.Get(fp); !ok {
+		t.Fatal("Put did not reach the front store")
+	}
+	if _, ok, _ := back.Get(fp); !ok {
+		t.Fatal("Put did not reach the back store")
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d; want the durable store's count, 1", n)
+	}
+}

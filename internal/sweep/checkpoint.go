@@ -18,11 +18,16 @@ const checkpointVersion = 1
 // savedResult is one completed point as stored on disk. Partial results are
 // stored for inspection but never resumed from: a partial point re-runs.
 // Quarantined marks a partial point that also blew its doubled-budget retry.
+// Fingerprint is the point's canonical content hash (Point.Fingerprint),
+// recorded so resume can recognize two grid positions that name the same
+// computation; checkpoints written before the field existed load fine, they
+// just dedup nothing.
 type savedResult struct {
 	Index       int      `json:"index"`
 	Measures    Measures `json:"measures"`
 	Partial     bool     `json:"partial,omitempty"`
 	Quarantined bool     `json:"quarantined,omitempty"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
 }
 
 // checkpointFile is the JSON document written to Options.CheckpointPath.
@@ -96,12 +101,38 @@ func (c *checkpoint) load() (map[int]savedResult, error) {
 			c.path, f.Fingerprint, f.Total, c.fp, c.total)
 	}
 	out := make(map[int]savedResult, len(f.Done))
+	// byFP indexes the complete results by content fingerprint so
+	// quarantined entries can be satisfied from an identical computation
+	// recorded elsewhere in the grid.
+	byFP := make(map[string]savedResult)
 	for _, sr := range f.Done {
 		if sr.Index < 0 || sr.Index >= c.total {
 			return nil, fmt.Errorf("sweep: checkpoint %s has out-of-range point index %d", c.path, sr.Index)
 		}
 		if !sr.Partial {
 			out[sr.Index] = sr
+			if sr.Fingerprint != "" {
+				byFP[sr.Fingerprint] = sr
+			}
+		}
+	}
+	// Quarantine dedup: a quarantined entry re-runs on resume by design —
+	// unless a complete entry with the same fingerprint exists, in which
+	// case the quarantined position is the same deterministic computation
+	// and its result is already known. This covers grids with repeated
+	// content (clamped cells, hand-built point lists) and checkpoints
+	// written mid-retry, where one copy of a point finished while its twin
+	// was still stuck in the retry path when the sweep died.
+	for _, sr := range f.Done {
+		if !sr.Partial || !sr.Quarantined || sr.Fingerprint == "" {
+			continue
+		}
+		if twin, ok := byFP[sr.Fingerprint]; ok {
+			out[sr.Index] = savedResult{
+				Index:       sr.Index,
+				Measures:    twin.Measures,
+				Fingerprint: sr.Fingerprint,
+			}
 		}
 	}
 	return out, nil
@@ -114,12 +145,12 @@ func (c *checkpoint) record(r Result) {
 		Measures:    r.Measures,
 		Partial:     r.Partial,
 		Quarantined: r.Quarantined,
+		Fingerprint: r.Point.Fingerprint(),
 	}
 }
 
-// save writes the checkpoint atomically: marshal, write a temp file in the
-// same directory, rename over the target. A crash mid-save leaves the
-// previous checkpoint intact.
+// save writes the checkpoint atomically via AtomicWriteJSON. A crash
+// mid-save leaves the previous checkpoint intact.
 func (c *checkpoint) save() error {
 	f := checkpointFile{
 		Version:     checkpointVersion,
@@ -130,12 +161,22 @@ func (c *checkpoint) save() error {
 		f.Done = append(f.Done, sr)
 	}
 	sort.Slice(f.Done, func(i, j int) bool { return f.Done[i].Index < f.Done[j].Index })
-	data, err := json.MarshalIndent(f, "", " ")
+	return AtomicWriteJSON(c.path, f)
+}
+
+// AtomicWriteJSON marshals v with indentation and writes it to path
+// atomically: marshal, write a temp file in the same directory, rename over
+// the target. A crash mid-write leaves the previous file intact. It is the
+// checkpoint codec's write path, exported so every other durable JSON
+// artifact in the repository (the serving layer's on-disk result store and
+// job journal) persists with the same crash-safety discipline.
+func AtomicWriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, ".sweep-checkpoint-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
@@ -148,7 +189,7 @@ func (c *checkpoint) save() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -21,7 +21,7 @@ func TestPointTimeoutRetriesOnce(t *testing.T) {
 	sum, err := Run(context.Background(), pts, Options{
 		Parallel:     1,
 		PointTimeout: 20 * time.Millisecond,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			if p.Index == 1 && attempts.Add(1) == 1 {
 				// First attempt: transiently slow, observes its deadline.
 				<-ctx.Done()
@@ -61,7 +61,7 @@ func TestPointTimeoutQuarantines(t *testing.T) {
 		Parallel:       1,
 		PointTimeout:   10 * time.Millisecond,
 		CheckpointPath: path,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			if p.Index == 1 {
 				// Pathologically slow every time.
 				slowRuns.Add(1)
@@ -131,7 +131,7 @@ func TestCheckpointCorruptionRecovers(t *testing.T) {
 	// Produce a valid checkpoint, then truncate it mid-document.
 	if _, err := Run(context.Background(), pts, Options{
 		CheckpointPath: path,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			return Measures{Completed: p.Trials}, nil
 		},
 	}); err != nil {
@@ -148,7 +148,7 @@ func TestCheckpointCorruptionRecovers(t *testing.T) {
 	var calls atomic.Int64
 	sum, err := Run(context.Background(), pts, Options{
 		CheckpointPath: path, Resume: true,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			calls.Add(1)
 			return Measures{Completed: p.Trials}, nil
 		},
@@ -162,7 +162,7 @@ func TestCheckpointCorruptionRecovers(t *testing.T) {
 	// The rerun must have rewritten a healthy checkpoint.
 	sum2, err := Run(context.Background(), pts, Options{
 		CheckpointPath: path, Resume: true,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			t.Fatalf("point %d re-ran despite repaired checkpoint", p.Index)
 			return Measures{}, nil
 		},
@@ -177,7 +177,7 @@ func TestCheckpointCorruptionRecovers(t *testing.T) {
 	}
 	sum3, err := Run(context.Background(), pts, Options{
 		CheckpointPath: path, Resume: true,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			return Measures{Completed: p.Trials}, nil
 		},
 	})

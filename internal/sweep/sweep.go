@@ -142,8 +142,31 @@ type Options struct {
 	// records as complete. The checkpoint's point-grid fingerprint must
 	// match, otherwise Run fails rather than mixing incompatible sweeps.
 	Resume bool
-	// runPoint substitutes the point runner (tests only).
-	runPoint func(ctx context.Context, p Point) (Measures, *metrics.Collector)
+	// RunPoint substitutes the point runner; nil runs the engine directly
+	// (RunPointDirect). The serving layer (internal/service) intercepts
+	// here to route points through its content-addressed cache and
+	// coalescing batcher; tests use it to fake the engine. A substitute
+	// must preserve the engine's contract: identical points yield identical
+	// Measures, and a context-cancelled run returns Measures.Completed <
+	// Point.Trials.
+	RunPoint func(ctx context.Context, p Point) (Measures, *metrics.Collector)
+}
+
+// Validate checks the options for contradictions that Run would otherwise
+// surface late or silently normalize. Run calls it first; the CLIs and the
+// daemon also call it at flag-parse time so misconfigurations fail before
+// any point runs.
+func (o Options) Validate() error {
+	if o.Parallel < 0 {
+		return fmt.Errorf("sweep: Parallel is %d; want >= 0 (0 means all cores)", o.Parallel)
+	}
+	if o.PointTimeout < 0 {
+		return fmt.Errorf("sweep: PointTimeout is %v; want >= 0 (0 means no timeout)", o.PointTimeout)
+	}
+	if o.Resume && o.CheckpointPath == "" {
+		return fmt.Errorf("sweep: Resume requires CheckpointPath")
+	}
+	return nil
 }
 
 // Summary is the outcome of a sweep.
@@ -164,9 +187,11 @@ type Summary struct {
 	Completed, Partial, Resumed, Quarantined int
 }
 
-// runInvalPoint is the production point runner: one isolated machine per
-// point via workload.RunInval.
-func runInvalPoint(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+// RunPointDirect is the production point runner: one isolated machine per
+// point via workload.RunInval. It is exported so layers that substitute
+// Options.RunPoint (the serving daemon's cache/coalesce hook) can fall
+// through to the real engine.
+func RunPointDirect(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 	res := workload.RunInval(workload.InvalConfig{
 		K: p.K, Scheme: p.Scheme, D: p.D, Pattern: p.Pattern,
 		Trials: p.Trials, Seed: p.Seed, ChaosSeed: p.ChaosSeed,
@@ -181,6 +206,9 @@ func runInvalPoint(ctx context.Context, p Point) (Measures, *metrics.Collector) 
 // queued points are abandoned, in-flight points stop at their next trial
 // boundary and are marked Partial.
 func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	for i := range points {
 		if points[i].Index != i {
 			return nil, fmt.Errorf("sweep: point %d has Index %d (must equal position)", i, points[i].Index)
@@ -196,9 +224,9 @@ func Run(ctx context.Context, points []Point, opts Options) (*Summary, error) {
 	if parallel > len(points) {
 		parallel = len(points)
 	}
-	run := opts.runPoint
+	run := opts.RunPoint
 	if run == nil {
-		run = runInvalPoint
+		run = RunPointDirect
 	}
 
 	var ck *checkpoint

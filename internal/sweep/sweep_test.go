@@ -40,7 +40,7 @@ func TestRunAllPointsOnce(t *testing.T) {
 	var calls atomic.Int64
 	sum, err := Run(context.Background(), pts, Options{
 		Parallel: 3,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			calls.Add(1)
 			m := Measures{HomeMsgs: float64(p.Index), Completed: p.Trials}
 			return m, metrics.NewCollector(1)
@@ -95,7 +95,7 @@ func TestRunContextCancellation(t *testing.T) {
 	var calls atomic.Int64
 	sum, err := Run(ctx, pts, Options{
 		Parallel: 2,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			if calls.Add(1) == 3 {
 				cancel()
 			}
@@ -124,7 +124,7 @@ func TestRunPointTimeoutMarksPartial(t *testing.T) {
 	sum, err := Run(context.Background(), pts, Options{
 		Parallel:     1,
 		PointTimeout: 10 * time.Millisecond,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			if p.Index == 1 {
 				// A slow point: observes its deadline and stops early.
 				<-ctx.Done()
@@ -158,7 +158,7 @@ func TestCheckpointResume(t *testing.T) {
 	_, err := Run(ctx, pts, Options{
 		Parallel:       1,
 		CheckpointPath: path,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			mu.Lock()
 			ran1[p.Index] = true
 			mu.Unlock()
@@ -181,7 +181,7 @@ func TestCheckpointResume(t *testing.T) {
 		Parallel:       1,
 		CheckpointPath: path,
 		Resume:         true,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			mu.Lock()
 			ran2[p.Index] = true
 			mu.Unlock()
@@ -224,7 +224,7 @@ func TestCheckpointRoundTripsMeasures(t *testing.T) {
 	}
 	resumed, err := Run(context.Background(), pts, Options{
 		CheckpointPath: path, Resume: true,
-		runPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
+		RunPoint: func(ctx context.Context, p Point) (Measures, *metrics.Collector) {
 			t.Fatalf("point %d re-ran despite full checkpoint", p.Index)
 			return Measures{}, nil
 		},

@@ -48,6 +48,17 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("pattern(%d)", int(p))
 }
 
+// ParsePattern returns the placement with the given name (as produced by
+// String); the serving API and CLIs accept pattern names, not enum values.
+func ParsePattern(name string) (Pattern, error) {
+	for i, n := range patternNames {
+		if n == name {
+			return Pattern(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown placement pattern %q", name)
+}
+
 // InvalConfig configures an invalidation-pattern experiment.
 type InvalConfig struct {
 	// K is the mesh dimension (k x k).

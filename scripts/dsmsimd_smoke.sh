@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the dsmsimd daemon (wired into `make smoke` and the
+# dsmsimd-smoke CI job):
+#
+#   1. start the daemon with a data directory,
+#   2. run the E4 latency experiment through it and assert the table is
+#      byte-identical to a direct invalsweep run,
+#   3. repeat the request and assert the cached reply is byte-identical,
+#   4. submit a point job and check it completes with zero duplicate runs,
+#   5. SIGTERM the daemon and assert a clean (exit 0) drain with the job
+#      journal and persisted results on disk.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$work/dsmsimd" ./cmd/dsmsimd
+go build -o "$work/dsmsimctl" ./cmd/dsmsimctl
+go build -o "$work/invalsweep" ./cmd/invalsweep
+
+addr="127.0.0.1:18077"
+url="http://$addr"
+
+echo "== starting daemon =="
+"$work/dsmsimd" -addr "$addr" -data "$work/data" -workers 4 2>"$work/daemon.log" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  if "$work/dsmsimctl" -addr "$url" health >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "daemon exited before becoming healthy:" >&2
+    cat "$work/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+"$work/dsmsimctl" -addr "$url" health >/dev/null
+
+echo "== experiment byte-identity (daemon vs invalsweep) =="
+"$work/invalsweep" -experiment latency -k 8 -trials 2 -progress=false >"$work/direct.txt"
+"$work/dsmsimctl" -addr "$url" experiment -name latency -k 8 -trials 2 >"$work/served.txt"
+diff -u "$work/direct.txt" "$work/served.txt"
+
+echo "== cached repeat stays byte-identical =="
+"$work/dsmsimctl" -addr "$url" experiment -name latency -k 8 -trials 2 >"$work/served2.txt"
+cmp "$work/served.txt" "$work/served2.txt"
+
+echo "== point job =="
+"$work/dsmsimctl" -addr "$url" run \
+  -k 8 -scheme MI-MA-pa -d 6 -pattern random -trials 2 -seed 1 >"$work/job.json"
+grep -q '"completed": 1' "$work/job.json"
+
+echo "== stats: no duplicate engine runs =="
+"$work/dsmsimctl" -addr "$url" stats >"$work/stats.json"
+grep -q '"duplicate_runs": 0' "$work/stats.json"
+
+echo "== SIGTERM: clean drain =="
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+  echo "daemon drain exited $status:" >&2
+  cat "$work/daemon.log" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "$work/daemon.log"
+
+echo "== durable state written =="
+test -f "$work/data/jobs.json"
+ls "$work/data/results/"*.json >/dev/null
+
+echo "dsmsimd smoke: OK"
