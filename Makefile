@@ -12,7 +12,7 @@ COV_FLOOR_ORACLE := 85
 # Allowed fractional events/sec regression before bench-ratchet fails.
 RATCHET_THRESHOLD ?= 0.10
 
-.PHONY: all build test race vet lint check bench bench-json bench-ratchet equiv sweep oracle fuzz cover smoke
+.PHONY: all build test race vet lint check bench bench-json bench-ratchet equiv sweep oracle fuzz cover smoke loadtest soak serve-bench serve-ratchet
 
 all: check
 
@@ -27,7 +27,7 @@ test:
 # aggregates with no data races. The serving layer (worker pool, batcher,
 # coalescer) joins the same certification.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/sim/... ./internal/service/...
+	$(GO) test -race ./internal/sweep/... ./internal/sim/... ./internal/service/... ./internal/load/...
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +42,7 @@ vet:
 lint:
 	$(GO) run ./cmd/simcheck ./...
 	$(GO) run ./cmd/simcheck -cdg -mesh 8
-	$(GO) run ./cmd/simcheck ./internal/service ./cmd/dsmsimd ./cmd/dsmsimctl
+	$(GO) run ./cmd/simcheck ./internal/service ./internal/load ./cmd/dsmsimd ./cmd/dsmsimctl ./cmd/dsmload
 
 # oracle runs the protocol-correctness oracles end to end: the exhaustive
 # model checker over every scheme at the 2x2/2-block configuration, then a
@@ -84,7 +84,7 @@ equiv:
 	$(GO) test ./internal/sim -run 'TestEngineEquivalence|TestQueue|TestEngineAllocs' -count=1
 	$(GO) test ./internal/experiments -run TestGoldenTablesSeed -count=1
 
-check: vet lint build test race oracle fuzz equiv
+check: vet lint build test race oracle fuzz equiv loadtest
 
 # bench-json writes BENCH_sim.json: simulated-cycles and trace-events per
 # wall-second over a calibrated invalidation run, plus the E1 miss
@@ -113,3 +113,31 @@ sweep:
 # persisted. See scripts/dsmsimd_smoke.sh.
 smoke:
 	bash scripts/dsmsimd_smoke.sh
+
+# loadtest is the dsmload harness smoke: verified closed- and open-loop runs
+# against a live daemon, byte-identical client counters across identical
+# schedules (the determinism contract), and the cache-sizing study grid.
+# See scripts/dsmload_smoke.sh and DESIGN.md section 17.
+loadtest:
+	bash scripts/dsmload_smoke.sh
+
+# soak is the crash-recovery gauntlet: SIGTERM the daemon mid-load, restart
+# over the same data dir, require the journal to resume every unfinished
+# job with zero duplicate engine runs and a result set byte-identical to an
+# uninterrupted control run. See scripts/dsmload_soak.sh.
+soak:
+	bash scripts/dsmload_soak.sh
+
+# serve-bench writes BENCH_serve.json: closed-loop warm-cache serving
+# throughput and latency percentiles, plus the deterministic cache-study
+# hit-rate cells as a correctness fingerprint (mirrors bench-json for the
+# event engine).
+serve-bench:
+	$(GO) run ./cmd/dsmload -bench -o BENCH_serve.json
+
+# serve-ratchet replays the serving benchmark and fails on >threshold req/s,
+# p99 or hit-rate regression against the committed BENCH_serve.json, or on
+# ANY drift in the deterministic study cells. Refresh the baseline with
+# `make serve-bench` after an intentional serving-layer change.
+serve-ratchet:
+	$(GO) run ./cmd/dsmload -bench -compare BENCH_serve.json -threshold $(RATCHET_THRESHOLD)

@@ -16,23 +16,20 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 	"time"
 
-	"repro/internal/experiments"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8077", "listen address")
+		addr       = flag.String("addr", "127.0.0.1:8077", "listen address (port 0 picks an ephemeral port, printed at startup)")
 		workers    = flag.Int("workers", 4, "engine worker pool size")
 		batch      = flag.Int("batch", 16, "coalescing batch size (requests per flush)")
 		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max time a batch waits before flushing (0 disables batching)")
@@ -52,7 +49,6 @@ func main() {
 		BatchSize:      *batch,
 		BatchWait:      *batchWait,
 		QueueDepth:     *queueDepth,
-		DataDir:        "",
 		DefaultTimeout: *timeout,
 	}
 	if *data != "" {
@@ -70,48 +66,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svc, err := service.New(cfg)
+	daemon, err := service.StartDaemon(service.DaemonConfig{
+		Service:         cfg,
+		Addr:            *addr,
+		DefaultK:        *k,
+		DefaultD:        *d,
+		DefaultTrials:   *trials,
+		WireExperiments: true,
+		ExperimentsCtx:  ctx,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
 		os.Exit(1)
 	}
-
-	// Route the experiment layer through the service so the experiment
-	// endpoint hits the same cache and coalescer as point jobs. The sweep
-	// options must validate like the batch CLIs' do.
-	service.WireExperiments(svc, ctx)
-	if err := experiments.Sweep.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
-		os.Exit(1)
-	}
-
-	srv := service.NewServer(svc)
-	srv.DefaultK, srv.DefaultD, srv.DefaultTrials = *k, *d, *trials
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "dsmsimd: serving on %s (workers=%d batch=%d/%s cache=%d data=%q)\n",
-		*addr, *workers, *batch, *batchWait, *cache, *data)
+		daemon.Addr(), *workers, *batch, *batchWait, *cache, *data)
 
-	select {
-	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
-		os.Exit(1)
-	case <-ctx.Done():
-	}
+	<-ctx.Done()
 
 	fmt.Fprintln(os.Stderr, "dsmsimd: draining...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "dsmsimd: http shutdown: %v\n", err)
-	}
-	if err := svc.Drain(shutdownCtx); err != nil {
+	if err := daemon.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "dsmsimd: drain: %v\n", err)
 		os.Exit(1)
 	}
-	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := daemon.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "dsmsimd: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,241 @@
+package load
+
+//simcheck:allow-file determinism,nogoroutine -- the bench measures wall-clock serving throughput against a live self-hosted daemon
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+// ServeSchemaVersion identifies the BENCH_serve.json layout; RatchetServe
+// refuses to compare across versions.
+const ServeSchemaVersion = 1
+
+// ServeRun is one measured load run.
+type ServeRun struct {
+	Name           string  `json:"name"`
+	Requests       int     `json:"requests"`
+	WallSeconds    float64 `json:"wallSeconds"`
+	RequestsPerSec float64 `json:"requestsPerSec"`
+	HitRate        float64 `json:"hitRate"`
+	ShedRate       float64 `json:"shedRate"`
+	P50Micros      float64 `json:"p50Micros"`
+	P90Micros      float64 `json:"p90Micros"`
+	P99Micros      float64 `json:"p99Micros"`
+	MaxMicros      float64 `json:"maxMicros"`
+}
+
+// ServeSnapshot is the BENCH_serve.json schema: wall-clock serving
+// throughput/latency runs (machine-dependent, ratcheted with a threshold)
+// plus the cache-study hit rates (deterministic, matched exactly — the
+// snapshot's correctness anchor, the same role simbench's E1 latencies
+// play in BENCH_sim.json).
+type ServeSnapshot struct {
+	Schema        int               `json:"schema"`
+	Generated     string            `json:"generated"`
+	GoVersion     string            `json:"goVersion"`
+	CPUs          int               `json:"cpus"`
+	Runs          []ServeRun        `json:"runs"`
+	StudyHitRates map[string]string `json:"studyHitRates"`
+}
+
+// BenchConfig parameterizes RunServeBench; zero fields pick CI-sized
+// defaults.
+type BenchConfig struct {
+	// Requests per measured run (default 400).
+	Requests int
+	// Universe size (default 32 — small enough that warming is cheap,
+	// large enough that the Zipf tail matters).
+	Universe int
+	// Clients is the closed-loop client count (default 8).
+	Clients int
+	// Reps repeats the measured run; the best wall time wins (default 3).
+	Reps int
+	// Seed drives every schedule (default 1).
+	Seed uint64
+	// Template shapes the universe points (zero = DefaultTemplate).
+	Template PointTemplate
+	// Workers sizes the self-hosted daemon's engine pool (default 4).
+	Workers int
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.Requests <= 0 {
+		c.Requests = 400
+	}
+	if c.Universe <= 0 {
+		c.Universe = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Template == (PointTemplate{}) {
+		c.Template = DefaultTemplate()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// RunServeBench self-hosts a daemon on an ephemeral port, warms the whole
+// universe, then measures Reps closed-loop load runs of the default mix,
+// keeping the best wall time. Every rep is verified against the server's
+// own counters; a verification failure fails the bench (a fast wrong
+// answer must never ratchet). The caller stamps Generated/GoVersion/CPUs.
+func RunServeBench(ctx context.Context, cfg BenchConfig) (*ServeSnapshot, error) {
+	cfg = cfg.withDefaults()
+	daemon, err := service.StartDaemon(service.DaemonConfig{
+		Service: service.Config{Workers: cfg.Workers, Store: service.NewMemoryStore(0)},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: bench daemon: %w", err)
+	}
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = daemon.Shutdown(shCtx)
+	}()
+
+	universe, err := NewUniverse(cfg.Template, cfg.Seed, cfg.Universe)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Warm(ctx, daemon.BaseURL(), universe, "bench", 0); err != nil {
+		return nil, err
+	}
+	schedule, err := GenSchedule(ScheduleConfig{
+		Seed: cfg.Seed, Requests: cfg.Requests, Universe: cfg.Universe,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var best *Result
+	client := NewClient(daemon.BaseURL())
+	for rep := 0; rep < cfg.Reps; rep++ {
+		res, err := Run(ctx, Config{
+			BaseURL:   daemon.BaseURL(),
+			Schedule:  schedule,
+			Universe:  universe,
+			Clients:   cfg.Clients,
+			JobPrefix: fmt.Sprintf("bench%d", rep),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load: bench rep %d: %w", rep, err)
+		}
+		csv, err := client.MetricsCSV(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("load: bench rep %d metrics: %w", rep, err)
+		}
+		if v := Verify(res, csv); !v.OK() {
+			return nil, fmt.Errorf("load: bench rep %d failed verification: %v", rep, v.Failures)
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+
+	wall := best.Wall.Seconds()
+	hitRate := 0.0
+	if best.PointsServed > 0 {
+		hitRate = float64(best.CacheHits+best.Coalesced) / float64(best.PointsServed)
+	}
+	shedRate := 0.0
+	if n := best.PointsServed + best.Shed; n > 0 {
+		shedRate = float64(best.Shed) / float64(n)
+	}
+	snap := &ServeSnapshot{
+		Schema: ServeSchemaVersion,
+		Runs: []ServeRun{{
+			Name: fmt.Sprintf("closed-warm-c%d-n%d-u%d-w%d", cfg.Clients,
+				cfg.Requests, cfg.Universe, cfg.Workers),
+			Requests:       cfg.Requests,
+			WallSeconds:    wall,
+			RequestsPerSec: float64(cfg.Requests) / wall,
+			HitRate:        hitRate,
+			ShedRate:       shedRate,
+			P50Micros:      best.Overall.Percentile(50),
+			P90Micros:      best.Overall.Percentile(90),
+			P99Micros:      best.Overall.Percentile(99),
+			MaxMicros:      best.Overall.Max(),
+		}},
+		StudyHitRates: StudyHitRates(StudyConfig{Seed: cfg.Seed}),
+	}
+	return snap, nil
+}
+
+// StudyHitRates runs the cache-sizing study and flattens its table into the
+// snapshot's exact-match map: "zipf=<s>/cap=<n>" -> formatted hit rate. The
+// study is fully deterministic, so the ratchet demands byte equality.
+func StudyHitRates(cfg StudyConfig) map[string]string {
+	t := CacheStudy(cfg)
+	out := make(map[string]string, t.Rows())
+	for r := 0; r < t.Rows(); r++ {
+		out[fmt.Sprintf("zipf=%s/cap=%s", t.Cell(r, 0), t.Cell(r, 1))] = t.Cell(r, 4)
+	}
+	return out
+}
+
+// RatchetServe compares a fresh snapshot against the committed baseline and
+// returns the list of regressions (empty = pass): throughput may not drop
+// below (1-threshold) of baseline, tail latency may not grow past
+// (1+threshold), hit rate may not drop below (1-threshold), and the
+// deterministic study hit rates must match exactly.
+func RatchetServe(base, fresh *ServeSnapshot, threshold float64) []string {
+	var failures []string
+	if base.Schema != fresh.Schema {
+		return []string{fmt.Sprintf("baseline has schema %d, this build writes %d; regenerate the baseline",
+			base.Schema, fresh.Schema)}
+	}
+	baseRuns := map[string]ServeRun{}
+	for _, r := range base.Runs {
+		baseRuns[r.Name] = r
+	}
+	for _, r := range fresh.Runs {
+		b, ok := baseRuns[r.Name]
+		if !ok {
+			// A renamed run (config change) has no baseline; the refreshed
+			// snapshot picks it up.
+			continue
+		}
+		if floor := b.RequestsPerSec * (1 - threshold); r.RequestsPerSec < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f req/s is below the ratchet floor %.0f (baseline %.0f, threshold %.0f%%)",
+				r.Name, r.RequestsPerSec, floor, b.RequestsPerSec, threshold*100))
+		}
+		if ceil := b.P99Micros * (1 + threshold); b.P99Micros > 0 && r.P99Micros > ceil {
+			failures = append(failures, fmt.Sprintf(
+				"%s: p99 %.0fus exceeds the ratchet ceiling %.0fus (baseline %.0fus, threshold %.0f%%)",
+				r.Name, r.P99Micros, ceil, b.P99Micros, threshold*100))
+		}
+		if floor := b.HitRate * (1 - threshold); r.HitRate < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: hit rate %.3f is below the ratchet floor %.3f (baseline %.3f, threshold %.0f%%)",
+				r.Name, r.HitRate, floor, b.HitRate, threshold*100))
+		}
+	}
+	for _, key := range report.SortedKeys(base.StudyHitRates) {
+		want := base.StudyHitRates[key]
+		got, ok := fresh.StudyHitRates[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("study cell %s missing from fresh snapshot", key))
+			continue
+		}
+		if got != want {
+			failures = append(failures, fmt.Sprintf(
+				"study cell %s: hit rate %s, baseline %s — the deterministic cache study changed", key, got, want))
+		}
+	}
+	return failures
+}

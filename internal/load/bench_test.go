@@ -1,0 +1,97 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchSnapshot() *ServeSnapshot {
+	return &ServeSnapshot{
+		Schema: ServeSchemaVersion,
+		Runs: []ServeRun{{
+			Name: "closed-warm-c8-n400-u32-w4", Requests: 400,
+			RequestsPerSec: 1000, HitRate: 1.0,
+			P50Micros: 500, P99Micros: 2000, MaxMicros: 3000,
+		}},
+		StudyHitRates: map[string]string{"zipf=1.000/cap=64": "0.565"},
+	}
+}
+
+// TestRatchetServePass: an identical snapshot always passes.
+func TestRatchetServePass(t *testing.T) {
+	if f := RatchetServe(benchSnapshot(), benchSnapshot(), 0.10); len(f) != 0 {
+		t.Fatalf("identical snapshots failed the ratchet: %v", f)
+	}
+}
+
+// TestRatchetServeThroughputRegression: >threshold req/s drop fails.
+func TestRatchetServeThroughputRegression(t *testing.T) {
+	fresh := benchSnapshot()
+	fresh.Runs[0].RequestsPerSec = 850 // 15% below the 1000 baseline
+	f := RatchetServe(benchSnapshot(), fresh, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "req/s") {
+		t.Fatalf("failures: %v", f)
+	}
+	// Within threshold passes.
+	fresh.Runs[0].RequestsPerSec = 950
+	if f := RatchetServe(benchSnapshot(), fresh, 0.10); len(f) != 0 {
+		t.Fatalf("5%% drop failed a 10%% ratchet: %v", f)
+	}
+}
+
+// TestRatchetServeLatencyRegression: >threshold p99 growth fails.
+func TestRatchetServeLatencyRegression(t *testing.T) {
+	fresh := benchSnapshot()
+	fresh.Runs[0].P99Micros = 2500
+	f := RatchetServe(benchSnapshot(), fresh, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "p99") {
+		t.Fatalf("failures: %v", f)
+	}
+}
+
+// TestRatchetServeHitRateRegression: a hit-rate drop beyond threshold
+// fails (caching broke, even if it got faster).
+func TestRatchetServeHitRateRegression(t *testing.T) {
+	fresh := benchSnapshot()
+	fresh.Runs[0].HitRate = 0.85
+	fresh.Runs[0].RequestsPerSec = 5000 // faster AND wrong must still fail
+	f := RatchetServe(benchSnapshot(), fresh, 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "hit rate") {
+		t.Fatalf("failures: %v", f)
+	}
+}
+
+// TestRatchetServeStudyDrift: the deterministic study cells are matched
+// exactly — any drift fails regardless of threshold.
+func TestRatchetServeStudyDrift(t *testing.T) {
+	fresh := benchSnapshot()
+	fresh.StudyHitRates = map[string]string{"zipf=1.000/cap=64": "0.566"}
+	if f := RatchetServe(benchSnapshot(), fresh, 0.10); len(f) != 1 {
+		t.Fatalf("failures: %v", f)
+	}
+	fresh.StudyHitRates = map[string]string{}
+	if f := RatchetServe(benchSnapshot(), fresh, 0.10); len(f) != 1 {
+		t.Fatalf("missing-cell failures: %v", f)
+	}
+}
+
+// TestRatchetServeSchemaMismatch: cross-schema comparisons are refused.
+func TestRatchetServeSchemaMismatch(t *testing.T) {
+	base := benchSnapshot()
+	base.Schema = ServeSchemaVersion + 1
+	f := RatchetServe(base, benchSnapshot(), 0.10)
+	if len(f) != 1 || !strings.Contains(f[0], "schema") {
+		t.Fatalf("failures: %v", f)
+	}
+}
+
+// TestRatchetServeRenamedRun: a run with no baseline is skipped, not
+// failed — config changes refresh the snapshot rather than break CI.
+func TestRatchetServeRenamedRun(t *testing.T) {
+	fresh := benchSnapshot()
+	fresh.Runs[0].Name = "closed-warm-c16-n400-u32-w4"
+	fresh.Runs[0].RequestsPerSec = 1 // would fail if it were compared
+	if f := RatchetServe(benchSnapshot(), fresh, 0.10); len(f) != 0 {
+		t.Fatalf("renamed run compared: %v", f)
+	}
+}

@@ -1,0 +1,282 @@
+package load
+
+//simcheck:allow-file nogoroutine -- the HTTP client is shared by the runner's concurrent client goroutines
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// PointTemplate shapes every point of the load universe; only the seed
+// varies between universe entries (derived per index from the schedule
+// seed), so the whole universe is cheap enough to run on CI yet every entry
+// is a distinct fingerprint.
+type PointTemplate struct {
+	K       int
+	Scheme  string
+	D       int
+	Pattern string
+	Trials  int
+}
+
+// DefaultTemplate is a tiny point that still runs the full protocol stack:
+// a 4x4 mesh, 2 sharers, 2 trials — milliseconds per engine run.
+func DefaultTemplate() PointTemplate {
+	return PointTemplate{K: 4, Scheme: "MI-MA-pa", D: 2, Pattern: "clustered", Trials: 2}
+}
+
+// Universe is the set of distinct points a load run draws from, with their
+// precomputed fingerprints (index-aligned with the schedule's Point field).
+type Universe struct {
+	Specs        []service.PointSpec
+	Fingerprints []string
+}
+
+// NewUniverse builds a size-point universe from the template: entry i gets
+// seed sim.DeriveSeed(seed, i), giving size distinct fingerprints that are a
+// pure function of (template, seed, size).
+func NewUniverse(tpl PointTemplate, seed uint64, size int) (*Universe, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("load: universe size %d; want > 0", size)
+	}
+	u := &Universe{
+		Specs:        make([]service.PointSpec, size),
+		Fingerprints: make([]string, size),
+	}
+	for i := 0; i < size; i++ {
+		spec := service.PointSpec{
+			K: tpl.K, Scheme: tpl.Scheme, D: tpl.D, Pattern: tpl.Pattern,
+			Trials: tpl.Trials, Seed: sim.DeriveSeed(seed, uint64(i)),
+		}
+		p, err := spec.Point(0)
+		if err != nil {
+			return nil, fmt.Errorf("load: universe template: %w", err)
+		}
+		u.Specs[i] = spec
+		u.Fingerprints[i] = p.Fingerprint()
+	}
+	return u, nil
+}
+
+// Client speaks the daemon's HTTP API for the load harness. All methods are
+// safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{base: baseURL, http: &http.Client{}}
+}
+
+// postJSON POSTs v and decodes the response into out (skipped when out is
+// nil). Non-2xx responses become errors carrying the body's error field.
+func (c *Client) postJSON(ctx context.Context, path string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return httpError(path, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// getJSON GETs path and decodes the response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return httpError(path, resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// StatusError is a non-2xx daemon response; the verifier matches on Code to
+// tell expected misses (404) and sheds (503) from real failures.
+type StatusError struct {
+	Path    string
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("load: %s: HTTP %d: %s", e.Path, e.Code, e.Message)
+}
+
+func httpError(path string, code int, body []byte) error {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	msg := string(body)
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		msg = doc.Error
+	}
+	return &StatusError{Path: path, Code: code, Message: msg}
+}
+
+// RunPoint submits a one-point job with ?wait=1 and blocks for the result.
+func (c *Client) RunPoint(ctx context.Context, id string, spec service.PointSpec, timeout time.Duration) (*service.JobResult, error) {
+	jr := service.JobRequest{ID: id, Points: []service.PointSpec{spec}, TimeoutMS: timeout.Milliseconds()}
+	var res service.JobResult
+	if err := c.postJSON(ctx, "/v1/jobs?wait=1", jr, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SubmitPoint submits a one-point job asynchronously and returns its ID.
+func (c *Client) SubmitPoint(ctx context.Context, id string, spec service.PointSpec, timeout time.Duration) (string, error) {
+	jr := service.JobRequest{ID: id, Points: []service.PointSpec{spec}, TimeoutMS: timeout.Milliseconds()}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.postJSON(ctx, "/v1/jobs", jr, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// AwaitJob blocks until the job reaches a terminal state.
+func (c *Client) AwaitJob(ctx context.Context, id string) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id)+"?wait=1", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists the daemon's jobs.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunExperiment runs one named paper experiment and returns its rendered
+// table text.
+func (c *Client) RunExperiment(ctx context.Context, req service.ExperimentRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/experiments", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", httpError("/v1/experiments", resp.StatusCode, data)
+	}
+	return string(data), nil
+}
+
+// Result fetches a stored result by fingerprint; found=false on 404 (a
+// cache miss, not an error).
+func (c *Client) Result(ctx context.Context, fp string) (*service.ResultResponse, bool, error) {
+	var out service.ResultResponse
+	err := c.getJSON(ctx, "/v1/results/"+url.PathEscape(fp), &out)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return &out, true, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*service.StatsResponse, error) {
+	var out service.StatsResponse
+	if err := c.getJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsCSV fetches the per-request metric log as CSV text.
+func (c *Client) MetricsCSV(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", httpError("/v1/metrics", resp.StatusCode, data)
+	}
+	return string(data), nil
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,112 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Request is one generated request of a schedule.
+type Request struct {
+	// Seq is the request's 0-based position in the schedule.
+	Seq int
+	// At is the open-loop arrival offset from the run start. Closed-loop
+	// runs ignore it (each client issues its next request as soon as the
+	// previous one returns).
+	At time.Duration
+	// Kind says what the request does.
+	Kind Kind
+	// Point is the Zipf-sampled universe index the request targets
+	// (meaningless for KindStats and KindExperiment).
+	Point int
+}
+
+// ScheduleConfig parameterizes GenSchedule.
+type ScheduleConfig struct {
+	// Seed is the master seed; every random stream of the schedule derives
+	// from it via sim.DeriveSeed.
+	Seed uint64
+	// Requests is the schedule length.
+	Requests int
+	// RPS is the open-loop arrival rate (requests per second) that spaces
+	// the At offsets; <= 0 defaults to 100.
+	RPS float64
+	// Mix weights the request kinds; a zero mix means DefaultMix.
+	Mix Mix
+	// Universe is the number of distinct points requests draw from;
+	// <= 0 defaults to 64.
+	Universe int
+	// ZipfS is the popularity exponent over the universe (0 = uniform);
+	// negative defaults to 1.0.
+	ZipfS float64
+}
+
+// withDefaults resolves the zero values.
+func (c ScheduleConfig) withDefaults() ScheduleConfig {
+	if c.RPS <= 0 {
+		c.RPS = 100
+	}
+	if c.Mix.Total() <= 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Universe <= 0 {
+		c.Universe = 64
+	}
+	if c.ZipfS < 0 {
+		c.ZipfS = 1.0
+	}
+	return c
+}
+
+// GenSchedule generates a deterministic request schedule: arrival offsets,
+// kinds and target points are each drawn from an independent stream derived
+// from cfg.Seed, so changing the mix never perturbs the arrival process and
+// vice versa. Open-loop inter-arrival gaps are exponential with mean 1/RPS
+// (a Poisson arrival process, the standard open-loop load model).
+func GenSchedule(cfg ScheduleConfig) ([]Request, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("load: schedule of %d requests; want > 0", cfg.Requests)
+	}
+	arrivals := sim.NewRNG(sim.DeriveSeed(cfg.Seed, 1))
+	kinds := sim.NewRNG(sim.DeriveSeed(cfg.Seed, 2))
+	points := NewZipf(sim.NewRNG(sim.DeriveSeed(cfg.Seed, 3)), cfg.ZipfS, cfg.Universe)
+
+	weights := cfg.Mix.weights()
+	total := cfg.Mix.Total()
+
+	reqs := make([]Request, cfg.Requests)
+	at := 0.0 // seconds
+	for i := range reqs {
+		// Exponential inter-arrival: -ln(1-u)/rate. Float64 < 1, so the log
+		// argument stays positive.
+		at += -math.Log(1-arrivals.Float64()) / cfg.RPS
+		draw := kinds.Intn(total)
+		kind := KindRun
+		for k := 0; k < numKinds; k++ {
+			if draw < weights[k] {
+				kind = Kind(k)
+				break
+			}
+			draw -= weights[k]
+		}
+		reqs[i] = Request{
+			Seq:   i,
+			At:    time.Duration(at * float64(time.Second)),
+			Kind:  kind,
+			Point: points.Next(),
+		}
+	}
+	return reqs, nil
+}
+
+// KindCounts tallies a schedule by kind, indexed by Kind.
+func KindCounts(reqs []Request) [5]int {
+	var counts [numKinds]int
+	for _, r := range reqs {
+		counts[r.Kind]++
+	}
+	return counts
+}

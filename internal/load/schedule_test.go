@@ -1,0 +1,123 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestScheduleDeterminism is the harness's first contract: the schedule is
+// a pure function of its config.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := ScheduleConfig{Seed: 123, Requests: 5000, RPS: 250, Universe: 64, ZipfS: 1.1}
+	a, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations of the same config differ")
+	}
+	c, err := GenSchedule(ScheduleConfig{Seed: 124, Requests: 5000, RPS: 250, Universe: 64, ZipfS: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// TestScheduleStreamIndependence: changing the mix must not perturb the
+// arrival offsets or the target points (each draws from its own derived
+// stream).
+func TestScheduleStreamIndependence(t *testing.T) {
+	base := ScheduleConfig{Seed: 9, Requests: 1000, RPS: 100, Universe: 32}
+	a, err := GenSchedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := base
+	alt.Mix = Mix{Run: 1}
+	b, err := GenSchedule(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].At != b[i].At {
+			t.Fatalf("request %d: arrival moved when only the mix changed", i)
+		}
+		if a[i].Point != b[i].Point {
+			t.Fatalf("request %d: target point moved when only the mix changed", i)
+		}
+	}
+}
+
+// TestScheduleShape: offsets are increasing, kinds follow the mix within
+// sampling tolerance, mean inter-arrival matches 1/RPS.
+func TestScheduleShape(t *testing.T) {
+	const n = 20000
+	reqs, err := GenSchedule(ScheduleConfig{
+		Seed: 5, Requests: n, RPS: 1000, Universe: 16,
+		Mix: Mix{Run: 6, Async: 1, Result: 2, Stats: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != n {
+		t.Fatalf("got %d requests, want %d", len(reqs), n)
+	}
+	last := -1.0
+	for _, r := range reqs {
+		at := r.At.Seconds()
+		if at <= last {
+			t.Fatalf("request %d: arrival %v not after %v", r.Seq, at, last)
+		}
+		last = at
+	}
+	// Mean arrival rate: n requests over ~n/RPS seconds.
+	if rate := n / last; math.Abs(rate-1000)/1000 > 0.05 {
+		t.Fatalf("mean rate %.1f req/s; want 1000 within 5%%", rate)
+	}
+	counts := KindCounts(reqs)
+	for k, want := range map[Kind]float64{KindRun: 0.6, KindAsync: 0.1, KindResult: 0.2, KindStats: 0.1} {
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("kind %s share %.3f; want %.1f within 0.02", k, got, want)
+		}
+	}
+	if counts[KindExperiment] != 0 {
+		t.Fatalf("mix has no experiment weight but %d experiment requests generated", counts[KindExperiment])
+	}
+}
+
+// TestParseMix covers the round trip and the error cases.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("run=6,async=1,result=2,stats=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Run: 6, Async: 1, Result: 2, Stats: 1}) {
+		t.Fatalf("parsed %+v", m)
+	}
+	if back, err := ParseMix(m.String()); err != nil || back != m {
+		t.Fatalf("round trip: %+v, %v", back, err)
+	}
+	for _, bad := range []string{"run", "run=-1", "warp=3", "run=0", ""} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseMix("experiment=2,run=1"); err != nil {
+		t.Fatalf("experiment weight rejected: %v", err)
+	}
+}
+
+// TestGenScheduleRejectsEmpty: zero-length schedules are config errors.
+func TestGenScheduleRejectsEmpty(t *testing.T) {
+	if _, err := GenSchedule(ScheduleConfig{Seed: 1}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}

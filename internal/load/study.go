@@ -1,0 +1,98 @@
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// StudyConfig parameterizes CacheStudy.
+type StudyConfig struct {
+	// Universe is the number of distinct fingerprints requests draw from
+	// (<= 0 defaults to 512).
+	Universe int
+	// Requests is the trace length per (exponent, capacity) cell
+	// (<= 0 defaults to 4000).
+	Requests int
+	// Seed derives the per-cell Zipf streams.
+	Seed uint64
+	// Exponents are the Zipf skews studied (empty defaults to 0.6, 1.0,
+	// 1.4 — mild, classic and heavy skew).
+	Exponents []float64
+	// Capacities are the memory-LRU sizes studied (empty defaults to
+	// 16, 64, 256 over the 512-point default universe).
+	Capacities []int
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Universe <= 0 {
+		c.Universe = 512
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4000
+	}
+	if len(c.Exponents) == 0 {
+		c.Exponents = []float64{0.6, 1.0, 1.4}
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = []int{16, 64, 256}
+	}
+	return c
+}
+
+// CacheStudy sweeps memory-LRU capacity against hit rate under Zipfian
+// point popularity — the cache-sizing curve that tells an operator how much
+// memory buys how much hit rate at a given request skew. Each cell replays
+// a deterministic trace of synthetic fingerprints through a real
+// service.MemoryStore (the very LRU the daemon serves from), so the numbers
+// are the production eviction policy's, not a model's. The trace per
+// exponent is a pure function of (seed, exponent, universe, requests);
+// capacities replay the identical trace, so the whole table is
+// deterministic and golden-pinnable.
+func CacheStudy(cfg StudyConfig) *report.Table {
+	cfg = cfg.withDefaults()
+	t := report.NewTable(
+		fmt.Sprintf("LRU capacity vs hit rate (universe=%d requests=%d seed=%d)",
+			cfg.Universe, cfg.Requests, cfg.Seed),
+		"zipf", "capacity", "requests", "hits", "hit_rate")
+	for ei, s := range cfg.Exponents {
+		// One trace per exponent, replayed against every capacity.
+		trace := make([]int, cfg.Requests)
+		z := NewZipf(sim.NewRNG(sim.DeriveSeed(cfg.Seed, uint64(ei+1))), s, cfg.Universe)
+		for i := range trace {
+			trace[i] = z.Next()
+		}
+		for _, capacity := range cfg.Capacities {
+			hits := replayTrace(trace, capacity)
+			t.Row(report.Float3(s), capacity, cfg.Requests, hits,
+				report.Float3(float64(hits)/float64(cfg.Requests)))
+		}
+	}
+	return t
+}
+
+// replayTrace plays a point-index trace against a fresh MemoryStore of the
+// given capacity: a miss "runs the point" (stores its fingerprint), a hit
+// counts. Fingerprints are synthetic 64-hex names — the store neither
+// parses nor cares, it only needs distinct keys.
+func replayTrace(trace []int, capacity int) int {
+	store := service.NewMemoryStore(capacity)
+	m := sweep.Measures{Completed: 1}
+	hits := 0
+	for _, idx := range trace {
+		fp := fmt.Sprintf("%064x", idx)
+		if _, ok, err := store.Get(fp); err != nil {
+			panic("load: memory store get failed: " + err.Error())
+		} else if ok {
+			hits++
+			continue
+		}
+		if err := store.Put(fp, m); err != nil {
+			panic("load: memory store put failed: " + err.Error())
+		}
+	}
+	return hits
+}

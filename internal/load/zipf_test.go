@@ -1,0 +1,79 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestZipfDeterminism: same (seed, s, n) yields the identical draw stream.
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipf(sim.NewRNG(42), 1.0, 128)
+	b := NewZipf(sim.NewRNG(42), 1.0, 128)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfRange: every draw stays inside the universe at extreme exponents.
+func TestZipfRange(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2, 4} {
+		z := NewZipf(sim.NewRNG(7), s, 16)
+		for i := 0; i < 50000; i++ {
+			if v := z.Next(); v < 0 || v >= 16 {
+				t.Fatalf("s=%v draw %d: index %d outside [0,16)", s, i, v)
+			}
+		}
+	}
+}
+
+// TestZipfSkew: larger exponents concentrate more mass on index 0, and
+// s = 0 is uniform (index 0 gets ~1/n of the draws).
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 64, 200000
+	share := func(s float64) float64 {
+		z := NewZipf(sim.NewRNG(99), s, n)
+		zero := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				zero++
+			}
+		}
+		return float64(zero) / draws
+	}
+	uniform := share(0)
+	if uniform < 0.010 || uniform > 0.022 {
+		t.Fatalf("s=0 index-0 share %.4f; want ~1/64 = 0.0156", uniform)
+	}
+	mild, heavy := share(0.8), share(1.4)
+	if !(uniform < mild && mild < heavy) {
+		t.Fatalf("index-0 share not increasing in skew: s=0 %.4f, s=0.8 %.4f, s=1.4 %.4f",
+			uniform, mild, heavy)
+	}
+	if heavy < 0.3 {
+		t.Fatalf("s=1.4 index-0 share %.4f; want the head dominant (> 0.3)", heavy)
+	}
+}
+
+// TestZipfPanics: misconfiguration is a programming error, not a sample.
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    float64
+		n    int
+	}{
+		{"zero universe", 1, 0},
+		{"negative exponent", -0.5, 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			NewZipf(sim.NewRNG(1), tc.s, tc.n)
+		}()
+	}
+}

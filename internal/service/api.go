@@ -101,6 +101,7 @@ type ExperimentRequest struct {
 type StatsResponse struct {
 	Counters   Counters `json:"counters"`
 	HitRate    float64  `json:"hit_rate"`
+	ShedRate   float64  `json:"shed_rate"`
 	QueueDepth int      `json:"queue_depth"`
 	StoreLen   int      `json:"store_len"`
 	Draining   bool     `json:"draining"`

@@ -68,6 +68,10 @@ type Counters struct {
 	DuplicateRuns uint64 `json:"duplicate_runs"`
 	// Partial counts requests that returned partial results.
 	Partial uint64 `json:"partial"`
+	// Shed counts requests refused with ErrQueueFull — the load shedder
+	// firing. Shed requests are not counted in Requests (they never
+	// resolved).
+	Shed uint64 `json:"shed"`
 	// Batches and BatchedRequests size the coalescing windows: their ratio
 	// is the mean flush size.
 	Batches         uint64 `json:"batches"`
@@ -85,6 +89,17 @@ func (c Counters) HitRate() float64 {
 		return 0
 	}
 	return float64(c.CacheHits+c.Coalesced) / float64(c.Requests)
+}
+
+// ShedRate returns the fraction of arriving point requests the shedder
+// refused, in [0, 1] (shed requests never make it into Requests, so the
+// denominator is arrivals: resolved plus shed).
+func (c Counters) ShedRate() float64 {
+	total := c.Requests + c.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Shed) / float64(total)
 }
 
 // MetricLog is a bounded ring of the most recent RequestMetrics plus the
@@ -145,6 +160,13 @@ func (l *MetricLog) RecordBatch(n int) {
 	defer l.mu.Unlock()
 	l.counters.Batches++
 	l.counters.BatchedRequests += uint64(n)
+}
+
+// RecordShed accounts n point requests refused by the full run queue.
+func (l *MetricLog) RecordShed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.counters.Shed += uint64(n)
 }
 
 // RecordDuplicateRun accounts an engine run whose fingerprint already had a

@@ -198,6 +198,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Counters:   counters,
 		HitRate:    counters.HitRate(),
+		ShedRate:   counters.ShedRate(),
 		QueueDepth: s.svc.QueueDepth(),
 		StoreLen:   storeLen,
 		Draining:   s.svc.Draining(),

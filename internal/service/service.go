@@ -310,13 +310,17 @@ func (s *Service) dispatchBatch(batch []*request) {
 }
 
 // failRun delivers an error to every waiter of a run and clears it from
-// the in-flight table.
+// the in-flight table. Queue-full failures are the shedder firing, which
+// the counters track so load tests can reconcile client-observed sheds.
 func (s *Service) failRun(rn *run, err error) {
 	s.mu.Lock()
 	delete(s.inflight, rn.fp)
 	waiters := rn.waiters
 	rn.waiters = nil
 	s.mu.Unlock()
+	if errors.Is(err, ErrQueueFull) {
+		s.metrics.RecordShed(len(waiters))
+	}
 	for _, w := range waiters {
 		w.out <- outcome{err: err}
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -124,6 +125,137 @@ func TestDiskStoreRejectsCorruptEntry(t *testing.T) {
 	}
 	if _, _, err := s.Get(fp); err == nil {
 		t.Fatal("Get on a corrupt entry reported success")
+	}
+}
+
+// TestMemoryStoreEvictionOrderUnderMixedTraffic pins the exact eviction
+// sequence of the LRU under interleaved Gets and Puts: a Get refreshes
+// recency, so the victim is always the entry longest untouched by either
+// operation, not merely the oldest insert.
+func TestMemoryStoreEvictionOrderUnderMixedTraffic(t *testing.T) {
+	s := NewMemoryStore(3)
+	for i, fp := range []string{"aa", "bb", "cc"} {
+		if err := s.Put(fp, meas(float64(i))); err != nil {
+			t.Fatalf("Put %s: %v", fp, err)
+		}
+	}
+	// Recency (MRU..LRU): cc bb aa. Touch aa -> aa cc bb.
+	if _, ok, _ := s.Get("aa"); !ok {
+		t.Fatal("aa missing")
+	}
+	// dd evicts bb (now LRU), not aa (oldest insert but freshly used).
+	if err := s.Put("dd", meas(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("bb"); ok {
+		t.Fatal("bb survived; mixed-traffic LRU should have evicted it")
+	}
+	// Recency: dd aa cc. Touch cc -> cc dd aa; ee evicts aa.
+	if _, ok, _ := s.Get("cc"); !ok {
+		t.Fatal("cc evicted out of order")
+	}
+	if err := s.Put("ee", meas(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("aa"); ok {
+		t.Fatal("aa survived; it was LRU after cc's refresh")
+	}
+	for _, fp := range []string{"cc", "dd", "ee"} {
+		if _, ok, _ := s.Get(fp); !ok {
+			t.Fatalf("%s missing from the surviving set", fp)
+		}
+	}
+	if n, _ := s.Len(); n != 3 {
+		t.Fatalf("Len = %d; want capacity 3", n)
+	}
+	// An idempotent re-Put is also a touch: re-Put dd, then insert ff; the
+	// victim must be cc (LRU), not dd.
+	if err := s.Put("dd", meas(3)); err != nil {
+		t.Fatalf("idempotent re-Put: %v", err)
+	}
+	if err := s.Put("ff", meas(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("dd"); !ok {
+		t.Fatal("dd evicted despite re-Put refresh")
+	}
+	if _, ok, _ := s.Get("cc"); ok {
+		t.Fatal("cc survived; re-Put of dd should have made cc the victim")
+	}
+}
+
+// TestTieredStoreCapacityPressure is the daemon's production store shape
+// (bounded memory LRU over disk) under more entries than the front holds:
+// nothing is lost (the durable tier keeps everything), the front respects
+// its capacity, and a get of an evicted entry re-promotes it.
+func TestTieredStoreCapacityPressure(t *testing.T) {
+	front := NewMemoryStore(2)
+	back, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewTieredStore(front, back)
+	const n = 5
+	fp := func(i int) string { return strings.Repeat("0", 62) + "0" + strconv.Itoa(i) }
+	for i := 0; i < n; i++ {
+		if err := s.Put(fp(i), meas(float64(i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if fn, _ := front.Len(); fn > 2 {
+		t.Fatalf("front holds %d entries; capacity is 2", fn)
+	}
+	if bn, _ := back.Len(); bn != n {
+		t.Fatalf("durable tier holds %d entries; want all %d", bn, n)
+	}
+	if tn, _ := s.Len(); tn != n {
+		t.Fatalf("tiered Len = %d; want the durable count %d", tn, n)
+	}
+	// Every entry is still retrievable with its own value, even the ones the
+	// front evicted under pressure.
+	for i := 0; i < n; i++ {
+		m, ok, err := s.Get(fp(i))
+		if err != nil || !ok || m.HomeMsgs != float64(i) {
+			t.Fatalf("entry %d: %+v %v %v; want hit with HomeMsgs=%d", i, m, ok, err, i)
+		}
+	}
+	// Entry 0 was just re-read, so the back-store hit promoted it into the
+	// front tier again... and then 1..4 pushed it back out. Read it once
+	// more and confirm the promotion is observable in the front store.
+	if _, ok, _ := s.Get(fp(0)); !ok {
+		t.Fatal("entry 0 lost")
+	}
+	if _, ok, _ := front.Get(fp(0)); !ok {
+		t.Fatal("back-store hit under capacity pressure was not promoted to the front")
+	}
+}
+
+// TestTieredStoreImmutableConflict: the immutability contract holds through
+// the tiers — a conflicting Put fails with ErrImmutable and corrupts
+// neither store.
+func TestTieredStoreImmutableConflict(t *testing.T) {
+	front := NewMemoryStore(0)
+	back, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewTieredStore(front, back)
+	fp := strings.Repeat("23", 32)
+	if err := s.Put(fp, meas(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fp, meas(6)); err != nil {
+		t.Fatalf("idempotent re-Put must succeed: %v", err)
+	}
+	if err := s.Put(fp, meas(7)); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("conflicting Put: err=%v; want ErrImmutable", err)
+	}
+	// Both tiers still serve the original value.
+	for name, st := range map[string]ResultStore{"front": front, "back": back, "tiered": s} {
+		m, ok, err := st.Get(fp)
+		if err != nil || !ok || m.HomeMsgs != 6 {
+			t.Fatalf("%s after conflict: %+v %v %v; want the original value", name, m, ok, err)
+		}
 	}
 }
 
